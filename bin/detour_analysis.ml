@@ -1,0 +1,94 @@
+(* CLI: Table-1 style detour analysis of a topology.
+
+     dune exec bin/detour_analysis.exe -- --isp all
+     dune exec bin/detour_analysis.exe -- --isp telstra
+     dune exec bin/detour_analysis.exe -- --file mynet.topo
+     dune exec bin/detour_analysis.exe -- --random 50 --seed 7
+*)
+
+open Cmdliner
+
+let analyse ?(stats = false) name g =
+  let p = Topology.Detour.classify_links g in
+  Printf.printf "%-14s %8.2f%% %8.2f%% %8.2f%% %8.2f%%  (%d links, %d nodes)\n"
+    name
+    (100. *. p.Topology.Detour.one_hop)
+    (100. *. p.Topology.Detour.two_hop)
+    (100. *. p.Topology.Detour.three_plus)
+    (100. *. p.Topology.Detour.unavailable)
+    p.Topology.Detour.total_links
+    (Topology.Graph.node_count g);
+  if stats then begin
+    Format.printf "  %a@." Topology.Graph_stats.pp
+      (Topology.Graph_stats.compute g);
+    (* the transit hotspots whose congestion detours must absorb *)
+    let cb = Topology.Graph_stats.betweenness g in
+    let ranked =
+      List.sort (fun (_, a) (_, b) -> Float.compare b a)
+        (Array.to_list (Array.mapi (fun i v -> (i, v)) cb))
+    in
+    let top = List.filteri (fun i _ -> i < 5) ranked in
+    Printf.printf "  top transit nodes:";
+    List.iter
+      (fun (node, v) ->
+        Printf.printf " %s(%.0f)" (Topology.Graph.node g node).Topology.Node.name v)
+      top;
+    print_newline ()
+  end
+
+let header () =
+  Printf.printf "%-14s %9s %9s %9s %9s\n" "topology" "1 hop" "2 hops" "3+ hops"
+    "N/A"
+
+let run isp file random seed stats =
+  header ();
+  (match isp with
+  | Some "all" ->
+    List.iter
+      (fun i -> analyse ~stats (Topology.Isp_zoo.name i) (Topology.Isp_zoo.graph i))
+      Topology.Isp_zoo.all
+  | Some name -> begin
+    match Topology.Isp_zoo.of_name name with
+    | Some i -> analyse ~stats (Topology.Isp_zoo.name i) (Topology.Isp_zoo.graph i)
+    | None -> prerr_endline ("unknown ISP: " ^ name); exit 1
+  end
+  | None -> ());
+  (match file with
+  | Some path -> begin
+    match Topology.Serial.load path with
+    | Ok g -> analyse ~stats (Filename.basename path) g
+    | Error msg -> prerr_endline msg; exit 1
+  end
+  | None -> ());
+  match random with
+  | Some n ->
+    let g = Topology.Builders.waxman ~seed:(Int64.of_int seed) ~alpha:0.9 ~beta:0.25 n in
+    analyse ~stats (Printf.sprintf "waxman-%d" n) g
+  | None -> ()
+
+let isp =
+  Arg.(value & opt (some string) (Some "all")
+       & info [ "isp" ] ~docv:"NAME" ~doc:"Analyse a synthetic ISP (or 'all').")
+
+let file =
+  Arg.(value & opt (some string) None
+       & info [ "file" ] ~docv:"PATH" ~doc:"Analyse a topology file (Serial format).")
+
+let random =
+  Arg.(value & opt (some int) None
+       & info [ "random" ] ~docv:"N" ~doc:"Analyse a random Waxman graph of N nodes.")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let stats =
+  Arg.(value & flag
+       & info [ "stats" ] ~doc:"Also print structural statistics and transit hotspots.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "detour_analysis"
+       ~doc:"Classify per-link detour availability (the paper's Table 1)")
+    Term.(const run $ isp $ file $ random $ seed $ stats)
+
+let () = exit (Cmd.eval cmd)

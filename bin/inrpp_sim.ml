@@ -1,0 +1,75 @@
+(* CLI: flow-level experiments (the Fig. 4 methodology).
+
+     dune exec bin/inrpp_sim.exe -- --isp telstra --strategy all
+     dune exec bin/inrpp_sim.exe -- --isp exodus --strategy inrp --demand 6e9
+     dune exec bin/inrpp_sim.exe -- --isp tiscali --flows 400 --seeds 5
+*)
+
+open Cmdliner
+
+let strategies_of = function
+  | "sp" -> [ Flowsim.Routing.sp ]
+  | "ecmp" -> [ Flowsim.Routing.ecmp ]
+  | "inrp" -> [ Flowsim.Routing.inrp ]
+  | "all" -> [ Flowsim.Routing.sp; Flowsim.Routing.ecmp; Flowsim.Routing.inrp ]
+  | s -> prerr_endline ("unknown strategy: " ^ s); exit 1
+
+let run isp strategy demand flows seeds endpoints_core =
+  let g =
+    match Topology.Isp_zoo.of_name isp with
+    | Some i -> Topology.Isp_zoo.graph i
+    | None -> prerr_endline ("unknown ISP: " ^ isp); exit 1
+  in
+  let nflows =
+    match flows with
+    | Some n -> n
+    | None -> 2 * Topology.Graph.node_count g
+  in
+  let endpoints =
+    if endpoints_core then
+      Flowsim.Workload.Role_pairs [ Topology.Node.Core; Topology.Node.Aggregation ]
+    else Flowsim.Workload.Any_pair
+  in
+  let seed_list = List.init seeds (fun i -> Int64.of_int (i + 1)) in
+  Printf.printf "%s: %d flows x %.1f Gbps demand, %d seeds\n%!" isp nflows
+    (demand /. 1e9) seeds;
+  List.iter
+    (fun strat ->
+      let r =
+        Flowsim.Snapshot.ensemble ~endpoints ~strategy:strat ~demand
+          ~nflows ~seeds:seed_list g
+      in
+      Format.printf "%a@." Flowsim.Snapshot.pp r)
+    (strategies_of strategy)
+
+let isp =
+  Arg.(value & opt string "telstra"
+       & info [ "isp" ] ~docv:"NAME" ~doc:"Synthetic ISP topology.")
+
+let strategy =
+  Arg.(value & opt string "all"
+       & info [ "strategy" ] ~docv:"S" ~doc:"sp | ecmp | inrp | all.")
+
+let demand =
+  Arg.(value & opt float 6e9
+       & info [ "demand" ] ~docv:"BPS" ~doc:"Per-flow offered demand (bps).")
+
+let flows =
+  Arg.(value & opt (some int) None
+       & info [ "flows" ] ~docv:"N" ~doc:"Concurrent flows (default 2x nodes).")
+
+let seeds =
+  Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"K" ~doc:"Snapshot ensemble size.")
+
+let endpoints_core =
+  Arg.(value & opt bool true
+       & info [ "pop-endpoints" ] ~docv:"BOOL"
+           ~doc:"Restrict endpoints to PoP routers (core+aggregation).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "inrpp_sim"
+       ~doc:"Saturated-demand flow-level experiments (the paper's Fig. 4)")
+    Term.(const run $ isp $ strategy $ demand $ flows $ seeds $ endpoints_core)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,40 @@
+(* Quickstart: a five-minute tour of the library.
+
+   Build a topology, ask where detours exist, allocate bandwidth under
+   e2e max-min and under INRPP, and run one chunk-level INRPP transfer.
+
+     dune exec examples/quickstart.exe
+*)
+
+let () =
+  (* 1. A topology: the paper's Fig. 3 network (4 nodes; the 2 Mbps
+     link 2->4 is the bottleneck; node 3 offers a 5 Mbps detour). *)
+  let g = Topology.Builders.fig3 () in
+  Format.printf "topology: %a@." Topology.Graph.pp g;
+
+  (* 2. Detour structure (what Table 1 measures). *)
+  let profile = Topology.Detour.classify_links g in
+  Format.printf "detours:  %a@." Topology.Detour.pp_profile profile;
+
+  (* 3. Bandwidth sharing, e2e vs INRPP (what Fig. 3 argues).
+     Flow A: node 1 -> node 4 (ids 0 -> 3); flow B: node 1 -> node 2. *)
+  let pairs = [ (0, 3); (0, 1) ] in
+  let show label rates =
+    Format.printf "%s A=%.1f Mbps, B=%.1f Mbps (Jain %.3f)@." label
+      (rates.(0) /. 1e6) (rates.(1) /. 1e6)
+      (Metrics.Fairness.jain rates)
+  in
+  show "e2e:     "
+    (Flowsim.Simulator.run_static g ~strategy:Flowsim.Routing.sp pairs);
+  show "INRPP:   "
+    (Flowsim.Simulator.run_static g
+       ~strategy:(Flowsim.Routing.Inrp Flowsim.Allocation.fig3_inrp)
+       pairs);
+
+  (* 4. The protocol itself, chunk by chunk: a 2 MB transfer that
+     overflows the bottleneck and detours through node 3. *)
+  let cfg = { Inrpp.Config.default with Inrpp.Config.anticipation = 512 } in
+  let r =
+    Inrpp.Protocol.run ~cfg g [ Inrpp.Protocol.flow_spec ~src:0 ~dst:3 200 ]
+  in
+  Format.printf "transfer: %a@." Inrpp.Protocol.pp_result r

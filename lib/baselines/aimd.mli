@@ -1,0 +1,11 @@
+(** Single-path end-to-end AIMD transport — the TCP-like comparator
+    the paper argues against (§2.1).
+
+    Receiver-driven interest control (one request per chunk) with an
+    AIMD window, slow start, RTO loss recovery; plain drop-tail
+    forwarding; shortest single path. *)
+
+val run :
+  ?chunk_bits:float -> ?queue_bits:float -> ?horizon:float ->
+  Topology.Graph.t -> Inrpp.Protocol.flow_spec list -> Run_result.t
+(** Defaults as in {!Harness.run_pull}. *)

@@ -1,0 +1,25 @@
+(** Matched-scenario comparison: INRPP against the e2e baselines.
+
+    Runs the same topology and flow set through INRPP (chunk-level,
+    {!Inrpp.Protocol}), AIMD, MPTCP and RCP, and returns one
+    {!Run_result.t} per protocol — the `protocols` experiment. *)
+
+type protocol =
+  | Inrpp_proto
+  | Aimd_proto
+  | Mptcp_proto
+  | Rcp_proto
+  | Hbh_proto  (** hop-by-hop interest shaping, the paper's ref. [45] *)
+
+val all : protocol list
+val name : protocol -> string
+
+val run_one :
+  ?cfg:Inrpp.Config.t -> ?horizon:float -> protocol ->
+  Topology.Graph.t -> Inrpp.Protocol.flow_spec list -> Run_result.t
+(** The INRPP chunk size, queue size and horizon are taken from / kept
+    consistent with [cfg] across all protocols. *)
+
+val run_all :
+  ?cfg:Inrpp.Config.t -> ?horizon:float -> ?protocols:protocol list ->
+  Topology.Graph.t -> Inrpp.Protocol.flow_spec list -> Run_result.t list

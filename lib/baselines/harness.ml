@@ -1,0 +1,148 @@
+module Graph = Topology.Graph
+module Path = Topology.Path
+module Net = Chunksim.Net
+module Packet = Chunksim.Packet
+
+type setup = {
+  eng : Sim.Engine.t;
+  net : Chunksim.Net.t;
+  forwarders : Forwarder.t array;
+  paths : Topology.Path.t array array;
+  wire_ids : int array array;
+}
+
+let install_path forwarders g ~wire (path : Path.t) =
+  let nodes = Array.of_list path.Path.nodes in
+  let links = Array.of_list path.Path.links in
+  let n = Array.length nodes in
+  for k = 0 to n - 1 do
+    let data_link = if k < n - 1 then Some links.(k) else None in
+    let req_link =
+      if k > 0 then Graph.find_link g nodes.(k) nodes.(k - 1) else None
+    in
+    Forwarder.install_flow forwarders.(nodes.(k)) ~flow:wire ~data_link
+      ~req_link
+  done
+
+let prepare ?queue_bits ~paths_per_flow g specs =
+  if paths_per_flow < 1 then invalid_arg "Harness.prepare: paths_per_flow < 1";
+  if specs = [] then invalid_arg "Harness.prepare: no flows";
+  let eng = Sim.Engine.create () in
+  let net = Net.create ?queue_bits eng g in
+  let forwarders =
+    Array.init (Graph.node_count g) (fun node -> Forwarder.create ~net ~node)
+  in
+  let next_wire = ref 0 in
+  let fresh_wire () =
+    let w = !next_wire in
+    incr next_wire;
+    w
+  in
+  let flows =
+    List.map
+      (fun (spec : Inrpp.Protocol.flow_spec) ->
+        let candidate_paths =
+          Topology.Yen.k_disjoint g ~k:paths_per_flow spec.Inrpp.Protocol.src
+            spec.Inrpp.Protocol.dst
+        in
+        match candidate_paths with
+        | [] ->
+          invalid_arg
+            (Printf.sprintf "Harness.prepare: flow %d -> %d unroutable"
+               spec.Inrpp.Protocol.src spec.Inrpp.Protocol.dst)
+        | ps ->
+          let ps = Array.of_list ps in
+          let wires = Array.map (fun _ -> fresh_wire ()) ps in
+          Array.iteri
+            (fun j p -> install_path forwarders g ~wire:wires.(j) p)
+            ps;
+          (ps, wires))
+      specs
+  in
+  {
+    eng;
+    net;
+    forwarders;
+    paths = Array.of_list (List.map fst flows);
+    wire_ids = Array.of_list (List.map snd flows);
+  }
+
+let run_pull ~protocol ~coupled ~paths_per_flow ?(chunk_bits = 10e3 *. 8.)
+    ?queue_bits ?(horizon = 120.) g specs =
+  let s = prepare ?queue_bits ~paths_per_flow g specs in
+  let specs_arr = Array.of_list specs in
+  let nflows = Array.length specs_arr in
+  let fcts = Array.make nflows None in
+  let completed = ref 0 in
+  let finished_at = ref None in
+  (* producers: wire id -> responder *)
+  let producers : (int, Packet.t -> unit) Hashtbl.t = Hashtbl.create 32 in
+  (* consumers: wire id -> (puller, subflow index) *)
+  let consumers : (int, Puller.t * int) Hashtbl.t = Hashtbl.create 32 in
+  let pullers =
+    Array.init nflows (fun i ->
+        let spec = specs_arr.(i) in
+        let wires = s.wire_ids.(i) in
+        let subflow_request =
+          Array.map
+            (fun _wire _j (p : Packet.t) ->
+              Net.inject s.net ~at:spec.Inrpp.Protocol.dst p)
+            wires
+        in
+        let puller =
+          Puller.create ~eng:s.eng ~chunk_bits
+            ~total_chunks:spec.Inrpp.Protocol.chunks ~coupled
+            ~subflow_request ~wire_ids:wires
+            ~on_complete:(fun ~fct ->
+              fcts.(i) <- Some fct;
+              incr completed;
+              if !completed = nflows then
+                finished_at := Some (Sim.Engine.now s.eng))
+        in
+        Array.iteri
+          (fun j wire ->
+            Hashtbl.replace consumers wire (puller, j);
+            let src_forwarder = s.forwarders.(spec.Inrpp.Protocol.src) in
+            Hashtbl.replace producers wire (fun (p : Packet.t) ->
+                match p.Packet.header with
+                | Packet.Request { nc; _ } ->
+                  if nc < spec.Inrpp.Protocol.chunks then
+                    Forwarder.originate_data src_forwarder
+                      (Packet.data ~flow:wire ~idx:nc
+                         ~born:(Sim.Engine.now s.eng) chunk_bits)
+                | Packet.Data _ | Packet.Backpressure _ -> ()))
+          wires;
+        puller)
+  in
+  (* endpoint hooks *)
+  Array.iteri
+    (fun node fwd ->
+      Forwarder.set_local_producer fwd (fun p ->
+          match Hashtbl.find_opt producers (Packet.flow p) with
+          | Some respond -> respond p
+          | None -> ());
+      Forwarder.set_local_consumer fwd (fun p ->
+          match Hashtbl.find_opt consumers (Packet.flow p) with
+          | Some (puller, j) -> Puller.handle_data puller ~subflow:j p
+          | None -> ());
+      Net.set_handler s.net node (Forwarder.handler fwd))
+    s.forwarders;
+  (* flow starts *)
+  Array.iteri
+    (fun i spec ->
+      ignore
+        (Sim.Engine.schedule s.eng ~delay:spec.Inrpp.Protocol.start (fun () ->
+             Puller.start pullers.(i))))
+    specs_arr;
+  Sim.Engine.run ~until:horizon s.eng;
+  let sim_time =
+    match !finished_at with
+    | Some tm -> tm
+    | None -> Sim.Engine.now s.eng
+  in
+  Run_result.make ~protocol ~fcts ~chunk_bits
+    ~chunks:(Array.map (fun sp -> sp.Inrpp.Protocol.chunks) specs_arr)
+    ~drops:(Array.fold_left (fun acc f -> acc + Forwarder.drops f) 0 s.forwarders)
+    ~retransmissions:
+      (Array.fold_left (fun acc p -> acc + Puller.retransmissions p) 0 pullers)
+    ~sim_time

@@ -1,0 +1,27 @@
+(** Shared plumbing for the baseline transports: builds the
+    store-and-forward network, installs per-subflow routing state,
+    wires producers/consumers and runs the engine. *)
+
+type setup = {
+  eng : Sim.Engine.t;
+  net : Chunksim.Net.t;
+  forwarders : Forwarder.t array;
+  paths : Topology.Path.t array array;  (** [paths.(flow).(subflow)] *)
+  wire_ids : int array array;           (** matching wire flow ids *)
+}
+
+val prepare :
+  ?queue_bits:float -> paths_per_flow:int -> Topology.Graph.t ->
+  Inrpp.Protocol.flow_spec list -> setup
+(** Computes up to [paths_per_flow] link-disjoint paths per flow (at
+    least one — @raise Invalid_argument when unroutable), allocates
+    wire ids and installs forwarding state.
+    @raise Invalid_argument if [paths_per_flow < 1] or no flows. *)
+
+val run_pull :
+  protocol:string -> coupled:bool -> paths_per_flow:int ->
+  ?chunk_bits:float -> ?queue_bits:float -> ?horizon:float ->
+  Topology.Graph.t -> Inrpp.Protocol.flow_spec list -> Run_result.t
+(** Window-driven pull transport over the prepared network (see
+    {!Puller}); the engine of both {!Aimd} and {!Mptcp}.
+    Defaults: 10 kB chunks, 64-chunk queues, 120 s horizon. *)

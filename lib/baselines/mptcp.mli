@@ -1,0 +1,14 @@
+(** Multipath coupled-AIMD transport — the e2eRPP comparator (§2.2).
+
+    Up to [subflows] link-disjoint end-to-end paths per flow, each
+    with its own window, coupled by MPTCP's linked increase so the
+    aggregate is no more aggressive than one TCP.  Resource pooling
+    across {e end-to-end} paths only: no in-network detours, no
+    custody. *)
+
+val run :
+  ?subflows:int -> ?chunk_bits:float -> ?queue_bits:float ->
+  ?horizon:float -> Topology.Graph.t -> Inrpp.Protocol.flow_spec list ->
+  Run_result.t
+(** [subflows] defaults to 2 (fewer when the topology offers fewer
+    disjoint paths). *)

@@ -1,0 +1,32 @@
+(** Window-driven pull engine: the receiver side of the AIMD-family
+    baselines.
+
+    Chunks are requested one per request packet (no anticipation — the
+    classic interest-per-data ICN transport, cf. ICP).  Each subflow
+    runs its own AIMD window over its own wire flow id and path;
+    chunk indices are striped across subflows on demand.  With
+    [coupled = true] the windows grow per MPTCP's linked-increase.
+    A per-subflow RTO requeues expired chunks and halves the window —
+    loss is the only congestion signal, exactly the e2e behaviour the
+    paper argues against. *)
+
+type t
+
+val create :
+  eng:Sim.Engine.t -> chunk_bits:float -> total_chunks:int ->
+  coupled:bool -> subflow_request:(int -> Chunksim.Packet.t -> unit) array ->
+  wire_ids:int array -> on_complete:(fct:float -> unit) -> t
+(** [subflow_request.(j)] transmits a request for subflow [j];
+    [wire_ids.(j)] is the flow id used on the wire by subflow [j].
+    @raise Invalid_argument if arrays are empty or lengths differ. *)
+
+val start : t -> unit
+
+val handle_data : t -> subflow:int -> Chunksim.Packet.t -> unit
+
+val is_complete : t -> bool
+val retransmissions : t -> int
+(** Chunks requeued after an RTO. *)
+
+val loss_events : t -> int
+val received : t -> int

@@ -1,0 +1,212 @@
+module Packet = Chunksim.Packet
+module Net = Chunksim.Net
+
+type flow_state = {
+  spec : Inrpp.Protocol.flow_spec;
+  sess : Inrpp.Session.t;
+  wire : int;
+  path : Topology.Path.t;
+  outstanding : (int, float) Hashtbl.t;
+  retry : int Queue.t;
+  retry_set : (int, unit) Hashtbl.t;
+  mutable rate : float;          (* assigned fair rate, bps *)
+  mutable next_seq : int;
+  mutable started : float option;
+  mutable finished : bool;
+  mutable pacing_armed : bool;
+  mutable retx : int;
+}
+
+let max_outstanding = 512
+
+let run ?(chunk_bits = 10e3 *. 8.) ?queue_bits ?(horizon = 120.)
+    ?(update_interval = 0.05) g specs =
+  if update_interval <= 0. then invalid_arg "Rcp.run: update_interval <= 0";
+  let s = Harness.prepare ?queue_bits ~paths_per_flow:1 g specs in
+  let specs_arr = Array.of_list specs in
+  let nflows = Array.length specs_arr in
+  let fcts = Array.make nflows None in
+  let completed = ref 0 in
+  let finished_at = ref None in
+  let states =
+    Array.init nflows (fun i ->
+        {
+          spec = specs_arr.(i);
+          sess =
+            Inrpp.Session.create
+              ~total_chunks:specs_arr.(i).Inrpp.Protocol.chunks;
+          wire = s.Harness.wire_ids.(i).(0);
+          path = s.Harness.paths.(i).(0);
+          outstanding = Hashtbl.create 32;
+          retry = Queue.create ();
+          retry_set = Hashtbl.create 8;
+          rate = chunk_bits *. 10.;  (* modest initial rate *)
+          next_seq = 0;
+          started = None;
+          finished = false;
+          pacing_armed = false;
+          retx = 0;
+        })
+  in
+  (* explicit rate feedback: max-min share among active flows *)
+  let update_rates () =
+    let active =
+      Array.to_list states
+      |> List.filter (fun st -> st.started <> None && not st.finished)
+    in
+    match active with
+    | [] -> ()
+    | _ ->
+      let demands =
+        Array.of_list (List.map (fun st -> (st.path, infinity)) active)
+      in
+      let rates = Flowsim.Allocation.max_min g demands in
+      List.iteri
+        (fun j st -> st.rate <- Float.max (chunk_bits /. 1.) rates.(j))
+        active
+  in
+  let next_chunk st =
+    let rec from_retry () =
+      match Queue.take_opt st.retry with
+      | Some idx ->
+        Hashtbl.remove st.retry_set idx;
+        if Inrpp.Session.next_needed st.sess > idx then from_retry ()
+        else Some idx
+      | None ->
+        let rec fresh () =
+          if st.next_seq >= Inrpp.Session.total st.sess then None
+          else begin
+            let idx = st.next_seq in
+            st.next_seq <- idx + 1;
+            if Inrpp.Session.next_needed st.sess > idx then fresh ()
+            else Some idx
+          end
+        in
+        fresh ()
+    in
+    from_retry ()
+  in
+  let send_request st idx =
+    Hashtbl.replace st.outstanding idx (Sim.Engine.now s.Harness.eng);
+    Net.inject s.Harness.net ~at:st.spec.Inrpp.Protocol.dst
+      (Packet.request ~flow:st.wire ~nc:idx
+         ~ack:(Inrpp.Session.next_needed st.sess)
+         ~ac:idx)
+  in
+  (* request pacing at the assigned rate *)
+  let rec pace st =
+    if (not st.finished) && not st.pacing_armed then begin
+      st.pacing_armed <- true;
+      let gap = chunk_bits /. st.rate in
+      ignore
+        (Sim.Engine.schedule s.Harness.eng ~delay:gap (fun () ->
+             st.pacing_armed <- false;
+             if not st.finished then begin
+               if Hashtbl.length st.outstanding < max_outstanding then begin
+                 match next_chunk st with
+                 | Some idx -> send_request st idx
+                 | None -> ()
+               end;
+               pace st
+             end))
+    end
+  in
+  (* loss recovery: conservative fixed check *)
+  let rec check_timeouts st =
+    if not st.finished then begin
+      let now = Sim.Engine.now s.Harness.eng in
+      let expired =
+        Hashtbl.fold
+          (fun idx t0 acc -> if now -. t0 > 0.5 then idx :: acc else acc)
+          st.outstanding []
+      in
+      List.iter
+        (fun idx ->
+          Hashtbl.remove st.outstanding idx;
+          if not (Hashtbl.mem st.retry_set idx) then begin
+            Hashtbl.replace st.retry_set idx ();
+            Queue.add idx st.retry;
+            st.retx <- st.retx + 1
+          end)
+        expired;
+      ignore
+        (Sim.Engine.schedule s.Harness.eng ~delay:0.1 (fun () ->
+             check_timeouts st))
+    end
+  in
+  (* endpoint hooks *)
+  let producers : (int, flow_state) Hashtbl.t = Hashtbl.create 32 in
+  let consumers : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  Array.iteri
+    (fun i st ->
+      Hashtbl.replace producers st.wire st;
+      Hashtbl.replace consumers st.wire i)
+    states;
+  Array.iteri
+    (fun node fwd ->
+      ignore node;
+      Forwarder.set_local_producer fwd (fun p ->
+          match p.Packet.header, Hashtbl.find_opt producers (Packet.flow p) with
+          | Packet.Request { nc; _ }, Some st
+            when nc < st.spec.Inrpp.Protocol.chunks ->
+            Forwarder.originate_data
+              s.Harness.forwarders.(st.spec.Inrpp.Protocol.src)
+              (Packet.data ~flow:st.wire ~idx:nc
+                 ~born:(Sim.Engine.now s.Harness.eng) chunk_bits)
+          | _ -> ());
+      Forwarder.set_local_consumer fwd (fun p ->
+          match p.Packet.header, Hashtbl.find_opt consumers (Packet.flow p) with
+          | Packet.Data { idx; _ }, Some i ->
+            let st = states.(i) in
+            if not st.finished then begin
+              Hashtbl.remove st.outstanding idx;
+              match Inrpp.Session.receive st.sess idx with
+              | `New ->
+                if Inrpp.Session.is_complete st.sess then begin
+                  st.finished <- true;
+                  let now = Sim.Engine.now s.Harness.eng in
+                  let fct =
+                    match st.started with
+                    | Some t0 -> now -. t0
+                    | None -> now
+                  in
+                  fcts.(i) <- Some fct;
+                  incr completed;
+                  if !completed = nflows then finished_at := Some now
+                end
+              | `Duplicate -> ()
+            end
+          | _ -> ());
+      Net.set_handler s.Harness.net node (Forwarder.handler fwd))
+    s.Harness.forwarders;
+  (* rate feedback loop *)
+  Sim.Engine.schedule_periodic s.Harness.eng ~interval:update_interval
+    (fun () ->
+      update_rates ();
+      !completed < nflows);
+  (* flow starts *)
+  Array.iteri
+    (fun i st ->
+      ignore
+        (Sim.Engine.schedule s.Harness.eng
+           ~delay:st.spec.Inrpp.Protocol.start (fun () ->
+             st.started <- Some (Sim.Engine.now s.Harness.eng);
+             update_rates ();
+             pace st;
+             check_timeouts st));
+      ignore i)
+    states;
+  Sim.Engine.run ~until:horizon s.Harness.eng;
+  let sim_time =
+    match !finished_at with
+    | Some tm -> tm
+    | None -> Sim.Engine.now s.Harness.eng
+  in
+  Run_result.make ~protocol:"RCP" ~fcts ~chunk_bits
+    ~chunks:(Array.map (fun sp -> sp.Inrpp.Protocol.chunks) specs_arr)
+    ~drops:
+      (Array.fold_left
+         (fun acc f -> acc + Forwarder.drops f)
+         0 s.Harness.forwarders)
+    ~retransmissions:(Array.fold_left (fun acc st -> acc + st.retx) 0 states)
+    ~sim_time

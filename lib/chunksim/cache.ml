@@ -1,0 +1,168 @@
+type lru_entry = {
+  key : int * int;
+  bits : float;
+  mutable newer : lru_entry option;
+  mutable older : lru_entry option;
+}
+
+type t = {
+  cap : float;
+  high : float;
+  low : float;
+  (* custody: per-flow FIFO of (idx, bits) *)
+  custody : (int, (int * float) Queue.t) Hashtbl.t;
+  mutable custody_bits : float;
+  (* popularity: LRU doubly-linked list + index *)
+  popular : (int * int, lru_entry) Hashtbl.t;
+  mutable popular_bits : float;
+  mutable newest : lru_entry option;
+  mutable oldest : lru_entry option;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create ?(high_water = 0.7) ?(low_water = 0.3) ~capacity () =
+  if capacity <= 0. then invalid_arg "Cache.create: capacity <= 0";
+  if not (0. <= low_water && low_water < high_water && high_water <= 1.) then
+    invalid_arg "Cache.create: watermarks must satisfy 0 <= low < high <= 1";
+  {
+    cap = capacity;
+    high = high_water *. capacity;
+    low = low_water *. capacity;
+    custody = Hashtbl.create 16;
+    custody_bits = 0.;
+    popular = Hashtbl.create 64;
+    popular_bits = 0.;
+    newest = None;
+    oldest = None;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* LRU plumbing *)
+
+let unlink t e =
+  (match e.older with
+  | Some o -> o.newer <- e.newer
+  | None -> t.oldest <- e.newer);
+  (match e.newer with
+  | Some n -> n.older <- e.older
+  | None -> t.newest <- e.older);
+  e.newer <- None;
+  e.older <- None
+
+let push_newest t e =
+  e.older <- t.newest;
+  e.newer <- None;
+  (match t.newest with
+  | Some n -> n.newer <- Some e
+  | None -> t.oldest <- Some e);
+  t.newest <- Some e
+
+let evict_oldest t =
+  match t.oldest with
+  | None -> false
+  | Some e ->
+    unlink t e;
+    Hashtbl.remove t.popular e.key;
+    t.popular_bits <- t.popular_bits -. e.bits;
+    true
+
+(* ------------------------------------------------------------------ *)
+(* Custody *)
+
+let free_bits t = t.cap -. t.custody_bits -. t.popular_bits
+
+let put_custody t ~flow ~idx ~bits =
+  (* custody may displace popularity content: evict LRU until it fits *)
+  let rec make_room () =
+    if free_bits t >= bits then true
+    else if evict_oldest t then make_room ()
+    else false
+  in
+  if not (make_room ()) then `Full
+  else begin
+    let q =
+      match Hashtbl.find_opt t.custody flow with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.add t.custody flow q;
+        q
+    in
+    Queue.add (idx, bits) q;
+    t.custody_bits <- t.custody_bits +. bits;
+    `Stored
+  end
+
+let take_custody t ~flow =
+  match Hashtbl.find_opt t.custody flow with
+  | None -> None
+  | Some q ->
+    (match Queue.take_opt q with
+    | None -> None
+    | Some (idx, bits) ->
+      t.custody_bits <- t.custody_bits -. bits;
+      if Queue.is_empty q then Hashtbl.remove t.custody flow;
+      Some (idx, bits))
+
+let custody_backlog t ~flow =
+  match Hashtbl.find_opt t.custody flow with
+  | None -> 0
+  | Some q -> Queue.length q
+
+let custody_occupancy t = t.custody_bits
+let above_high t = t.custody_bits >= t.high
+let below_low t = t.custody_bits <= t.low
+
+let flows_in_custody t =
+  Hashtbl.fold (fun flow _ acc -> flow :: acc) t.custody []
+  |> List.sort Int.compare
+
+(* ------------------------------------------------------------------ *)
+(* Popularity *)
+
+let insert_popular t ~flow ~idx ~bits =
+  let key = (flow, idx) in
+  (match Hashtbl.find_opt t.popular key with
+  | Some existing ->
+    unlink t existing;
+    Hashtbl.remove t.popular key;
+    t.popular_bits <- t.popular_bits -. existing.bits
+  | None -> ());
+  let rec make_room () =
+    if free_bits t >= bits then true
+    else if evict_oldest t then make_room ()
+    else false
+  in
+  if make_room () then begin
+    let e = { key; bits; newer = None; older = None } in
+    Hashtbl.replace t.popular key e;
+    t.popular_bits <- t.popular_bits +. bits;
+    push_newest t e
+  end
+
+let lookup_popular t ~flow ~idx =
+  match Hashtbl.find_opt t.popular (flow, idx) with
+  | None ->
+    t.miss_count <- t.miss_count + 1;
+    false
+  | Some e ->
+    t.hit_count <- t.hit_count + 1;
+    unlink t e;
+    push_newest t e;
+    true
+
+let popular_occupancy t = t.popular_bits
+
+(* ------------------------------------------------------------------ *)
+
+let occupancy t = t.custody_bits +. t.popular_bits
+let capacity t = t.cap
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let holding_time t ~rate =
+  if rate <= 0. then invalid_arg "Cache.holding_time: rate <= 0";
+  t.cap /. rate

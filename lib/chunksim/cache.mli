@@ -1,0 +1,66 @@
+(** Content store with custody semantics (the paper's core idea).
+
+    Two regions share one byte budget:
+
+    - the {e custody} region holds in-flight chunks the router accepted
+      responsibility for during a back-pressure episode; FIFO per flow;
+      never evicted, only handed downstream ({!take_custody});
+    - the {e popularity} region is a plain LRU of chunks already
+      forwarded, serving later requests for the same content (classic
+      ICN caching).
+
+    Custody admission respects high/low watermarks over the custody
+    region: crossing high engages back-pressure upstream; dropping
+    below low releases it (hysteresis avoids signal flapping). *)
+
+type t
+
+val create :
+  ?high_water:float -> ?low_water:float -> capacity:float -> unit -> t
+(** [capacity] in bits.  Watermarks are fractions of capacity
+    (defaults 0.7 and 0.3).
+    @raise Invalid_argument if [capacity <= 0.] or the watermarks are
+    not [0 <= low < high <= 1]. *)
+
+(** {1 Custody region} *)
+
+val put_custody : t -> flow:int -> idx:int -> bits:float -> [ `Stored | `Full ]
+(** [`Full] when the whole store cannot take the chunk — the caller
+    must then drop (congestion collapse would follow; tests assert we
+    engage back-pressure well before). *)
+
+val take_custody : t -> flow:int -> (int * float) option
+(** Oldest held chunk of the flow, removed: [(idx, bits)]. *)
+
+val custody_backlog : t -> flow:int -> int
+(** Chunks currently held for the flow. *)
+
+val custody_occupancy : t -> float
+(** Bits across all flows. *)
+
+val above_high : t -> bool
+val below_low : t -> bool
+val flows_in_custody : t -> int list
+(** Flows with at least one held chunk, ascending. *)
+
+(** {1 Popularity (LRU) region} *)
+
+val insert_popular : t -> flow:int -> idx:int -> bits:float -> unit
+(** Adds to the LRU region, evicting least-recently-used entries if
+    needed; never evicts custody. A chunk bigger than the free budget
+    after eviction is simply not cached. *)
+
+val lookup_popular : t -> flow:int -> idx:int -> bool
+(** True on hit; refreshes recency. *)
+
+val popular_occupancy : t -> float
+
+(** {1 Stats} *)
+
+val occupancy : t -> float
+val capacity : t -> float
+val hits : t -> int
+val misses : t -> int
+val holding_time : t -> rate:float -> float
+(** §3.3 feasibility figure: time the whole store can absorb a
+    full-rate inflow, [capacity / rate]. *)

@@ -1,0 +1,48 @@
+type t = {
+  capacity : float;
+  q : Packet.t Queue.t;
+  mutable bits : float;
+  mutable queued : int;
+  mutable dropped : int;
+  mutable dropped_bits : float;
+}
+
+let create ~capacity =
+  if capacity <= 0. then invalid_arg "Fifo.create: capacity <= 0";
+  {
+    capacity;
+    q = Queue.create ();
+    bits = 0.;
+    queued = 0;
+    dropped = 0;
+    dropped_bits = 0.;
+  }
+
+let push t (p : Packet.t) =
+  if t.bits +. p.Packet.size > t.capacity then begin
+    t.dropped <- t.dropped + 1;
+    t.dropped_bits <- t.dropped_bits +. p.Packet.size;
+    `Dropped
+  end
+  else begin
+    Queue.add p t.q;
+    t.bits <- t.bits +. p.Packet.size;
+    t.queued <- t.queued + 1;
+    `Queued
+  end
+
+let pop t =
+  match Queue.take_opt t.q with
+  | None -> None
+  | Some p ->
+    t.bits <- t.bits -. p.Packet.size;
+    Some p
+
+let peek t = Queue.peek_opt t.q
+let occupancy t = t.bits
+let length t = Queue.length t.q
+let is_empty t = Queue.is_empty t.q
+let capacity t = t.capacity
+let total_queued t = t.queued
+let total_dropped t = t.dropped
+let total_dropped_bits t = t.dropped_bits

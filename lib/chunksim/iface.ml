@@ -1,0 +1,122 @@
+type discipline =
+  | Fifo_discipline
+  | Drr of float
+
+type queue =
+  | Q_fifo of Fifo.t
+  | Q_drr of Rr_queue.t
+
+type t = {
+  eng : Sim.Engine.t;
+  l : Topology.Link.t;
+  q : queue;
+  effective_rate : float;
+  deliver : Packet.t -> unit;
+  loss : (float * Sim.Rng.t) option;
+  mutable is_busy : bool;
+  mutable busy_accum : float;   (* total seconds spent transmitting *)
+  mutable tx_bits_acc : float;
+  mutable tx_packets_acc : int;
+  mutable wire_loss_acc : int;
+}
+
+let default_queue_bits = 64. *. 10e3 *. 8.
+
+let create ?(queue_bits = default_queue_bits) ?(speed_factor = 1.)
+    ?(discipline = Fifo_discipline) ?loss eng l ~deliver =
+  if queue_bits <= 0. then invalid_arg "Iface.create: queue_bits <= 0";
+  if speed_factor <= 0. || speed_factor > 1. then
+    invalid_arg "Iface.create: speed_factor outside (0,1]";
+  (match loss with
+  | Some (p, _) when p < 0. || p >= 1. ->
+    invalid_arg "Iface.create: loss probability outside [0,1)"
+  | Some _ | None -> ());
+  {
+    eng;
+    l;
+    q =
+      (match discipline with
+      | Fifo_discipline -> Q_fifo (Fifo.create ~capacity:queue_bits)
+      | Drr quantum -> Q_drr (Rr_queue.create ~quantum ~capacity:queue_bits ()));
+    effective_rate = l.Topology.Link.capacity *. speed_factor;
+    deliver;
+    loss;
+    is_busy = false;
+    busy_accum = 0.;
+    tx_bits_acc = 0.;
+    tx_packets_acc = 0;
+    wire_loss_acc = 0;
+  }
+
+let link t = t.l
+
+let rate t = t.effective_rate
+
+(* Serialise the head-of-line packet; on completion deliver it after
+   the propagation delay and continue with the next one. *)
+let q_pop t =
+  match t.q with
+  | Q_fifo f -> Fifo.pop f
+  | Q_drr d -> Rr_queue.pop d
+
+let q_push t (p : Packet.t) =
+  match t.q with
+  | Q_fifo f -> Fifo.push f p
+  | Q_drr d -> Rr_queue.push d ~class_id:(Packet.flow p) p
+
+let rec kick t =
+  if not t.is_busy then begin
+    match q_pop t with
+    | None -> ()
+    | Some p ->
+      t.is_busy <- true;
+      let tx_time = p.Packet.size /. t.effective_rate in
+      ignore
+        (Sim.Engine.schedule t.eng ~delay:tx_time (fun () ->
+             t.is_busy <- false;
+             t.busy_accum <- t.busy_accum +. tx_time;
+             t.tx_bits_acc <- t.tx_bits_acc +. p.Packet.size;
+             t.tx_packets_acc <- t.tx_packets_acc + 1;
+             let lost =
+               match t.loss with
+               | Some (prob, rng) when Sim.Rng.float rng 1. < prob ->
+                 t.wire_loss_acc <- t.wire_loss_acc + 1;
+                 true
+               | Some _ | None -> false
+             in
+             if not lost then
+               ignore
+                 (Sim.Engine.schedule t.eng ~delay:t.l.Topology.Link.delay
+                    (fun () -> t.deliver p));
+             kick t))
+  end
+
+let send t p =
+  match q_push t p with
+  | `Dropped -> `Dropped
+  | `Queued ->
+    kick t;
+    `Queued
+
+let queue_occupancy t =
+  match t.q with
+  | Q_fifo f -> Fifo.occupancy f
+  | Q_drr d -> Rr_queue.occupancy d
+
+let queue_capacity t =
+  match t.q with
+  | Q_fifo f -> Fifo.capacity f
+  | Q_drr d -> Rr_queue.capacity d
+
+let busy t = t.is_busy
+
+let utilisation t ~now = if now <= 0. then 0. else t.busy_accum /. now
+
+let tx_bits t = t.tx_bits_acc
+let tx_packets t = t.tx_packets_acc
+let drops t =
+  match t.q with
+  | Q_fifo f -> Fifo.total_dropped f
+  | Q_drr d -> Rr_queue.total_dropped d
+
+let wire_losses t = t.wire_loss_acc

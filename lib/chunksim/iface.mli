@@ -1,0 +1,49 @@
+(** Output interface: serialises packets onto one directed link.
+
+    Owns a bounded FIFO; transmits at link rate; delivers each packet
+    to the far node after the propagation delay.  Forwarding speed can
+    be derated below nominal capacity (the paper's §3.3 footnote about
+    not operating at full capacity) via [speed_factor]. *)
+
+type t
+
+(** Queue discipline: first-in-first-out, or per-flow deficit round
+    robin (the paper's router scheduler, see {!Rr_queue}). *)
+type discipline =
+  | Fifo_discipline
+  | Drr of float  (** quantum, bits per flow per round *)
+
+val create :
+  ?queue_bits:float -> ?speed_factor:float -> ?discipline:discipline ->
+  ?loss:float * Sim.Rng.t -> Sim.Engine.t -> Topology.Link.t ->
+  deliver:(Packet.t -> unit) -> t
+(** [queue_bits] defaults to 64 chunks of 10 kB (≈ 5.1 Mbit);
+    [speed_factor] in (0, 1], default 1; [discipline] defaults to
+    FIFO.  [loss] injects random wire loss: each transmitted packet is
+    discarded with the given probability (failure-injection tests);
+    default none.
+    @raise Invalid_argument on a non-positive queue, factor outside
+    (0, 1] or loss probability outside [0, 1). *)
+
+val link : t -> Topology.Link.t
+
+val send : t -> Packet.t -> [ `Queued | `Dropped ]
+(** Enqueue and start transmitting if idle. *)
+
+val rate : t -> float
+(** Effective transmit rate (capacity × speed_factor), bps. *)
+
+val queue_occupancy : t -> float
+(** Bits waiting (not counting the packet on the wire). *)
+
+val queue_capacity : t -> float
+val busy : t -> bool
+
+val utilisation : t -> now:float -> float
+(** Fraction of elapsed time the transmitter was busy. *)
+
+val tx_bits : t -> float
+val tx_packets : t -> int
+val drops : t -> int
+val wire_losses : t -> int
+(** Packets discarded by loss injection. *)

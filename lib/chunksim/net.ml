@@ -1,0 +1,71 @@
+module Graph = Topology.Graph
+module Link = Topology.Link
+
+type handler = from:Topology.Link.t option -> Packet.t -> unit
+
+type t = {
+  g : Graph.t;
+  eng : Sim.Engine.t;
+  ifaces : Iface.t array;
+  handlers : handler array;
+}
+
+let silent ~from:_ (_ : Packet.t) = ()
+
+let create ?queue_bits ?speed_factor ?discipline ?loss_rate
+    ?(loss_seed = 0xbadL) eng g =
+  let loss =
+    match loss_rate with
+    | Some p when p > 0. -> Some (p, Sim.Rng.create loss_seed)
+    | Some _ | None -> None
+  in
+  let handlers = Array.make (Graph.node_count g) silent in
+  let t =
+    {
+      g;
+      eng;
+      ifaces = [||];
+      handlers;
+    }
+  in
+  (* interfaces deliver into the destination node's *current* handler;
+     the indirection through the record lets handlers be installed after
+     interface construction *)
+  let make_iface (l : Link.t) =
+    Iface.create ?queue_bits ?speed_factor ?discipline ?loss eng l
+      ~deliver:(fun p ->
+        t.handlers.(l.Link.dst) ~from:(Some l) p)
+  in
+  let ifaces = Array.init (Graph.link_count g) (fun i -> make_iface (Graph.link g i)) in
+  { t with ifaces }
+
+let graph t = t.g
+let engine t = t.eng
+
+let set_handler t node h = t.handlers.(node) <- h
+
+let iface t link_id = t.ifaces.(link_id)
+
+let out_ifaces t node =
+  List.map (fun (l : Link.t) -> t.ifaces.(l.Link.id)) (Graph.out_links t.g node)
+
+let send t ~via p = Iface.send t.ifaces.(via.Link.id) p
+
+let inject t ~at p = t.handlers.(at) ~from:None p
+
+let total_drops t = Array.fold_left (fun acc i -> acc + Iface.drops i) 0 t.ifaces
+
+let total_wire_losses t =
+  Array.fold_left (fun acc i -> acc + Iface.wire_losses i) 0 t.ifaces
+
+let total_tx_bits t =
+  Array.fold_left (fun acc i -> acc +. Iface.tx_bits i) 0. t.ifaces
+
+let mean_utilisation t =
+  let n = Array.length t.ifaces in
+  if n = 0 then 0.
+  else begin
+    let now = Sim.Engine.now t.eng in
+    Array.fold_left (fun acc i -> acc +. Iface.utilisation i ~now) 0. t.ifaces
+    /. float_of_int n
+  end

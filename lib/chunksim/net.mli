@@ -1,0 +1,48 @@
+(** Assembles a chunk-level network from a topology.
+
+    One {!Iface} per directed link; per-node packet handlers installed
+    by the protocol layer (router, sender, receiver logic live in
+    {!Inrpp} and {!Baselines}).  Packets handed to {!send} queue on
+    the interface of the chosen link and arrive at the far node's
+    handler one transmission + propagation later. *)
+
+type t
+
+type handler = from:Topology.Link.t option -> Packet.t -> unit
+(** [from] is the link the packet arrived on ([None] for locally
+    injected packets). *)
+
+val create :
+  ?queue_bits:float -> ?speed_factor:float ->
+  ?discipline:Iface.discipline -> ?loss_rate:float -> ?loss_seed:int64 ->
+  Sim.Engine.t -> Topology.Graph.t -> t
+(** Interface parameters are uniform; see {!Iface.create}.
+    [loss_rate]/[loss_seed] inject seeded random wire loss on every
+    link (default none). *)
+
+val graph : t -> Topology.Graph.t
+val engine : t -> Sim.Engine.t
+
+val set_handler : t -> Topology.Node.id -> handler -> unit
+(** Replaces the node's handler (default: drop silently). *)
+
+val iface : t -> int -> Iface.t
+(** By link id. *)
+
+val out_ifaces : t -> Topology.Node.id -> Iface.t list
+
+val send : t -> via:Topology.Link.t -> Packet.t -> [ `Queued | `Dropped ]
+(** Queue on the link's interface.  The packet will be delivered to
+    [via.dst]'s handler. *)
+
+val inject : t -> at:Topology.Node.id -> Packet.t -> unit
+(** Run the node's handler directly (local origination), [from =
+    None], on the current engine time. *)
+
+val total_drops : t -> int
+val total_wire_losses : t -> int
+val total_tx_bits : t -> float
+
+val mean_utilisation : t -> float
+(** Mean over interfaces of busy-time fraction at the current engine
+    time. *)

@@ -1,0 +1,68 @@
+type event =
+  | Sent of { node : Topology.Node.id; link : int; packet : string }
+  | Received of { node : Topology.Node.id; packet : string }
+  | Dropped of { node : Topology.Node.id; link : int; packet : string }
+  | Cached of { node : Topology.Node.id; flow : int; idx : int }
+  | Cache_hit of { node : Topology.Node.id; flow : int; idx : int }
+  | Custody_released of { node : Topology.Node.id; flow : int; idx : int }
+  | Detoured of { node : Topology.Node.id; flow : int; idx : int; via : Topology.Node.id }
+  | Phase_change of { node : Topology.Node.id; link : int; phase : string }
+  | Bp_signal of { node : Topology.Node.id; flow : int; engage : bool }
+  | Flow_complete of { flow : int; fct : float }
+
+type t = {
+  limit : int;
+  mutable rev_events : (float * event) list;
+  mutable size : int;
+}
+
+let create ?(limit = 100_000) () =
+  if limit <= 0 then invalid_arg "Trace.create: limit <= 0";
+  { limit; rev_events = []; size = 0 }
+
+let record t ~time e =
+  t.rev_events <- (time, e) :: t.rev_events;
+  t.size <- t.size + 1;
+  if t.size > 2 * t.limit then begin
+    (* amortised trim: keep the newest [limit] *)
+    let rec take n acc = function
+      | [] -> acc
+      | x :: rest -> if n = 0 then acc else take (n - 1) (x :: acc) rest
+    in
+    t.rev_events <- List.rev (take t.limit [] t.rev_events);
+    t.size <- t.limit
+  end
+
+let events t = List.rev t.rev_events
+
+let count t pred =
+  List.fold_left
+    (fun acc (_, e) -> if pred e then acc + 1 else acc)
+    0 t.rev_events
+
+let find_all t pred = List.filter (fun (_, e) -> pred e) (events t)
+
+let clear t =
+  t.rev_events <- [];
+  t.size <- 0
+
+let pp_event ppf = function
+  | Sent { node; link; packet } ->
+    Format.fprintf ppf "n%d sent %s on l%d" node packet link
+  | Received { node; packet } -> Format.fprintf ppf "n%d recv %s" node packet
+  | Dropped { node; link; packet } ->
+    Format.fprintf ppf "n%d dropped %s on l%d" node packet link
+  | Cached { node; flow; idx } ->
+    Format.fprintf ppf "n%d custody f%d#%d" node flow idx
+  | Cache_hit { node; flow; idx } ->
+    Format.fprintf ppf "n%d cache-hit f%d#%d" node flow idx
+  | Custody_released { node; flow; idx } ->
+    Format.fprintf ppf "n%d released f%d#%d" node flow idx
+  | Detoured { node; flow; idx; via } ->
+    Format.fprintf ppf "n%d detoured f%d#%d via n%d" node flow idx via
+  | Phase_change { node; link; phase } ->
+    Format.fprintf ppf "n%d l%d -> %s" node link phase
+  | Bp_signal { node; flow; engage } ->
+    Format.fprintf ppf "n%d bp f%d %s" node flow (if engage then "on" else "off")
+  | Flow_complete { flow; fct } ->
+    Format.fprintf ppf "f%d complete in %.4gs" flow fct

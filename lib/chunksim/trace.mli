@@ -1,0 +1,31 @@
+(** Structured event traces.
+
+    Protocol layers append events; tests and the demo examples read
+    them back filtered.  Keeps at most [limit] most-recent events to
+    bound memory in long runs. *)
+
+type event =
+  | Sent of { node : Topology.Node.id; link : int; packet : string }
+  | Received of { node : Topology.Node.id; packet : string }
+  | Dropped of { node : Topology.Node.id; link : int; packet : string }
+  | Cached of { node : Topology.Node.id; flow : int; idx : int }
+  | Cache_hit of { node : Topology.Node.id; flow : int; idx : int }
+  | Custody_released of { node : Topology.Node.id; flow : int; idx : int }
+  | Detoured of { node : Topology.Node.id; flow : int; idx : int; via : Topology.Node.id }
+  | Phase_change of { node : Topology.Node.id; link : int; phase : string }
+  | Bp_signal of { node : Topology.Node.id; flow : int; engage : bool }
+  | Flow_complete of { flow : int; fct : float }
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** [limit] defaults to 100_000 events. *)
+
+val record : t -> time:float -> event -> unit
+val events : t -> (float * event) list
+(** Oldest first. *)
+
+val count : t -> (event -> bool) -> int
+val find_all : t -> (event -> bool) -> (float * event) list
+val clear : t -> unit
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,54 @@
+module Path = Topology.Path
+module Link = Topology.Link
+
+type candidate = {
+  first_link : Link.t;
+  rest : Topology.Node.id list;
+  links : Link.t list;
+  hops : int;
+}
+
+type t = {
+  g : Topology.Graph.t;
+  max_intermediate : int;
+  cache : (int, candidate list) Hashtbl.t;
+}
+
+let create ?(max_intermediate = 2) g =
+  if max_intermediate < 1 then
+    invalid_arg "Detour_table.create: max_intermediate < 1";
+  { g; max_intermediate; cache = Hashtbl.create 64 }
+
+let candidates t (l : Link.t) =
+  match Hashtbl.find_opt t.cache l.Link.id with
+  | Some cs -> cs
+  | None ->
+    let ds =
+      Topology.Detour.detours_via t.g l ~max_intermediate:t.max_intermediate
+    in
+    let cs =
+      List.filter_map
+        (fun (_, dpath) ->
+          match dpath.Path.links with
+          | [] -> None
+          | first :: _ ->
+            (* nodes after the first hop: drop src and the first
+               intermediate *)
+            let rest =
+              match dpath.Path.nodes with
+              | _ :: _ :: rest -> rest
+              | _ -> []
+            in
+            Some
+              {
+                first_link = first;
+                rest;
+                links = dpath.Path.links;
+                hops = Path.hops dpath;
+              })
+        ds
+    in
+    Hashtbl.add t.cache l.Link.id cs;
+    cs
+
+let has_detour t l = candidates t l <> []

@@ -1,0 +1,32 @@
+type route =
+  | Primary
+  | Via of int
+
+type entry = {
+  mutable route : route;
+  mutable last : float;
+}
+
+type t = {
+  gap : float;
+  table : (int, entry) Hashtbl.t;
+}
+
+let create ~gap =
+  if gap < 0. then invalid_arg "Flowlet.create: gap < 0";
+  { gap; table = Hashtbl.create 32 }
+
+let choose t ~flow ~now ~preferred =
+  match Hashtbl.find_opt t.table flow with
+  | None ->
+    Hashtbl.add t.table flow { route = preferred; last = now };
+    preferred
+  | Some e ->
+    if now -. e.last > t.gap then e.route <- preferred;
+    e.last <- now;
+    e.route
+
+let current t ~flow =
+  Option.map (fun e -> e.route) (Hashtbl.find_opt t.table flow)
+
+let active_flows t = Hashtbl.length t.table

@@ -1,0 +1,27 @@
+(** Flowlet pinning (Sinha et al., cited by the paper for detour
+    granularity).
+
+    A flow's packets within one burst must stay on one route to avoid
+    reordering; after an idle gap longer than [gap] the flow may be
+    re-pinned to a different route.  The router consults this table
+    when the detour phase considers moving a flow off the primary
+    path. *)
+
+type route =
+  | Primary
+  | Via of int
+      (** index into the link's detour-candidate list *)
+
+type t
+
+val create : gap:float -> t
+(** @raise Invalid_argument if [gap < 0.]. *)
+
+val choose :
+  t -> flow:int -> now:float -> preferred:route -> route
+(** [choose t ~flow ~now ~preferred]: if the flow is mid-flowlet
+    (last packet within [gap]), keep its pinned route; otherwise pin
+    [preferred] and return it.  Always updates the last-packet time. *)
+
+val current : t -> flow:int -> route option
+val active_flows : t -> int

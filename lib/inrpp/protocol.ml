@@ -1,0 +1,265 @@
+module Graph = Topology.Graph
+module Link = Topology.Link
+module Path = Topology.Path
+module Net = Chunksim.Net
+module Packet = Chunksim.Packet
+module Trace = Chunksim.Trace
+
+type flow_spec = {
+  src : Topology.Node.id;
+  dst : Topology.Node.id;
+  chunks : int;
+  start : float;
+  content : int option;
+}
+
+let flow_spec ?(start = 0.) ?content ~src ~dst chunks =
+  if chunks <= 0 then invalid_arg "Protocol.flow_spec: chunks <= 0";
+  if src = dst then invalid_arg "Protocol.flow_spec: src = dst";
+  if start < 0. then invalid_arg "Protocol.flow_spec: negative start";
+  { src; dst; chunks; start; content }
+
+type flow_result = {
+  spec : flow_spec;
+  fct : float option;
+  chunks_received : int;
+  duplicates : int;
+  requests_sent : int;
+}
+
+type result = {
+  flows : flow_result array;
+  completed : int;
+  sim_time : float;
+  total_drops : int;
+  forwarded_data : int;
+  detoured : int;
+  custody_stored : int;
+  custody_released : int;
+  bp_engages : int;
+  bp_releases : int;
+  cache_hits : int;
+  phase_transitions : int;
+  peak_custody_bits : float;
+  mean_utilisation : float;
+  goodput : float;
+  trace : Chunksim.Trace.t option;
+}
+
+let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
+    ?loss_rate g specs =
+  (match Config.validate cfg with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Protocol.run: " ^ msg));
+  if specs = [] then invalid_arg "Protocol.run: no flows";
+  if horizon <= 0. then invalid_arg "Protocol.run: horizon <= 0";
+  let eng = Sim.Engine.create () in
+  let net =
+    let discipline =
+      if cfg.Config.drr_scheduler then
+        Chunksim.Iface.Drr cfg.Config.chunk_bits
+      else Chunksim.Iface.Fifo_discipline
+    in
+    Net.create ~queue_bits:cfg.Config.queue_bits
+      ~speed_factor:cfg.Config.speed_factor ~discipline ?loss_rate eng g
+  in
+  let trace = if collect_trace then Some (Trace.create ()) else None in
+  let detours =
+    Detour_table.create ~max_intermediate:(max 1 cfg.Config.max_detour) g
+  in
+  let routers =
+    Array.init (Graph.node_count g) (fun node ->
+        Router.create ~cfg ~net ~node ~detours ?trace ())
+  in
+  (* per-node endpoint dispatch: several flows may start or end at the
+     same node *)
+  let producers : (int, (int, Sender.t) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let consumers : (int, (int, Receiver.t) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let endpoint_table tbl node =
+    match Hashtbl.find_opt tbl node with
+    | Some sub -> sub
+    | None ->
+      let sub = Hashtbl.create 4 in
+      Hashtbl.add tbl node sub;
+      sub
+  in
+  let completed = ref 0 in
+  let total_flows = List.length specs in
+  let finished_at = ref None in
+  let all_done () = !completed = total_flows in
+  let fcts = Array.make total_flows None in
+  (* set up each flow along its shortest path *)
+  let receivers = Array.make total_flows None in
+  List.iteri
+    (fun flow_id spec ->
+      let path =
+        match Topology.Dijkstra.shortest_path g spec.src spec.dst with
+        | Some p -> p
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Protocol.run: flow %d -> %d unroutable" spec.src
+               spec.dst)
+      in
+      let nodes = Array.of_list path.Path.nodes in
+      let links = Array.of_list path.Path.links in
+      let n = Array.length nodes in
+      for k = 0 to n - 1 do
+        let data_link = if k < n - 1 then Some links.(k) else None in
+        let req_link =
+          if k > 0 then Graph.find_link g nodes.(k) nodes.(k - 1) else None
+        in
+        Router.install_flow routers.(nodes.(k)) ?content:spec.content
+          ~flow:flow_id ~data_link ~req_link ()
+      done;
+      (* senders sharing an outgoing link pace at its processor-sharing
+         share (§3.2: flows multiplexed processor-sharing) *)
+      let pace_rate =
+        match path.Path.links with
+        | first :: _ ->
+          let sharers =
+            List.fold_left
+              (fun acc (other : flow_spec) ->
+                match Topology.Dijkstra.shortest_path g other.src other.dst with
+                | Some op -> begin
+                  match op.Path.links with
+                  | f2 :: _ when f2.Link.id = first.Link.id -> acc + 1
+                  | _ -> acc
+                end
+                | None -> acc)
+              0 specs
+          in
+          first.Link.capacity *. cfg.Config.speed_factor
+          /. float_of_int (max 1 sharers)
+        | [] -> cfg.Config.chunk_bits (* unreachable: src <> dst *)
+      in
+      let sender =
+        Sender.create ~cfg ~eng ~flow:flow_id ~total_chunks:spec.chunks
+          ~pace_rate ~transmit:(Router.originate_data routers.(spec.src))
+      in
+      Hashtbl.replace (endpoint_table producers spec.src) flow_id sender;
+      let receiver =
+        Receiver.create ~cfg ~eng ~flow:flow_id ~total_chunks:spec.chunks
+          ~send_request:(fun p -> Net.inject net ~at:spec.dst p)
+          ~on_complete:(fun ~fct ->
+            fcts.(flow_id) <- Some fct;
+            incr completed;
+            if all_done () then finished_at := Some (Sim.Engine.now eng);
+            match trace with
+            | Some tr ->
+              Trace.record tr ~time:(Sim.Engine.now eng)
+                (Trace.Flow_complete { flow = flow_id; fct })
+            | None -> ())
+      in
+      receivers.(flow_id) <- Some receiver;
+      Hashtbl.replace (endpoint_table consumers spec.dst) flow_id receiver)
+    specs;
+  (* install node handlers: endpoint dispatch sits on top of routing *)
+  for node = 0 to Graph.node_count g - 1 do
+    let router = routers.(node) in
+    (match Hashtbl.find_opt producers node with
+    | Some senders ->
+      Router.set_local_producer router (fun p ->
+          match Hashtbl.find_opt senders (Packet.flow p) with
+          | Some s -> Sender.handle s p
+          | None -> ())
+    | None -> ());
+    (match Hashtbl.find_opt consumers node with
+    | Some recvs ->
+      Router.set_local_consumer router (fun p ->
+          match Hashtbl.find_opt recvs (Packet.flow p) with
+          | Some r -> Receiver.handle_data r p
+          | None -> ())
+    | None -> ());
+    Net.set_handler net node (Router.handler router)
+  done;
+  (* periodic estimator ticks and custody drains; track custody peak *)
+  let peak_custody = ref 0. in
+  Sim.Engine.schedule_periodic eng ~interval:cfg.Config.ti (fun () ->
+      Array.iter
+        (fun r ->
+          Router.tick r;
+          let occ = Chunksim.Cache.custody_occupancy (Router.cache r) in
+          if occ > !peak_custody then peak_custody := occ)
+        routers;
+      not (all_done ()));
+  Sim.Engine.schedule_periodic eng ~interval:(cfg.Config.ti /. 4.) (fun () ->
+      Array.iter Router.drain routers;
+      not (all_done ()));
+  (* flow starts *)
+  List.iteri
+    (fun flow_id spec ->
+      ignore
+        (Sim.Engine.schedule eng ~delay:spec.start (fun () ->
+             match receivers.(flow_id) with
+             | Some r -> Receiver.start r
+             | None -> ())))
+    specs;
+  Sim.Engine.run ~until:horizon eng;
+  let sim_time =
+    match !finished_at with
+    | Some t -> t
+    | None -> Sim.Engine.now eng
+  in
+  let sum f = Array.fold_left (fun acc r -> acc + f (Router.counters r)) 0 routers in
+  let delivered_bits =
+    List.fold_left
+      (fun acc (spec, fr) ->
+        ignore spec;
+        acc +. (float_of_int fr *. cfg.Config.chunk_bits))
+      0.
+      (List.mapi
+         (fun i spec ->
+           ( spec,
+             match receivers.(i) with
+             | Some r -> Session.received_count (Receiver.session r)
+             | None -> 0 ))
+         specs)
+  in
+  let flows =
+    Array.of_list
+      (List.mapi
+         (fun i spec ->
+           let r = Option.get receivers.(i) in
+           {
+             spec;
+             fct = fcts.(i);
+             chunks_received = Session.received_count (Receiver.session r);
+             duplicates = Receiver.duplicates r;
+             requests_sent = Receiver.requests_sent r;
+           })
+         specs)
+  in
+  {
+    flows;
+    completed = !completed;
+    sim_time;
+    (* interface-queue refusals were handled by the routers (detour or
+       custody); only router-level drops are real losses *)
+    total_drops = sum (fun c -> c.Router.dropped);
+    forwarded_data = sum (fun c -> c.Router.forwarded_data);
+    detoured = sum (fun c -> c.Router.detoured);
+    custody_stored = sum (fun c -> c.Router.custody_stored);
+    custody_released = sum (fun c -> c.Router.custody_released);
+    bp_engages = sum (fun c -> c.Router.bp_engages);
+    bp_releases = sum (fun c -> c.Router.bp_releases);
+    cache_hits = sum (fun c -> c.Router.cache_hits);
+    phase_transitions =
+      Array.fold_left (fun acc r -> acc + Router.phase_transitions r) 0 routers;
+    peak_custody_bits = !peak_custody;
+    mean_utilisation = Net.mean_utilisation net;
+    goodput = (if sim_time > 0. then delivered_bits /. sim_time else 0.);
+    trace;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%d/%d flows done in %.3gs; goodput=%a util=%.3f detoured=%d custody=%d \
+     (peak %a) bp=%d/%d drops=%d transitions=%d"
+    r.completed (Array.length r.flows) r.sim_time Sim.Units.pp_rate r.goodput
+    r.mean_utilisation r.detoured r.custody_stored Sim.Units.pp_size
+    r.peak_custody_bits r.bp_engages r.bp_releases r.total_drops
+    r.phase_transitions

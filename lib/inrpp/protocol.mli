@@ -1,0 +1,64 @@
+(** End-to-end INRPP transfers over the chunk-level simulator.
+
+    Wires routers on every node, a {!Sender} at each flow's producer
+    and a {!Receiver} at its consumer, installs forward/reverse flow
+    state along shortest paths, schedules the estimator ticks and
+    custody drains, and runs the engine.  This is the entry point of
+    the protocol-behaviour experiments (`phases`, `backpressure`,
+    `protocols`) and of the examples. *)
+
+type flow_spec = {
+  src : Topology.Node.id;
+  dst : Topology.Node.id;
+  chunks : int;
+  start : float;  (** seconds *)
+  content : int option;
+  (** popularity-cache key; two transfers of the same [content] hit
+      each other's on-path copies when {!Config.t.icn_caching} is on *)
+}
+
+val flow_spec :
+  ?start:float -> ?content:int -> src:Topology.Node.id ->
+  dst:Topology.Node.id -> int -> flow_spec
+(** [flow_spec ~src ~dst chunks]; [start] defaults to 0.
+    @raise Invalid_argument if [chunks <= 0] or [src = dst]. *)
+
+type flow_result = {
+  spec : flow_spec;
+  fct : float option;           (** completion time, [None] if unfinished *)
+  chunks_received : int;
+  duplicates : int;
+  requests_sent : int;
+}
+
+type result = {
+  flows : flow_result array;
+  completed : int;
+  sim_time : float;              (** when the run stopped *)
+  total_drops : int;             (** interface + router drops *)
+  forwarded_data : int;
+  detoured : int;
+  custody_stored : int;
+  custody_released : int;
+  bp_engages : int;
+  bp_releases : int;
+  cache_hits : int;               (** requests answered by on-path caches *)
+  phase_transitions : int;
+  peak_custody_bits : float;     (** max over routers and ticks *)
+  mean_utilisation : float;
+  goodput : float;               (** delivered application bits / sim_time *)
+  trace : Chunksim.Trace.t option;
+}
+
+val run :
+  ?cfg:Config.t -> ?horizon:float -> ?collect_trace:bool ->
+  ?loss_rate:float -> Topology.Graph.t -> flow_spec list -> result
+(** [horizon] (default 60 s) bounds the run; the engine also stops as
+    soon as every flow completes.  [loss_rate] injects seeded random
+    wire loss on every link (failure-injection testing; default none —
+    the protocol's own behaviour never drops unless the store
+    overflows).
+    @raise Invalid_argument on an invalid config, an empty flow list,
+    or an unroutable flow. *)
+
+val pp_result : Format.formatter -> result -> unit

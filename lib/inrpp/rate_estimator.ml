@@ -1,0 +1,70 @@
+type t = {
+  ti : float;
+  alpha : float;
+  capacity : float;
+  mutable interval_bits : float;
+  mutable ra : float;
+  mutable ticks : int;
+}
+
+let create ~ti ~alpha ~capacity =
+  if ti <= 0. then invalid_arg "Rate_estimator.create: ti <= 0";
+  if alpha < 0. || alpha > 1. then
+    invalid_arg "Rate_estimator.create: alpha outside [0,1]";
+  if capacity <= 0. then invalid_arg "Rate_estimator.create: capacity <= 0";
+  { ti; alpha; capacity; interval_bits = 0.; ra = 0.; ticks = 0 }
+
+let note_request t ~expected_bits =
+  t.interval_bits <- t.interval_bits +. expected_bits
+
+let note_transit t ~bits = t.interval_bits <- t.interval_bits +. bits
+
+let tick t =
+  let instant = t.interval_bits /. t.ti in
+  t.ra <- (t.alpha *. instant) +. ((1. -. t.alpha) *. t.ra);
+  t.interval_bits <- 0.;
+  t.ticks <- t.ticks + 1
+
+let anticipated_rate t = t.ra
+
+let ratio t = t.ra /. t.capacity
+
+let intervals t = t.ticks
+
+module Shares = struct
+  type t = {
+    n : int;
+    counts : int array array;   (* counts.(from).(to) *)
+    totals : int array;         (* per from-iface *)
+  }
+
+  let create ~ifaces =
+    if ifaces <= 0 then invalid_arg "Shares.create: ifaces <= 0";
+    {
+      n = ifaces;
+      counts = Array.make_matrix ifaces ifaces 0;
+      totals = Array.make ifaces 0;
+    }
+
+  let check t i name =
+    if i < 0 || i >= t.n then
+      invalid_arg (Printf.sprintf "Shares.%s: iface %d out of range" name i)
+
+  let note t ~from_iface ~to_iface =
+    check t from_iface "note";
+    check t to_iface "note";
+    t.counts.(from_iface).(to_iface) <- t.counts.(from_iface).(to_iface) + 1;
+    t.totals.(from_iface) <- t.totals.(from_iface) + 1
+
+  let y t ~from_iface ~to_iface =
+    check t from_iface "y";
+    check t to_iface "y";
+    if t.totals.(from_iface) = 0 then 0.
+    else
+      float_of_int t.counts.(from_iface).(to_iface)
+      /. float_of_int t.totals.(from_iface)
+
+  let reset t =
+    Array.iter (fun row -> Array.fill row 0 t.n 0) t.counts;
+    Array.fill t.totals 0 t.n 0
+end

@@ -1,0 +1,107 @@
+type t = {
+  cfg : Config.t;
+  eng : Sim.Engine.t;
+  flow : int;
+  sess : Session.t;
+  send_request : Chunksim.Packet.t -> unit;
+  on_complete : fct:float -> unit;
+  mutable started : float option;
+  mutable completed : float option;
+  mutable req_count : int;
+  mutable dup_count : int;
+  mutable last_progress : float;
+  mutable timeout_armed : bool;
+}
+
+let create ~cfg ~eng ~flow ~total_chunks ~send_request ~on_complete =
+  {
+    cfg;
+    eng;
+    flow;
+    sess = Session.create ~total_chunks;
+    send_request;
+    on_complete;
+    started = None;
+    completed = None;
+    req_count = 0;
+    dup_count = 0;
+    last_progress = 0.;
+    timeout_armed = false;
+  }
+
+let request t =
+  let nc = Session.next_needed t.sess in
+  if nc < Session.total t.sess then begin
+    let ac =
+      min
+        (Session.total t.sess - 1)
+        (max nc (Session.highest_received t.sess) + t.cfg.Config.anticipation)
+    in
+    t.req_count <- t.req_count + 1;
+    t.send_request (Chunksim.Packet.request ~flow:t.flow ~nc ~ack:nc ~ac)
+  end
+
+let rec arm_timeout t =
+  if not t.timeout_armed then begin
+    t.timeout_armed <- true;
+    ignore
+      (Sim.Engine.schedule t.eng ~delay:t.cfg.Config.request_timeout (fun () ->
+           t.timeout_armed <- false;
+           if t.completed = None then begin
+             let now = Sim.Engine.now t.eng in
+             if now -. t.last_progress >= t.cfg.Config.request_timeout -. 1e-9
+             then request t;
+             arm_timeout t
+           end))
+  end
+
+let start t =
+  if t.started = None then begin
+    t.started <- Some (Sim.Engine.now t.eng);
+    t.last_progress <- Sim.Engine.now t.eng;
+    request t;
+    (* pace extra requests until data flows, like TCP's initial window *)
+    let gap = 1. /. t.cfg.Config.initial_request_rate in
+    let rec prime n =
+      if n > 0 then
+        ignore
+          (Sim.Engine.schedule t.eng ~delay:gap (fun () ->
+               if Session.received_count t.sess = 0 && t.completed = None
+               then begin
+                 request t;
+                 prime (n - 1)
+               end))
+    in
+    prime 3;
+    arm_timeout t
+  end
+
+let handle_data t (p : Chunksim.Packet.t) =
+  match p.Chunksim.Packet.header with
+  | Chunksim.Packet.Data { flow; idx; _ } when flow = t.flow ->
+    if t.completed = None then begin
+      let now = Sim.Engine.now t.eng in
+      (match Session.receive t.sess idx with
+      | `Duplicate -> t.dup_count <- t.dup_count + 1
+      | `New ->
+        t.last_progress <- now;
+        if Session.is_complete t.sess then begin
+          t.completed <- Some now;
+          let fct =
+            match t.started with
+            | Some s -> now -. s
+            | None -> now
+          in
+          t.on_complete ~fct
+        end
+        else request t)
+    end
+  | Chunksim.Packet.Data _ | Chunksim.Packet.Request _
+  | Chunksim.Packet.Backpressure _ ->
+    ()
+
+let session t = t.sess
+let requests_sent t = t.req_count
+let duplicates t = t.dup_count
+let started_at t = t.started
+let completed_at t = t.completed

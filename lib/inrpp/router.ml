@@ -1,0 +1,490 @@
+module Link = Topology.Link
+module Packet = Chunksim.Packet
+module Net = Chunksim.Net
+module Iface = Chunksim.Iface
+module Cache = Chunksim.Cache
+module Trace = Chunksim.Trace
+
+type counters = {
+  mutable forwarded_data : int;
+  mutable detoured : int;
+  mutable custody_stored : int;
+  mutable custody_released : int;
+  mutable dropped : int;
+  mutable bp_engages : int;
+  mutable bp_releases : int;
+  mutable cache_hits : int;
+}
+
+type flow_entry = {
+  content : int;                  (* cache key shared across transfers *)
+  mutable data_link : Link.t option;
+  mutable req_link : Link.t option;
+  mutable bp_local : bool;        (* this router engaged BP upstream *)
+  mutable bp_forwarded : bool;    (* we relayed a downstream engage *)
+  mutable detour_override : bool; (* downstream BP absorbed by detouring here *)
+}
+
+type t = {
+  cfg : Config.t;
+  net : Net.t;
+  node_id : Topology.Node.id;
+  detours : Detour_table.t;
+  trace : Trace.t option;
+  flows : (int, flow_entry) Hashtbl.t;
+  store : Cache.t;
+  custody_packets : (int * int, Packet.t) Hashtbl.t;
+  estimators : (int, Rate_estimator.t) Hashtbl.t;
+  phases : (int, Phase.t) Hashtbl.t;
+  flowlets : Flowlet.t;
+  c : counters;
+  mutable local_producer : (Packet.t -> unit) option;
+  mutable local_consumer : (Packet.t -> unit) option;
+}
+
+let create ~cfg ~net ~node ~detours ?trace () =
+  {
+    cfg;
+    net;
+    node_id = node;
+    detours;
+    trace;
+    flows = Hashtbl.create 16;
+    store =
+      Cache.create ~high_water:cfg.Config.cache_high_water
+        ~low_water:cfg.Config.cache_low_water
+        ~capacity:cfg.Config.cache_bits ();
+    custody_packets = Hashtbl.create 64;
+    estimators = Hashtbl.create 8;
+    phases = Hashtbl.create 8;
+    flowlets = Flowlet.create ~gap:cfg.Config.flowlet_gap;
+    c =
+      {
+        forwarded_data = 0;
+        detoured = 0;
+        custody_stored = 0;
+        custody_released = 0;
+        dropped = 0;
+        bp_engages = 0;
+        bp_releases = 0;
+        cache_hits = 0;
+      };
+    local_producer = None;
+    local_consumer = None;
+  }
+
+let now t = Sim.Engine.now (Net.engine t.net)
+
+let record t e =
+  match t.trace with
+  | Some tr -> Trace.record tr ~time:(now t) e
+  | None -> ()
+
+let estimator t (l : Link.t) =
+  match Hashtbl.find_opt t.estimators l.Link.id with
+  | Some e -> e
+  | None ->
+    let e =
+      Rate_estimator.create ~ti:t.cfg.Config.ti
+        ~alpha:t.cfg.Config.estimator_alpha
+        ~capacity:(l.Link.capacity *. t.cfg.Config.speed_factor)
+    in
+    Hashtbl.add t.estimators l.Link.id e;
+    e
+
+let phase t (l : Link.t) =
+  match Hashtbl.find_opt t.phases l.Link.id with
+  | Some p -> p
+  | None ->
+    let p =
+      Phase.create ~engage:t.cfg.Config.engage_ratio
+        ~release:t.cfg.Config.release_ratio
+    in
+    Hashtbl.add t.phases l.Link.id p;
+    p
+
+let install_flow t ?content ~flow ~data_link ~req_link () =
+  Hashtbl.replace t.flows flow
+    {
+      content = Option.value ~default:flow content;
+      data_link;
+      req_link;
+      bp_local = false;
+      bp_forwarded = false;
+      detour_override = false;
+    }
+
+let set_local_producer t f = t.local_producer <- Some f
+let set_local_consumer t f = t.local_consumer <- Some f
+
+let queue_has_room t (l : Link.t) =
+  let i = Net.iface t.net l.Link.id in
+  Iface.queue_occupancy i
+  < t.cfg.Config.detour_queue_threshold *. Iface.queue_capacity i
+
+(* detour candidates around [l] with queue room on every hop, within
+   the configured depth.  Remote queue state stands in for the paper's
+   periodic utilisation exchange between one-hop neighbours. *)
+let usable_detours t (l : Link.t) =
+  List.filter
+    (fun (cand : Detour_table.candidate) ->
+      cand.Detour_table.hops - 1 <= t.cfg.Config.max_detour
+      && List.for_all (queue_has_room t) cand.Detour_table.links)
+    (Detour_table.candidates t.detours l)
+
+(* ------------------------------------------------------------------ *)
+(* Back-pressure signalling *)
+
+let signal_upstream t entry ~flow ~engage =
+  let pkt = Packet.backpressure ~flow ~engage in
+  if engage then t.c.bp_engages <- t.c.bp_engages + 1
+  else t.c.bp_releases <- t.c.bp_releases + 1;
+  record t (Trace.Bp_signal { node = t.node_id; flow; engage });
+  match entry.req_link with
+  | Some l -> ignore (Net.send t.net ~via:l pkt)
+  | None -> begin
+    (* we are at the producer node: tell the local sender directly *)
+    match t.local_producer with
+    | Some producer -> producer pkt
+    | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Custody *)
+
+let custody t entry flow (p : Packet.t) =
+  match p.Packet.header with
+  | Packet.Data { idx; _ } -> begin
+    let engage () =
+      if not entry.bp_local then begin
+        entry.bp_local <- true;
+        signal_upstream t entry ~flow ~engage:true
+      end
+    in
+    match
+      Cache.put_custody t.store ~flow ~idx ~bits:p.Packet.size
+    with
+    | `Stored ->
+      Hashtbl.replace t.custody_packets (flow, idx) p;
+      t.c.custody_stored <- t.c.custody_stored + 1;
+      record t (Trace.Cached { node = t.node_id; flow; idx });
+      (* back-pressure engages at the high watermark, not on the first
+         stored chunk — small excursions are what the store is for *)
+      if Cache.above_high t.store then engage ()
+    | `Full ->
+      (* the store itself overflowed: the congestion-collapse guard the
+         paper's back-pressure exists to prevent *)
+      engage ();
+      t.c.dropped <- t.c.dropped + 1;
+      record t
+        (Trace.Dropped
+           {
+             node = t.node_id;
+             link = -1;
+             packet = Format.asprintf "%a" Packet.pp p;
+           })
+  end
+  | Packet.Request _ | Packet.Backpressure _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Data forwarding *)
+
+let send_primary ~on_overflow t (l : Link.t) (p : Packet.t) =
+  match Net.send t.net ~via:l p with
+  | `Queued -> t.c.forwarded_data <- t.c.forwarded_data + 1
+  | `Dropped -> on_overflow p
+
+let send_detour t flow (cand : Detour_table.candidate) (p : Packet.t) =
+  let idx =
+    match p.Packet.header with
+    | Packet.Data { idx; _ } -> idx
+    | Packet.Request _ | Packet.Backpressure _ -> -1
+  in
+  let p' =
+    match p.Packet.header with
+    | Packet.Data d ->
+      {
+        p with
+        Packet.header =
+          Packet.Data
+            { d with via_detour = true; detour_route = cand.Detour_table.rest };
+      }
+    | Packet.Request _ | Packet.Backpressure _ -> p
+  in
+  Rate_estimator.note_transit
+    (estimator t cand.Detour_table.first_link)
+    ~bits:p.Packet.size;
+  match Net.send t.net ~via:cand.Detour_table.first_link p' with
+  | `Queued ->
+    t.c.detoured <- t.c.detoured + 1;
+    record t
+      (Trace.Detoured
+         {
+           node = t.node_id;
+           flow;
+           idx;
+           via = cand.Detour_table.first_link.Link.dst;
+         })
+  | `Dropped -> t.c.dropped <- t.c.dropped + 1
+
+(* Deflect [p] onto the best usable detour around [l]; prefers the
+   flow's previously pinned detour (flowlet stability), falls back to
+   custody when no detour has queue room. *)
+let try_detour t entry flow (l : Link.t) (p : Packet.t) =
+  match usable_detours t l with
+  | [] -> custody t entry flow p
+  | (first :: _ as usable) ->
+    let preferred = Flowlet.Via first.Detour_table.first_link.Link.dst in
+    let pinned = Flowlet.choose t.flowlets ~flow ~now:(now t) ~preferred in
+    let chosen =
+      match pinned with
+      | Flowlet.Via via -> begin
+        match
+          List.find_opt
+            (fun (c : Detour_table.candidate) ->
+              c.Detour_table.first_link.Link.dst = via)
+            usable
+        with
+        | Some cand -> cand
+        | None -> first (* pinned detour filled up; re-route *)
+      end
+      | Flowlet.Primary -> first
+    in
+    send_detour t flow chosen p
+
+let maybe_cache_popular t entry (p : Packet.t) =
+  if t.cfg.Config.icn_caching then begin
+    match p.Packet.header with
+    | Packet.Data { idx; _ } ->
+      Cache.insert_popular t.store ~flow:entry.content ~idx
+        ~bits:p.Packet.size
+    | Packet.Request _ | Packet.Backpressure _ -> ()
+  end
+
+let forward_primary_path t entry flow (p : Packet.t) =
+  maybe_cache_popular t entry p;
+  match entry.data_link with
+  | None -> begin
+    match t.local_consumer with
+    | Some consumer -> consumer p
+    | None -> t.c.dropped <- t.c.dropped + 1
+  end
+  | Some l -> begin
+    let ph = Phase.current (phase t l) in
+    let effective =
+      if entry.detour_override && ph = Phase.Push_data then Phase.Detour
+      else ph
+    in
+    match effective with
+    | Phase.Push_data ->
+      (* line-rate forwarding; an overflowing queue falls through to
+         detours, then custody — congestion is handled locally even
+         before the estimator notices it *)
+      send_primary t l p ~on_overflow:(fun p -> try_detour t entry flow l p)
+    | Phase.Detour ->
+      if queue_has_room t l then begin
+        Flowlet.(ignore (choose t.flowlets ~flow ~now:(now t) ~preferred:Primary));
+        send_primary t l p ~on_overflow:(fun p -> try_detour t entry flow l p)
+      end
+      else try_detour t entry flow l p
+    | Phase.Backpressure -> custody t entry flow p
+  end
+
+let handle_data t (p : Packet.t) =
+  match p.Packet.header with
+  | Packet.Data ({ flow; detour_route; _ } as d) -> begin
+    match detour_route with
+    | next :: rest -> begin
+      (* mid-detour: source-routed towards the rejoin node *)
+      match Topology.Graph.find_link (Net.graph t.net) t.node_id next with
+      | None -> t.c.dropped <- t.c.dropped + 1
+      | Some l ->
+        let p' =
+          { p with Packet.header = Packet.Data { d with detour_route = rest } }
+        in
+        Rate_estimator.note_transit (estimator t l) ~bits:p.Packet.size;
+        (match Net.send t.net ~via:l p' with
+        | `Queued -> t.c.forwarded_data <- t.c.forwarded_data + 1
+        | `Dropped -> t.c.dropped <- t.c.dropped + 1)
+    end
+    | [] -> begin
+      match Hashtbl.find_opt t.flows flow with
+      | None -> t.c.dropped <- t.c.dropped + 1
+      | Some entry -> forward_primary_path t entry flow p
+    end
+  end
+  | Packet.Request _ | Packet.Backpressure _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Requests and back-pressure packets *)
+
+let handle_request t (p : Packet.t) =
+  match p.Packet.header with
+  | Packet.Request { flow; nc; _ } -> begin
+    match Hashtbl.find_opt t.flows flow with
+    | None -> t.c.dropped <- t.c.dropped + 1
+    | Some entry ->
+      (* ICN short-circuit: a popularity-cached copy answers the request
+         locally and the request is not forwarded upstream *)
+      if
+        t.cfg.Config.icn_caching
+        && Cache.lookup_popular t.store ~flow:entry.content ~idx:nc
+      then begin
+        t.c.cache_hits <- t.c.cache_hits + 1;
+        record t (Trace.Cache_hit { node = t.node_id; flow; idx = nc });
+        let data =
+          Packet.data ~flow ~idx:nc ~born:(now t) t.cfg.Config.chunk_bits
+        in
+        forward_primary_path t entry flow data
+      end
+      else begin
+        (* every forwarded request predicts one chunk leaving through
+           the data interface (eq. 1 bookkeeping) *)
+        (match entry.data_link with
+        | Some dl ->
+          Rate_estimator.note_request (estimator t dl)
+            ~expected_bits:t.cfg.Config.chunk_bits
+        | None -> ());
+        match entry.req_link with
+        | Some l -> ignore (Net.send t.net ~via:l p)
+        | None -> begin
+          match t.local_producer with
+          | Some producer -> producer p
+          | None -> t.c.dropped <- t.c.dropped + 1
+        end
+      end
+  end
+  | Packet.Data _ | Packet.Backpressure _ -> ()
+
+let handle_backpressure t (p : Packet.t) =
+  match p.Packet.header with
+  | Packet.Backpressure { flow; engage } -> begin
+    match Hashtbl.find_opt t.flows flow with
+    | None -> ()
+    | Some entry ->
+      if engage then begin
+        (* paper §3.3: the upstream node first tries to bypass the
+           congested area with a deeper detour, else relays the
+           notification towards the sender *)
+        let can_absorb =
+          match entry.data_link with
+          | Some l -> usable_detours t l <> []
+          | None -> false
+        in
+        if can_absorb then entry.detour_override <- true
+        else begin
+          entry.bp_forwarded <- true;
+          signal_upstream t entry ~flow ~engage:true
+        end
+      end
+      else begin
+        entry.detour_override <- false;
+        if entry.bp_forwarded then begin
+          entry.bp_forwarded <- false;
+          signal_upstream t entry ~flow ~engage:false
+        end
+      end
+  end
+  | Packet.Data _ | Packet.Request _ -> ()
+
+let handler t : Net.handler =
+ fun ~from:_ p ->
+  match p.Packet.header with
+  | Packet.Data _ -> handle_data t p
+  | Packet.Request _ -> handle_request t p
+  | Packet.Backpressure _ -> handle_backpressure t p
+
+let originate_data t p = handle_data t p
+
+(* ------------------------------------------------------------------ *)
+(* Periodic work *)
+
+let tick t =
+  Hashtbl.iter
+    (fun link_id est ->
+      Rate_estimator.tick est;
+      let l = Topology.Graph.link (Net.graph t.net) link_id in
+      let ph = phase t l in
+      let before = Phase.current ph in
+      let after =
+        Phase.update ph ~ratio:(Rate_estimator.ratio est)
+          ~detour_usable:(usable_detours t l <> [])
+          ~custody_pressure:(Cache.above_high t.store)
+          ~custody_drained:(Cache.below_low t.store)
+      in
+      if before <> after then
+        record t
+          (Trace.Phase_change
+             { node = t.node_id; link = link_id; phase = Phase.to_string after }))
+    t.estimators
+
+let drain t =
+  (* release custody one chunk per flow per round so competing flows
+     share the recovered bandwidth round-robin (the paper's scheduler
+     multiplexes flows in round-robin fashion) *)
+  let release_one flow =
+    match Hashtbl.find_opt t.flows flow with
+    | None -> false
+    | Some entry -> begin
+      match entry.data_link with
+      | None -> false
+      | Some l ->
+        let out =
+          if queue_has_room t l then Some `Primary
+          else begin
+            match usable_detours t l with
+            | cand :: _ -> Some (`Detour cand)
+            | [] -> None
+          end
+        in
+        match out with
+        | None -> false
+        | Some out -> begin
+          match Cache.take_custody t.store ~flow with
+          | None -> false
+          | Some (idx, _bits) -> begin
+            t.c.custody_released <- t.c.custody_released + 1;
+            record t (Trace.Custody_released { node = t.node_id; flow; idx });
+            (match Hashtbl.find_opt t.custody_packets (flow, idx) with
+            | None -> ()
+            | Some p ->
+              Hashtbl.remove t.custody_packets (flow, idx);
+              (match out with
+              | `Primary -> begin
+                match Net.send t.net ~via:l p with
+                | `Queued -> t.c.forwarded_data <- t.c.forwarded_data + 1
+                | `Dropped ->
+                  (* raced with new arrivals; back into custody *)
+                  custody t entry flow p
+              end
+              | `Detour cand -> send_detour t flow cand p));
+            true
+          end
+        end
+    end
+  in
+  let flows = Cache.flows_in_custody t.store in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter (fun flow -> if release_one flow then progress := true) flows
+  done;
+  (* release upstream pressure once the store has drained enough *)
+  if Cache.below_low t.store then
+    Hashtbl.iter
+      (fun flow entry ->
+        if entry.bp_local && Cache.custody_backlog t.store ~flow = 0 then begin
+          entry.bp_local <- false;
+          signal_upstream t entry ~flow ~engage:false
+        end)
+      t.flows
+
+let phase_of_link t link_id =
+  Option.map Phase.current (Hashtbl.find_opt t.phases link_id)
+
+let cache t = t.store
+let counters t = t.c
+let node t = t.node_id
+
+let phase_transitions t =
+  Hashtbl.fold (fun _ p acc -> acc + Phase.transitions p) t.phases 0

@@ -1,0 +1,69 @@
+(** INRPP router (paper §3.3).
+
+    Per outgoing interface the router runs an anticipated-rate
+    estimator and a phase machine; data is forwarded at line rate in
+    push-data, deflected onto detour paths (flowlet granularity,
+    source-routed to the rejoin node) in detour, and taken into
+    custody with an explicit upstream notification in back-pressure.
+    Custody drains back onto the primary interface as soon as it has
+    room, and the notification is released once the store falls below
+    its low watermark.
+
+    A router also relays the two endpoint roles: requests reaching the
+    producer node go to the local {!Sender}, data reaching the
+    consumer node goes to the local {!Receiver}. *)
+
+type t
+
+type counters = {
+  mutable forwarded_data : int;
+  mutable detoured : int;
+  mutable custody_stored : int;
+  mutable custody_released : int;
+  mutable dropped : int;
+  mutable bp_engages : int;
+  mutable bp_releases : int;
+  mutable cache_hits : int;
+}
+
+val create :
+  cfg:Config.t -> net:Chunksim.Net.t -> node:Topology.Node.id ->
+  detours:Detour_table.t -> ?trace:Chunksim.Trace.t -> unit -> t
+
+val install_flow :
+  t -> ?content:int -> flow:int -> data_link:Topology.Link.t option ->
+  req_link:Topology.Link.t option -> unit -> unit
+(** [data_link]: next hop towards the consumer ([None] at the
+    consumer).  [req_link]: next hop towards the producer ([None] at
+    the producer).  [content] (default the flow id) keys the
+    popularity cache, so repeated transfers of the same object hit
+    on-path copies when [icn_caching] is enabled. *)
+
+val set_local_producer : t -> (Chunksim.Packet.t -> unit) -> unit
+val set_local_consumer : t -> (Chunksim.Packet.t -> unit) -> unit
+
+val handler : t -> Chunksim.Net.handler
+(** Install into the {!Chunksim.Net} node slot. *)
+
+val originate_data : t -> Chunksim.Packet.t -> unit
+(** Entry point for the local sender: forwards through this router's
+    own phase/detour/custody logic. *)
+
+val tick : t -> unit
+(** Close an estimator interval and update every interface phase.
+    Schedule every [cfg.ti]. *)
+
+val drain : t -> unit
+(** Move custody chunks onto primary interfaces with queue room and
+    release back-pressure when the store empties below the low
+    watermark.  Schedule a few times per [cfg.ti]. *)
+
+val phase_of_link : t -> int -> Phase.phase option
+(** Current phase of the interface for the given link id; [None] when
+    the link does not leave this node or carried no data yet. *)
+
+val cache : t -> Chunksim.Cache.t
+val counters : t -> counters
+val node : t -> Topology.Node.id
+val phase_transitions : t -> int
+(** Summed across interfaces. *)

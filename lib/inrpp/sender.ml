@@ -1,0 +1,127 @@
+type t = {
+  cfg : Config.t;
+  eng : Sim.Engine.t;
+  flow : int;
+  total_chunks : int;
+  pace_rate : float;
+  transmit : Chunksim.Packet.t -> unit;
+  pending : (int * bool) Queue.t;    (* (chunk, anticipated) awaiting pacing *)
+  mutable highest_enqueued : int;    (* -1 before the first invitation *)
+  mutable highest_sent : int;
+  mutable busy : bool;               (* pacing timer armed *)
+  mutable last_nc : int;
+  mutable nc_repeats : int;
+  mutable bp : bool;
+  mutable tx_count : int;
+  retx_at : (int, float) Hashtbl.t;
+}
+
+let create ~cfg ~eng ~flow ~total_chunks ~pace_rate ~transmit =
+  if total_chunks <= 0 then invalid_arg "Sender.create: total_chunks <= 0";
+  if pace_rate <= 0. then invalid_arg "Sender.create: pace_rate <= 0";
+  {
+    cfg;
+    eng;
+    flow;
+    total_chunks;
+    pace_rate;
+    transmit;
+    pending = Queue.create ();
+    highest_enqueued = -1;
+    highest_sent = -1;
+    busy = false;
+    last_nc = -1;
+    nc_repeats = 0;
+    bp = false;
+    tx_count = 0;
+    retx_at = Hashtbl.create 8;
+  }
+
+let now t = Sim.Engine.now t.eng
+
+let send_chunk t ~anticipated idx =
+  let p =
+    Chunksim.Packet.data ~anticipated ~flow:t.flow ~idx ~born:(now t)
+      t.cfg.Config.chunk_bits
+  in
+  t.tx_count <- t.tx_count + 1;
+  if idx > t.highest_sent then t.highest_sent <- idx;
+  t.transmit p
+
+(* drain the backlog one transmission time apart *)
+let rec service t =
+  if not t.busy then begin
+    match Queue.take_opt t.pending with
+    | None -> ()
+    | Some (idx, anticipated) ->
+      t.busy <- true;
+      send_chunk t ~anticipated idx;
+      let gap = t.cfg.Config.chunk_bits /. t.pace_rate in
+      ignore
+        (Sim.Engine.schedule t.eng ~delay:gap (fun () ->
+             t.busy <- false;
+             service t))
+  end
+
+let retransmit_ok t idx =
+  let current = now t in
+  match Hashtbl.find_opt t.retx_at idx with
+  | Some last when current -. last < t.cfg.Config.request_timeout /. 2. ->
+    false
+  | _ ->
+    Hashtbl.replace t.retx_at idx current;
+    true
+
+let handle_request t ~nc ~ac =
+  if nc < t.total_chunks then begin
+    (* several requests in a row repeating the same Nc mean the
+       receiver is stuck on a hole: retransmit that chunk.  One or two
+       repeats are normal while detoured chunks arrive out of order. *)
+    if nc = t.last_nc then t.nc_repeats <- t.nc_repeats + 1
+    else begin
+      t.last_nc <- nc;
+      t.nc_repeats <- 0
+    end;
+    let stalled = t.nc_repeats >= 2 in
+    if stalled && nc <= t.highest_sent && retransmit_ok t nc then
+      send_chunk t ~anticipated:false nc;
+    if t.bp then begin
+      (* closed loop: one new chunk per request *)
+      if nc > t.highest_enqueued then begin
+        t.highest_enqueued <- nc;
+        send_chunk t ~anticipated:false nc
+      end
+    end
+    else begin
+      (* open loop: invite everything up to Ac into the paced backlog *)
+      let start = t.highest_enqueued + 1 in
+      let stop = min ac (t.total_chunks - 1) in
+      for idx = start to stop do
+        Queue.add (idx, idx > nc) t.pending
+      done;
+      if stop > t.highest_enqueued then t.highest_enqueued <- stop;
+      service t
+    end
+  end
+
+let enter_backpressure t =
+  (* freeze the open-loop backlog; un-invite what was never sent so the
+     closed loop re-issues it 1-for-1 *)
+  t.bp <- true;
+  Queue.clear t.pending;
+  t.highest_enqueued <- t.highest_sent
+
+let handle t (p : Chunksim.Packet.t) =
+  match p.Chunksim.Packet.header with
+  | Chunksim.Packet.Request { flow; nc; ac; _ } when flow = t.flow ->
+    handle_request t ~nc ~ac
+  | Chunksim.Packet.Backpressure { flow; engage } when flow = t.flow ->
+    if engage then enter_backpressure t else t.bp <- false
+  | Chunksim.Packet.Request _ | Chunksim.Packet.Backpressure _
+  | Chunksim.Packet.Data _ ->
+    ()
+
+let pushed t = t.highest_sent + 1
+let backlog t = Queue.length t.pending
+let sent_packets t = t.tx_count
+let in_backpressure t = t.bp

@@ -1,0 +1,70 @@
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable clock : float;
+  mutable handled : int;
+}
+
+let create () = { queue = Event_queue.create (); clock = 0.; handled = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if Float.is_nan time then invalid_arg "Engine.schedule_at: NaN time";
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g < now %g" time t.clock);
+  Event_queue.push t.queue ~time f
+
+let schedule t ~delay f =
+  if Float.is_nan delay || delay < 0. then
+    invalid_arg "Engine.schedule: negative or NaN delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let cancel = Event_queue.cancel
+
+let schedule_periodic t ~interval f =
+  if interval <= 0. then
+    invalid_arg "Engine.schedule_periodic: interval <= 0";
+  let rec tick () =
+    if f () then ignore (schedule t ~delay:interval tick)
+  in
+  ignore (schedule t ~delay:interval tick)
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    t.handled <- t.handled + 1;
+    f ();
+    true
+
+let run ?until ?(max_events = 100_000_000) t =
+  let budget = ref max_events in
+  let continue = ref true in
+  while !continue do
+    if !budget <= 0 then continue := false
+    else begin
+      match Event_queue.peek_time t.queue with
+      | None -> continue := false
+      | Some next -> begin
+        match until with
+        | Some horizon when next > horizon ->
+          t.clock <- Float.max t.clock horizon;
+          continue := false
+        | _ ->
+          ignore (step t);
+          decr budget
+      end
+    end
+  done;
+  match until with
+  | Some horizon when Event_queue.peek_time t.queue = None ->
+    (* queue drained before the horizon: advance to it, matching the
+       contract that [run ~until] leaves the clock at the horizon *)
+    t.clock <- Float.max t.clock horizon
+  | _ -> ()
+
+let pending t = Event_queue.size t.queue
+
+let events_handled t = t.handled

@@ -1,0 +1,43 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and an event queue of closures.
+    Handlers run strictly in time order (FIFO among simultaneous
+    events) and may schedule further events.  Time never goes
+    backwards: scheduling into the past raises. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time, seconds.  Starts at [0.]. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> Event_queue.handle
+(** [schedule t ~delay f] runs [f] at [now t +. delay].
+    @raise Invalid_argument if [delay < 0.] or NaN. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> Event_queue.handle
+(** Absolute-time variant.  @raise Invalid_argument if
+    [time < now t]. *)
+
+val cancel : Event_queue.handle -> unit
+
+val schedule_periodic : t -> interval:float -> (unit -> bool) -> unit
+(** [schedule_periodic t ~interval f] runs [f] every [interval]
+    seconds starting at [now + interval], until [f] returns [false].
+    @raise Invalid_argument if [interval <= 0.]. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Drain the queue.  Stops when empty, when the next event is later
+    than [until], or after [max_events] handled events (a runaway
+    guard; default 100 million).  When stopped by [until], the clock
+    is advanced to [until]. *)
+
+val step : t -> bool
+(** Process exactly one event; [false] when the queue is empty. *)
+
+val pending : t -> int
+(** Live scheduled events. *)
+
+val events_handled : t -> int
+(** Total events processed since creation. *)

@@ -1,0 +1,126 @@
+type handle = { mutable cancelled : bool }
+
+type 'a entry = {
+  time : float;
+  seq : int;
+  payload : 'a;
+  h : handle;
+}
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size_total : int;    (* entries in heap incl. cancelled *)
+  mutable live : int;          (* non-cancelled entries *)
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size_total = 0; live = 0; next_seq = 0 }
+
+let entry_before a b =
+  a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let ensure_capacity t =
+  let cap = Array.length t.data in
+  if t.size_total = cap then begin
+    let dummy =
+      if cap = 0 then None else Some t.data.(0)
+    in
+    match dummy with
+    | None -> ()
+    | Some d ->
+      let bigger = Array.make (2 * cap) d in
+      Array.blit t.data 0 bigger 0 cap;
+      t.data <- bigger
+  end
+
+let push t ~time payload =
+  if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
+  let h = { cancelled = false } in
+  let e = { time; seq = t.next_seq; payload; h } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.data = 0 then t.data <- Array.make 16 e;
+  ensure_capacity t;
+  t.data.(t.size_total) <- e;
+  let i = ref t.size_total in
+  t.size_total <- t.size_total + 1;
+  t.live <- t.live + 1;
+  while !i > 0 && entry_before t.data.(!i) t.data.((!i - 1) / 2) do
+    swap t !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done;
+  h
+
+let cancel h =
+  (* live count is fixed up lazily at pop; a cancelled-twice handle must
+     not decrement twice, hence the flag check lives with the queue: we
+     cannot reach the queue from the handle, so live is adjusted when the
+     entry is skipped.  To keep [size] accurate we instead record the
+     cancellation only here and subtract cancelled-but-unpopped entries
+     when reporting. *)
+  h.cancelled <- true
+
+let is_cancelled h = h.cancelled
+
+let sift_down t =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size_total && entry_before t.data.(l) t.data.(!smallest) then
+      smallest := l;
+    if r < t.size_total && entry_before t.data.(r) t.data.(!smallest) then
+      smallest := r;
+    if !smallest <> !i then begin
+      swap t !i !smallest;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let remove_top t =
+  t.size_total <- t.size_total - 1;
+  if t.size_total > 0 then begin
+    t.data.(0) <- t.data.(t.size_total);
+    sift_down t
+  end
+
+let rec pop t =
+  if t.size_total = 0 then None
+  else begin
+    let top = t.data.(0) in
+    remove_top t;
+    if top.h.cancelled then pop t
+    else begin
+      t.live <- t.live - 1;
+      Some (top.time, top.payload)
+    end
+  end
+
+let rec peek_time t =
+  if t.size_total = 0 then None
+  else begin
+    let top = t.data.(0) in
+    if top.h.cancelled then begin
+      remove_top t;
+      peek_time t
+    end
+    else Some top.time
+  end
+
+let size t =
+  (* count live entries: cancelled ones not yet popped are excluded by
+     scanning — kept O(n) but only used by tests and assertions. *)
+  let n = ref 0 in
+  for i = 0 to t.size_total - 1 do
+    if not t.data.(i).h.cancelled then incr n
+  done;
+  t.live <- !n;
+  !n
+
+let is_empty t = size t = 0

@@ -1,0 +1,32 @@
+(** Priority queue of timestamped events (binary min-heap).
+
+    Ties on time break by insertion sequence number, so simultaneous
+    events run FIFO — important for reproducibility of the
+    discrete-event simulators.  Cancellation is O(1) lazy: cancelled
+    handles are skipped at pop time. *)
+
+type 'a t
+
+type handle
+(** Token for cancelling a scheduled event. *)
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:float -> 'a -> handle
+(** @raise Invalid_argument if [time] is NaN. *)
+
+val cancel : handle -> unit
+(** Idempotent. *)
+
+val is_cancelled : handle -> bool
+
+val pop : 'a t -> (float * 'a) option
+(** Earliest live event, removed.  [None] when empty. *)
+
+val peek_time : 'a t -> float option
+(** Time of the earliest live event without removing it. *)
+
+val size : 'a t -> int
+(** Live (non-cancelled) entries. *)
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,104 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9e3779b97f4a7c15L
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let create seed = { state = mix64 seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = create (next_int64 t)
+
+let copy t = { state = t.state }
+
+(* 53-bit mantissa in [0,1) *)
+let unit_float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float t bound =
+  if bound <= 0. then invalid_arg "Rng.float: bound <= 0";
+  unit_float t *. bound
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* rejection-free modulo is fine: bounds here are tiny vs 2^64 *)
+  Int64.to_int (Int64.unsigned_rem (next_int64 t) (Int64.of_int bound))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let uniform t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.uniform: hi < lo";
+  lo +. (unit_float t *. (hi -. lo))
+
+let exponential t ~mean =
+  if mean <= 0. then invalid_arg "Rng.exponential: mean <= 0";
+  let u = 1. -. unit_float t in
+  -.mean *. log u
+
+let pareto t ~shape ~scale =
+  if shape <= 0. then invalid_arg "Rng.pareto: shape <= 0";
+  if scale <= 0. then invalid_arg "Rng.pareto: scale <= 0";
+  let u = 1. -. unit_float t in
+  scale /. (u ** (1. /. shape))
+
+let zipf_sampler ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf_sampler: n <= 0";
+  if s < 0. then invalid_arg "Rng.zipf_sampler: s < 0";
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for k = 1 to n do
+    acc := !acc +. (1. /. (float_of_int k ** s));
+    cdf.(k - 1) <- !acc
+  done;
+  let total = !acc in
+  fun t ->
+    let u = unit_float t *. total in
+    (* binary search for first cdf >= u *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo + 1
+
+let zipf t ~n ~s = zipf_sampler ~n ~s t
+
+let poisson t ~mean =
+  if mean < 0. then invalid_arg "Rng.poisson: mean < 0";
+  if mean = 0. then 0
+  else if mean < 30. then begin
+    (* Knuth: multiply uniforms until below exp(-mean) *)
+    let limit = exp (-.mean) in
+    let rec go k p =
+      let p = p *. unit_float t in
+      if p <= limit then k else go (k + 1) p
+    in
+    go 0 1.
+  end
+  else begin
+    (* normal approximation with continuity correction *)
+    let u1 = 1. -. unit_float t and u2 = unit_float t in
+    let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+    let v = mean +. (sqrt mean *. z) +. 0.5 in
+    if v < 0. then 0 else int_of_float v
+  end
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choose t = function
+  | [] -> None
+  | l -> List.nth_opt l (int t (List.length l))

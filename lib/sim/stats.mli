@@ -1,0 +1,82 @@
+(** Statistics collectors: running moments, percentiles, CDFs.
+
+    Used by every experiment to summarise throughput, stretch and
+    completion-time samples, and by the benches to print the paper's
+    figure series. *)
+
+(** {1 Running moments (Welford)} *)
+
+module Running : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** [0.] when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; [0.] for fewer than two samples. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** [infinity] when empty. *)
+
+  val max : t -> float
+  (** [neg_infinity] when empty. *)
+
+  val sum : t -> float
+  val merge : t -> t -> t
+  (** Combine two collectors (parallel Welford merge). *)
+end
+
+(** {1 Sample sets (exact percentiles)} *)
+
+module Samples : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val to_sorted_array : t -> float array
+  val mean : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile s p] with [p] in [[0, 100]], linear interpolation.
+      @raise Invalid_argument on empty set or p outside range. *)
+
+  val median : t -> float
+
+  val cdf : ?points:int -> t -> (float * float) list
+  (** [(value, P(X <= value))] pairs suitable for plotting; [points]
+      (default 50) evenly spaced in rank. Empty list when no samples. *)
+
+  val cdf_at : t -> float -> float
+  (** Empirical [P(X <= x)]; [0.] on empty set. *)
+
+  val mean_ci95 : t -> float * float
+  (** [(mean, half_width)] of the 95% confidence interval under the
+      normal approximation ([1.96 * s / sqrt n]); half-width is [0.]
+      for fewer than two samples.
+      @raise Invalid_argument on an empty set. *)
+end
+
+(** {1 Fixed-bin histogram} *)
+
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> bins:int -> t
+  (** @raise Invalid_argument if [hi <= lo] or [bins <= 0]. *)
+
+  val add : t -> float -> unit
+  (** Out-of-range samples clamp into the first/last bin. *)
+
+  val counts : t -> int array
+  val total : t -> int
+  val bin_edges : t -> float array
+  (** [bins + 1] edges. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** ASCII bar rendering, one line per bin. *)
+end

@@ -1,0 +1,34 @@
+(** Time-weighted series recorder.
+
+    Records a piecewise-constant signal (link utilisation, cache
+    occupancy, allocated rate...) and integrates it over time, so
+    "mean utilisation over the run" is exact rather than sampled.
+    Values may be recorded out of order only at the same timestamp;
+    time must otherwise be non-decreasing. *)
+
+type t
+
+val create : ?initial:float -> start:float -> unit -> t
+(** Signal value is [initial] (default [0.]) from [start] onwards. *)
+
+val record : t -> time:float -> float -> unit
+(** The signal takes the new value from [time] onwards.
+    @raise Invalid_argument if [time] precedes the last record. *)
+
+val value : t -> float
+(** Current (latest) value. *)
+
+val time_average : t -> until:float -> float
+(** Time-weighted mean of the signal over [[start, until]].
+    @raise Invalid_argument if [until] precedes the last record time.
+    [0.] over an empty interval. *)
+
+val integral : t -> until:float -> float
+(** ∫ signal dt over [[start, until]]. *)
+
+val peak : t -> float
+(** Maximum value ever recorded (including the initial value). *)
+
+val changes : t -> (float * float) list
+(** [(time, value)] change points, oldest first, including the initial
+    point. *)

@@ -1,0 +1,49 @@
+(** Physical units used across the simulators.
+
+    Everything is carried as [float] in base SI units — seconds, bits,
+    bits per second — with named constructors so call sites read like
+    the paper ("a 10 GB cache after a 40 Gbps link"). *)
+
+(** {1 Data sizes (bits)} *)
+
+val bits : float -> float
+val bytes : float -> float
+val kilobytes : float -> float
+val megabytes : float -> float
+val gigabytes : float -> float
+val kibibytes : float -> float
+val mebibytes : float -> float
+val gibibytes : float -> float
+
+(** {1 Rates (bits per second)} *)
+
+val bps : float -> float
+val kbps : float -> float
+val mbps : float -> float
+val gbps : float -> float
+
+(** {1 Times (seconds)} *)
+
+val seconds : float -> float
+val milliseconds : float -> float
+val microseconds : float -> float
+
+(** {1 Derived} *)
+
+val transmission_time : bits:float -> rate:float -> float
+(** [bits / rate]. @raise Invalid_argument if [rate <= 0.]. *)
+
+val holding_time : cache_bits:float -> rate:float -> float
+(** Time a cache of [cache_bits] can absorb a full-rate inflow — the
+    §3.3 custody feasibility number. *)
+
+(** {1 Pretty-printing} *)
+
+val pp_rate : Format.formatter -> float -> unit
+(** e.g. ["2.5 Gbps"]. *)
+
+val pp_size : Format.formatter -> float -> unit
+(** e.g. ["10.0 GB"] (decimal bytes). *)
+
+val pp_time : Format.formatter -> float -> unit
+(** e.g. ["1.25 ms"]. *)

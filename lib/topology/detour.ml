@@ -1,0 +1,102 @@
+type availability =
+  | Detour of int
+  | Unavailable
+
+type profile = {
+  one_hop : float;
+  two_hop : float;
+  three_plus : float;
+  unavailable : float;
+  total_links : int;
+}
+
+let excludes g (l : Link.t) =
+  let rev_id =
+    match Graph.reverse g l with
+    | None -> -1
+    | Some r -> r.Link.id
+  in
+  fun (l' : Link.t) -> l'.Link.id = l.Link.id || l'.Link.id = rev_id
+
+let best_detour g (l : Link.t) =
+  let tree =
+    Dijkstra.run ~metric:Dijkstra.Hops ~forbidden_links:(excludes g l) g
+      l.Link.src
+  in
+  Dijkstra.path_to tree l.Link.dst
+
+let classify_link g l =
+  match best_detour g l with
+  | None -> Unavailable
+  | Some p -> Detour (Path.hops p - 1)
+
+let detours_via g (l : Link.t) ~max_intermediate =
+  if max_intermediate < 1 then
+    invalid_arg "Detour.detours_via: max_intermediate must be >= 1";
+  let banned = excludes g l in
+  let u = l.Link.src and v = l.Link.dst in
+  let candidates =
+    List.filter_map
+      (fun (first : Link.t) ->
+        if banned first then None
+        else begin
+          let w = first.Link.dst in
+          if w = v then None (* parallel link, not a detour via a node *)
+          else begin
+            (* Shortest continuation w -> v avoiding the protected link and
+               the origin u (the detour must not bounce back). *)
+            let tree =
+              Dijkstra.run ~metric:Dijkstra.Hops ~forbidden_links:banned
+                ~forbidden_nodes:(fun x -> x = u)
+                g w
+            in
+            match Dijkstra.path_to tree v with
+            | None -> None
+            | Some continuation ->
+              (* total hops = 1 + hops(continuation); intermediates = total - 1 *)
+              let intermediate = Path.hops continuation in
+              if intermediate > max_intermediate then None
+              else begin
+                match
+                  Path.of_links (first :: continuation.Path.links)
+                with
+                | Ok p -> Some (w, p)
+                | Error _ -> None
+              end
+          end
+        end)
+      (Graph.out_links g u)
+  in
+  (* Sort by detour length, then neighbour id, for determinism. *)
+  List.sort
+    (fun (w1, p1) (w2, p2) ->
+      match Int.compare (Path.hops p1) (Path.hops p2) with
+      | 0 -> Int.compare w1 w2
+      | c -> c)
+    candidates
+
+let classify_links g =
+  let links = Graph.undirected_links g in
+  let total = List.length links in
+  let n1 = ref 0 and n2 = ref 0 and n3 = ref 0 and na = ref 0 in
+  List.iter
+    (fun l ->
+      match classify_link g l with
+      | Detour 1 -> incr n1
+      | Detour 2 -> incr n2
+      | Detour _ -> incr n3
+      | Unavailable -> incr na)
+    links;
+  let frac c = if total = 0 then 0. else float_of_int c /. float_of_int total in
+  {
+    one_hop = frac !n1;
+    two_hop = frac !n2;
+    three_plus = frac !n3;
+    unavailable = frac !na;
+    total_links = total;
+  }
+
+let pp_profile ppf p =
+  Format.fprintf ppf "1hop=%.2f%% 2hops=%.2f%% 3+hops=%.2f%% N/A=%.2f%% (%d links)"
+    (100. *. p.one_hop) (100. *. p.two_hop) (100. *. p.three_plus)
+    (100. *. p.unavailable) p.total_links

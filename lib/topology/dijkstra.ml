@@ -1,0 +1,222 @@
+type metric =
+  | Hops
+  | Delay
+
+let weight metric (l : Link.t) =
+  match metric with
+  | Hops -> 1.
+  | Delay -> l.Link.delay
+
+type tree = {
+  t_source : Node.id;
+  dist : float array;           (* infinity when unreachable *)
+  pred : Link.t option array;   (* link used to reach the node *)
+}
+
+(* Minimal binary heap on (distance, node) pairs.  Stale entries are
+   skipped on pop (lazy deletion), the standard Dijkstra trick. *)
+module Heap = struct
+  type t = {
+    mutable data : (float * int) array;
+    mutable size : int;
+  }
+
+  let create () = { data = Array.make 64 (0., 0); size = 0 }
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let push h prio v =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) (0., 0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- (prio, v);
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then
+          smallest := l;
+        if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then
+          smallest := r;
+        if !smallest <> !i then begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+let no_link_filter (_ : Link.t) = false
+let no_node_filter (_ : Node.id) = false
+
+let run ?(metric = Hops) ?(forbidden_links = no_link_filter)
+    ?(forbidden_nodes = no_node_filter) g s =
+  let n = Graph.node_count g in
+  if s < 0 || s >= n then invalid_arg "Dijkstra.run: bad source";
+  let dist = Array.make n infinity in
+  let pred = Array.make n None in
+  let settled = Array.make n false in
+  let heap = Heap.create () in
+  dist.(s) <- 0.;
+  Heap.push heap 0. s;
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+      if not settled.(u) && d <= dist.(u) then begin
+        settled.(u) <- true;
+        let relax (l : Link.t) =
+          let v = l.Link.dst in
+          if
+            (not settled.(v))
+            && (not (forbidden_links l))
+            && not (forbidden_nodes v)
+          then begin
+            let nd = d +. weight metric l in
+            if nd < dist.(v) then begin
+              dist.(v) <- nd;
+              pred.(v) <- Some l;
+              Heap.push heap nd v
+            end
+          end
+        in
+        List.iter relax (Graph.out_links g u)
+      end;
+      loop ()
+  in
+  loop ();
+  { t_source = s; dist; pred }
+
+let distance t v =
+  let d = t.dist.(v) in
+  if Float.is_finite d then Some d else None
+
+let reachable t v = Float.is_finite t.dist.(v)
+
+let source t = t.t_source
+
+let path_to t v =
+  if not (reachable t v) then None
+  else begin
+    let rec build acc u =
+      if u = t.t_source then acc
+      else
+        match t.pred.(u) with
+        | None -> acc (* unreachable intermediate: impossible by invariant *)
+        | Some l -> build (l :: acc) l.Link.src
+    in
+    let links = build [] v in
+    if v = t.t_source then Some (Path.singleton v)
+    else
+      match Path.of_links links with
+      | Ok p -> Some p
+      | Error _ -> None
+  end
+
+let hop_distance t v =
+  match path_to t v with
+  | None -> None
+  | Some p -> Some (Path.hops p)
+
+let shortest_path ?metric g s d = path_to (run ?metric g s) d
+
+let all_pairs_hops g =
+  let n = Graph.node_count g in
+  let result = Array.make_matrix n n max_int in
+  let queue = Queue.create () in
+  for s = 0 to n - 1 do
+    let row = result.(s) in
+    row.(s) <- 0;
+    Queue.clear queue;
+    Queue.add s queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      let du = row.(u) in
+      let visit v =
+        if row.(v) = max_int then begin
+          row.(v) <- du + 1;
+          Queue.add v queue
+        end
+      in
+      List.iter visit (Graph.succs g u)
+    done
+  done;
+  result
+
+let eccentricity g u =
+  let t = run ~metric:Hops g u in
+  let best = ref None in
+  Array.iteri
+    (fun v d ->
+      if v <> u && Float.is_finite d then
+        match !best with
+        | None -> best := Some (int_of_float d)
+        | Some b -> if int_of_float d > b then best := Some (int_of_float d))
+    t.dist;
+  !best
+
+let next_hops ?(metric = Hops) g u ~dst =
+  if u = dst then []
+  else begin
+    (* Distances from every neighbour to dst: run Dijkstra backwards from
+       dst over reversed links, i.e. use predecessors.  Simpler: run a
+       forward tree from each neighbour would be O(deg * n log n); instead
+       build the reverse-graph tree from dst once. *)
+    let n = Graph.node_count g in
+    let dist_to_dst = Array.make n infinity in
+    let settled = Array.make n false in
+    let heap = Heap.create () in
+    dist_to_dst.(dst) <- 0.;
+    Heap.push heap 0. dst;
+    let rec loop () =
+      match Heap.pop heap with
+      | None -> ()
+      | Some (d, x) ->
+        if (not settled.(x)) && d <= dist_to_dst.(x) then begin
+          settled.(x) <- true;
+          let relax (l : Link.t) =
+            (* l : w -> x, so going forward w reaches dst through x *)
+            let w = l.Link.src in
+            if not settled.(w) then begin
+              let nd = d +. weight metric l in
+              if nd < dist_to_dst.(w) then begin
+                dist_to_dst.(w) <- nd;
+                Heap.push heap nd w
+              end
+            end
+          in
+          List.iter relax (Graph.in_links g x)
+        end;
+        loop ()
+    in
+    loop ();
+    let du = dist_to_dst.(u) in
+    if not (Float.is_finite du) then []
+    else
+      List.filter
+        (fun (l : Link.t) ->
+          let through = weight metric l +. dist_to_dst.(l.Link.dst) in
+          Float.is_finite dist_to_dst.(l.Link.dst) && through = du)
+        (Graph.out_links g u)
+  end

@@ -1,0 +1,95 @@
+let equal_cost_paths ?(metric = Dijkstra.Hops) ?(limit = 16) g s d =
+  if s = d then [ Path.singleton s ]
+  else begin
+    (* Distances to destination let us walk the equal-cost DAG forward:
+       a link (u,v) is on a shortest path iff
+       dist(u) = weight(u,v) + dist(v). *)
+    let tree_from_s = Dijkstra.run ~metric g s in
+    match Dijkstra.distance tree_from_s d with
+    | None -> []
+    | Some _total ->
+      let n = Graph.node_count g in
+      (* dist_to_dst via reverse relaxation: reuse next_hops machinery by
+         running Dijkstra on each node would be wasteful; recompute here
+         with a simple reverse Dijkstra. *)
+      let dist_to_dst = Array.make n infinity in
+      (* Reverse Dijkstra using a sorted-list frontier; graphs here are
+         small (hundreds of nodes). *)
+      let visited = Array.make n false in
+      let frontier = ref [ (0., d) ] in
+      dist_to_dst.(d) <- 0.;
+      let weight (l : Link.t) =
+        match metric with Dijkstra.Hops -> 1. | Dijkstra.Delay -> l.Link.delay
+      in
+      let rec settle () =
+        match !frontier with
+        | [] -> ()
+        | (dist, x) :: rest ->
+          frontier := rest;
+          if not visited.(x) then begin
+            visited.(x) <- true;
+            List.iter
+              (fun (l : Link.t) ->
+                let w = l.Link.src in
+                let nd = dist +. weight l in
+                if nd < dist_to_dst.(w) then begin
+                  dist_to_dst.(w) <- nd;
+                  frontier :=
+                    List.merge
+                      (fun (a, _) (b, _) -> Float.compare a b)
+                      [ (nd, w) ] !frontier
+                end)
+              (Graph.in_links g x)
+          end;
+          settle ()
+      in
+      settle ();
+      if not (Float.is_finite dist_to_dst.(s)) then []
+      else begin
+        let results = ref [] in
+        let count = ref 0 in
+        let rec dfs u rev_links =
+          if !count < limit then begin
+            if u = d then begin
+              match Path.of_links (List.rev rev_links) with
+              | Ok p ->
+                results := p :: !results;
+                incr count
+              | Error _ -> ()
+            end
+            else
+              List.iter
+                (fun (l : Link.t) ->
+                  let v = l.Link.dst in
+                  if
+                    Float.is_finite dist_to_dst.(v)
+                    && dist_to_dst.(u) = weight l +. dist_to_dst.(v)
+                  then dfs v (l :: rev_links))
+                (Graph.out_links g u)
+          end
+        in
+        dfs s [];
+        List.rev !results
+      end
+  end
+
+(* SplitMix64-style avalanche: cheap, stable, well distributed. *)
+let mix64 x =
+  let open Int64 in
+  let x = logxor x (shift_right_logical x 30) in
+  let x = mul x 0xbf58476d1ce4e5b9L in
+  let x = logxor x (shift_right_logical x 27) in
+  let x = mul x 0x94d049bb133111ebL in
+  logxor x (shift_right_logical x 31)
+
+let hash_flow ~flow_id ~buckets =
+  if buckets <= 0 then invalid_arg "Ecmp.hash_flow: buckets must be positive";
+  let h = mix64 (Int64.of_int (flow_id + 0x9e3779b9)) in
+  Int64.to_int (Int64.unsigned_rem h (Int64.of_int buckets))
+
+let pick paths ~flow_id =
+  match paths with
+  | [] -> None
+  | _ ->
+    let i = hash_flow ~flow_id ~buckets:(List.length paths) in
+    List.nth_opt paths i

@@ -1,0 +1,156 @@
+type t = {
+  nodes : int;
+  links : int;
+  avg_degree : float;
+  max_degree : int;
+  min_degree : int;
+  diameter : int option;
+  avg_path_length : float;
+  clustering : float;
+}
+
+(* undirected neighbour sets *)
+let neighbour_sets g =
+  let n = Graph.node_count g in
+  let sets = Array.make n [] in
+  List.iter
+    (fun (l : Link.t) ->
+      let u, v = Link.ukey l in
+      if not (List.mem v sets.(u)) then sets.(u) <- v :: sets.(u);
+      if not (List.mem u sets.(v)) then sets.(v) <- u :: sets.(v))
+    (Graph.links g);
+  sets
+
+let degree_distribution g =
+  let sets = neighbour_sets g in
+  let counts = Hashtbl.create 16 in
+  Array.iter
+    (fun ns ->
+      let d = List.length ns in
+      Hashtbl.replace counts d (1 + Option.value ~default:0 (Hashtbl.find_opt counts d)))
+    sets;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let compute g =
+  let n = Graph.node_count g in
+  let sets = neighbour_sets g in
+  let degrees = Array.map List.length sets in
+  let links = List.length (Graph.undirected_links g) in
+  let sum_deg = Array.fold_left ( + ) 0 degrees in
+  let avg_degree = if n = 0 then 0. else float_of_int sum_deg /. float_of_int n in
+  let max_degree = Array.fold_left max 0 degrees in
+  let min_degree =
+    if n = 0 then 0 else Array.fold_left min max_int degrees
+  in
+  (* hop distances *)
+  let matrix = Dijkstra.all_pairs_hops g in
+  let diameter = ref 0 in
+  let reachable_pairs = ref 0 in
+  let total_dist = ref 0 in
+  let disconnected = ref false in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let d = matrix.(i).(j) in
+        if d = max_int then disconnected := true
+        else begin
+          incr reachable_pairs;
+          total_dist := !total_dist + d;
+          if d > !diameter then diameter := d
+        end
+      end
+    done
+  done;
+  let avg_path_length =
+    if !reachable_pairs = 0 then 0.
+    else float_of_int !total_dist /. float_of_int !reachable_pairs
+  in
+  (* local clustering: triangles among neighbours *)
+  let clustering =
+    if n = 0 then 0.
+    else begin
+      let acc = ref 0. in
+      for u = 0 to n - 1 do
+        let ns = sets.(u) in
+        let k = List.length ns in
+        if k >= 2 then begin
+          let closed = ref 0 in
+          List.iter
+            (fun a ->
+              List.iter
+                (fun b' -> if a < b' && List.mem b' sets.(a) then incr closed)
+                ns)
+            ns;
+          acc := !acc +. (2. *. float_of_int !closed /. float_of_int (k * (k - 1)))
+        end
+      done;
+      !acc /. float_of_int n
+    end
+  in
+  {
+    nodes = n;
+    links;
+    avg_degree;
+    max_degree;
+    min_degree;
+    diameter = (if !disconnected || n < 2 then None else Some !diameter);
+    avg_path_length;
+    clustering;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "nodes=%d links=%d avg_deg=%.2f max_deg=%d min_deg=%d diameter=%s \
+     avg_path=%.2f clustering=%.3f"
+    s.nodes s.links s.avg_degree s.max_degree s.min_degree
+    (match s.diameter with None -> "n/a" | Some d -> string_of_int d)
+    s.avg_path_length s.clustering
+
+(* Brandes' betweenness centrality: one BFS per source with dependency
+   back-propagation.  O(nm) on unit weights. *)
+let betweenness g =
+  let n = Graph.node_count g in
+  let cb = Array.make n 0. in
+  let sigma = Array.make n 0. in
+  let dist = Array.make n (-1) in
+  let delta = Array.make n 0. in
+  let preds = Array.make n [] in
+  let stack = Stack.create () in
+  let queue = Queue.create () in
+  for s = 0 to n - 1 do
+    Array.fill sigma 0 n 0.;
+    Array.fill dist 0 n (-1);
+    Array.fill delta 0 n 0.;
+    Array.iteri (fun i _ -> preds.(i) <- []) preds;
+    Stack.clear stack;
+    Queue.clear queue;
+    sigma.(s) <- 1.;
+    dist.(s) <- 0;
+    Queue.add s queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Stack.push v stack;
+      List.iter
+        (fun w ->
+          if dist.(w) < 0 then begin
+            dist.(w) <- dist.(v) + 1;
+            Queue.add w queue
+          end;
+          if dist.(w) = dist.(v) + 1 then begin
+            sigma.(w) <- sigma.(w) +. sigma.(v);
+            preds.(w) <- v :: preds.(w)
+          end)
+        (Graph.succs g v)
+    done;
+    while not (Stack.is_empty stack) do
+      let w = Stack.pop stack in
+      List.iter
+        (fun v ->
+          delta.(v) <-
+            delta.(v) +. (sigma.(v) /. sigma.(w) *. (1. +. delta.(w))))
+        preds.(w);
+      if w <> s then cb.(w) <- cb.(w) +. delta.(w)
+    done
+  done;
+  cb

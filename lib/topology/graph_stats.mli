@@ -1,0 +1,28 @@
+(** Structural statistics of a topology.
+
+    Used to sanity-check the synthetic ISP graphs against what PoP-level
+    maps look like, and by the benches' topology summaries. *)
+
+type t = {
+  nodes : int;
+  links : int;              (** undirected count *)
+  avg_degree : float;       (** undirected degree *)
+  max_degree : int;
+  min_degree : int;
+  diameter : int option;    (** [None] when disconnected or trivial *)
+  avg_path_length : float;  (** mean hop distance over connected pairs *)
+  clustering : float;       (** mean local clustering coefficient *)
+}
+
+val compute : Graph.t -> t
+
+val degree_distribution : Graph.t -> (int * int) list
+(** [(degree, node_count)] pairs, ascending degree (undirected). *)
+
+val betweenness : Graph.t -> float array
+(** Node betweenness centrality (Brandes' algorithm over directed
+    links, unit weights): how many shortest paths pass through each
+    node.  Identifies the hotspots whose congestion INRPP's detours
+    relieve.  Values are unnormalised raw pair counts. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+type t = {
+  id : int;
+  src : Node.id;
+  dst : Node.id;
+  capacity : float;
+  delay : float;
+}
+
+let make ~id ~src ~dst ~capacity ~delay =
+  if capacity <= 0. then invalid_arg "Link.make: capacity must be > 0";
+  if delay < 0. then invalid_arg "Link.make: delay must be >= 0";
+  if src = dst then invalid_arg "Link.make: self-loop";
+  { id; src; dst; capacity; delay }
+
+let endpoints l = (l.src, l.dst)
+
+let key l = (l.src, l.dst)
+
+let ukey l = if l.src <= l.dst then (l.src, l.dst) else (l.dst, l.src)
+
+let pp ppf l =
+  Format.fprintf ppf "link#%d %d->%d (%.3g bps, %.3g s)" l.id l.src l.dst
+    l.capacity l.delay
+
+let equal a b = a.id = b.id
+
+let compare a b = Int.compare a.id b.id

@@ -1,0 +1,35 @@
+(** Directed network links.
+
+    A link is a unidirectional channel between two nodes with a fixed
+    capacity (bits per second) and propagation delay (seconds).  Links
+    carry a dense integer [id] assigned by {!Graph} so that per-link
+    state elsewhere (allocations, counters) can live in flat arrays.
+
+    Undirected physical links are represented as two directed links;
+    {!Graph.reverse} recovers the opposite direction when it exists. *)
+
+type t = {
+  id : int;             (** dense index within the owning graph *)
+  src : Node.id;
+  dst : Node.id;
+  capacity : float;     (** bits per second; [> 0.] *)
+  delay : float;        (** propagation delay in seconds; [>= 0.] *)
+}
+
+val make : id:int -> src:Node.id -> dst:Node.id -> capacity:float -> delay:float -> t
+(** [make ~id ~src ~dst ~capacity ~delay] validates and builds a link.
+    @raise Invalid_argument if [capacity <= 0.], [delay < 0.] or
+    [src = dst] (self-loops are meaningless for forwarding). *)
+
+val endpoints : t -> Node.id * Node.id
+
+val key : t -> Node.id * Node.id
+(** [key l] is [(src, dst)]; the unordered variant is {!ukey}. *)
+
+val ukey : t -> Node.id * Node.id
+(** Unordered endpoint pair, smaller id first — identifies the
+    underlying physical link shared by both directions. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int

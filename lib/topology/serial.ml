@@ -1,0 +1,116 @@
+let role_name = Node.role_to_string
+
+let role_of_string = function
+  | "core" -> Some Node.Core
+  | "aggregation" -> Some Node.Aggregation
+  | "edge" -> Some Node.Edge
+  | "host" -> Some Node.Host
+  | _ -> None
+
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# inrpp topology v1\n";
+  List.iter
+    (fun (v : Node.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "node %d %s %s\n" v.Node.id v.Node.name
+           (role_name v.Node.role)))
+    (Graph.nodes g);
+  (* emit undirected pairs as [edge], stray directed links as [link] *)
+  let emitted = Hashtbl.create 64 in
+  List.iter
+    (fun (l : Link.t) ->
+      if not (Hashtbl.mem emitted l.Link.id) then begin
+        match Graph.reverse g l with
+        | Some r
+          when r.Link.capacity = l.Link.capacity && r.Link.delay = l.Link.delay
+          ->
+          Hashtbl.replace emitted l.Link.id ();
+          Hashtbl.replace emitted r.Link.id ();
+          Buffer.add_string buf
+            (Printf.sprintf "edge %d %d %.17g %.17g\n" l.Link.src l.Link.dst
+               l.Link.capacity l.Link.delay)
+        | _ ->
+          Hashtbl.replace emitted l.Link.id ();
+          Buffer.add_string buf
+            (Printf.sprintf "link %d %d %.17g %.17g\n" l.Link.src l.Link.dst
+               l.Link.capacity l.Link.delay)
+      end)
+    (Graph.links g);
+  Buffer.contents buf
+
+let of_string text =
+  let b = Graph.Builder.create () in
+  let expected_id = ref 0 in
+  let error lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let lines = String.split_on_char '\n' text in
+  let rec process lineno = function
+    | [] -> Ok (Graph.Builder.build b)
+    | line :: rest ->
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let tokens =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun s -> s <> "")
+      in
+      let continue () = process (lineno + 1) rest in
+      begin match tokens with
+      | [] -> continue ()
+      | [ "node"; id_s; nm; role_s ] -> begin
+        match int_of_string_opt id_s, role_of_string role_s with
+        | Some id, Some role ->
+          if id <> !expected_id then
+            error lineno
+              (Printf.sprintf "expected node id %d, got %d" !expected_id id)
+          else begin
+            let got = Graph.Builder.add_node b ~role nm in
+            assert (got = id);
+            incr expected_id;
+            continue ()
+          end
+        | None, _ -> error lineno "bad node id"
+        | _, None -> error lineno ("unknown role " ^ role_s)
+      end
+      | [ ("link" | "edge") as kind; u_s; v_s; cap_s; delay_s ] -> begin
+        match
+          ( int_of_string_opt u_s,
+            int_of_string_opt v_s,
+            float_of_string_opt cap_s,
+            float_of_string_opt delay_s )
+        with
+        | Some u, Some v, Some capacity, Some delay -> begin
+          match
+            if kind = "edge" then
+              Graph.Builder.add_edge b ~capacity ~delay u v
+            else Graph.Builder.add_link b ~capacity ~delay u v
+          with
+          | () -> continue ()
+          | exception Invalid_argument msg -> error lineno msg
+        end
+        | _ -> error lineno "bad link fields"
+      end
+      | word :: _ -> error lineno ("unknown directive " ^ word)
+      end
+  in
+  match process 1 lines with
+  | exception Invalid_argument msg -> Error msg
+  | result -> result
+
+let save g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        of_string (really_input_string ic len))

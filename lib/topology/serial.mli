@@ -1,0 +1,23 @@
+(** Plain-text topology interchange.
+
+    Line-oriented format, easy to diff and to produce from external
+    datasets:
+
+    {v
+    # comment
+    node <id> <name> [core|aggregation|edge|host]
+    link <src> <dst> <capacity_bps> <delay_s>
+    edge <u> <v> <capacity_bps> <delay_s>     # both directions
+    v}
+
+    Node ids must be dense and declared before use. *)
+
+val to_string : Graph.t -> string
+
+val of_string : string -> (Graph.t, string) result
+(** Error messages carry the 1-based offending line number. *)
+
+val save : Graph.t -> string -> unit
+(** [save g path] writes {!to_string} to a file. *)
+
+val load : string -> (Graph.t, string) result

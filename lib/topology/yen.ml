@@ -1,0 +1,125 @@
+let path_cost metric p =
+  match (metric : Dijkstra.metric) with
+  | Dijkstra.Hops -> float_of_int (Path.hops p)
+  | Dijkstra.Delay -> Path.delay p
+
+(* Candidate set ordered by (cost, nodes) so ties break
+   deterministically. *)
+module Candidates = Set.Make (struct
+  type t = float * Node.id list * Path.t
+
+  let compare (c1, n1, _) (c2, n2, _) =
+    match Float.compare c1 c2 with
+    | 0 -> compare n1 n2
+    | c -> c
+end)
+
+let k_shortest ?(metric = Dijkstra.Hops) g ~k s d =
+  if k <= 0 then invalid_arg "Yen.k_shortest: k must be positive";
+  match Dijkstra.shortest_path ~metric g s d with
+  | None -> []
+  | Some first ->
+    let accepted = ref [ first ] in
+    let candidates = ref Candidates.empty in
+    let seen = Hashtbl.create 16 in
+    Hashtbl.add seen first.Path.nodes ();
+    let add_candidate p =
+      if not (Hashtbl.mem seen p.Path.nodes) then begin
+        Hashtbl.add seen p.Path.nodes ();
+        candidates :=
+          Candidates.add (path_cost metric p, p.Path.nodes, p) !candidates
+      end
+    in
+    let rec grow () =
+      if List.length !accepted >= k then ()
+      else begin
+        let prev = List.hd !accepted in
+        let prev_nodes = Array.of_list prev.Path.nodes in
+        let prev_links = Array.of_list prev.Path.links in
+        (* For each spur node on the previous path, find a deviation. *)
+        for i = 0 to Array.length prev_nodes - 2 do
+          let spur = prev_nodes.(i) in
+          let root_nodes = Array.to_list (Array.sub prev_nodes 0 (i + 1)) in
+          let root_links = Array.to_list (Array.sub prev_links 0 i) in
+          (* Links leaving the spur node along any accepted path sharing
+             this root must be removed. *)
+          let banned_links = Hashtbl.create 8 in
+          let ban_from (p : Path.t) =
+            let pn = Array.of_list p.Path.nodes in
+            let pl = Array.of_list p.Path.links in
+            if Array.length pn > i then begin
+              let same_root = ref true in
+              for j = 0 to i do
+                if pn.(j) <> prev_nodes.(j) then same_root := false
+              done;
+              if !same_root && Array.length pl > i then
+                Hashtbl.replace banned_links pl.(i).Link.id ()
+            end
+          in
+          List.iter ban_from !accepted;
+          Candidates.iter (fun (_, _, p) -> ban_from p) !candidates;
+          (* Root nodes other than the spur are forbidden (looplessness). *)
+          let banned_nodes = Hashtbl.create 8 in
+          List.iter
+            (fun u -> if u <> spur then Hashtbl.replace banned_nodes u ())
+            root_nodes;
+          let tree =
+            Dijkstra.run ~metric
+              ~forbidden_links:(fun l -> Hashtbl.mem banned_links l.Link.id)
+              ~forbidden_nodes:(fun u -> Hashtbl.mem banned_nodes u)
+              g spur
+          in
+          match Dijkstra.path_to tree d with
+          | None -> ()
+          | Some spur_path ->
+            let root =
+              match root_links with
+              | [] -> Path.singleton spur
+              | ls -> begin
+                match Path.of_links ls with
+                | Ok p -> p
+                | Error _ -> Path.singleton spur
+              end
+            in
+            begin match Path.concat root spur_path with
+            | Ok total -> if Path.is_simple total then add_candidate total
+            | Error _ -> ()
+            end
+        done;
+        match Candidates.min_elt_opt !candidates with
+        | None -> ()
+        | Some ((_, _, best) as entry) ->
+          candidates := Candidates.remove entry !candidates;
+          accepted := best :: !accepted;
+          grow ()
+      end
+    in
+    grow ();
+    List.sort
+      (fun a b ->
+        match Float.compare (path_cost metric a) (path_cost metric b) with
+        | 0 -> compare a.Path.nodes b.Path.nodes
+        | c -> c)
+      (List.rev !accepted)
+
+let k_disjoint ?(metric = Dijkstra.Hops) g ~k s d =
+  if k <= 0 then invalid_arg "Yen.k_disjoint: k must be positive";
+  let used = Hashtbl.create 16 in
+  let rec collect acc remaining =
+    if remaining = 0 then List.rev acc
+    else begin
+      let tree =
+        Dijkstra.run ~metric
+          ~forbidden_links:(fun l -> Hashtbl.mem used l.Link.id)
+          g s
+      in
+      match Dijkstra.path_to tree d with
+      | None -> List.rev acc
+      | Some p ->
+        List.iter
+          (fun (l : Link.t) -> Hashtbl.replace used l.Link.id ())
+          p.Path.links;
+        collect (p :: acc) (remaining - 1)
+    end
+  in
+  collect [] k

@@ -1,0 +1,16 @@
+(** Yen's algorithm: k shortest loopless paths.
+
+    Used to enumerate candidate detours and by the multipath baselines
+    (MPTCP needs several disjoint-ish e2e paths).  Paths are returned
+    in non-decreasing cost order; fewer than [k] are returned when the
+    graph does not contain that many loopless paths. *)
+
+val k_shortest :
+  ?metric:Dijkstra.metric -> Graph.t -> k:int -> Node.id -> Node.id -> Path.t list
+(** [k_shortest g ~k s d].
+    @raise Invalid_argument if [k <= 0]. *)
+
+val k_disjoint :
+  ?metric:Dijkstra.metric -> Graph.t -> k:int -> Node.id -> Node.id -> Path.t list
+(** Greedy link-disjoint variant: repeatedly take the shortest path and
+    remove its links from consideration.  At most [k] paths. *)

@@ -1,0 +1,539 @@
+(* Tests for the chunk-level network substrate: packets, queues,
+   caches, interfaces, network assembly and tracing. *)
+
+let check_close msg tolerance expected actual =
+  Alcotest.(check (float tolerance)) msg expected actual
+
+module P = Chunksim.Packet
+
+(* ------------------------------------------------------------------ *)
+(* Packet *)
+
+let test_packet_request () =
+  let p = P.request ~flow:3 ~nc:5 ~ack:4 ~ac:13 in
+  Alcotest.(check int) "flow" 3 (P.flow p);
+  Alcotest.(check bool) "not data" false (P.is_data p);
+  check_close "size" 0. 400. p.P.size;
+  Alcotest.check_raises "ac < nc" (Invalid_argument "Packet.request: ac < nc")
+    (fun () -> ignore (P.request ~flow:0 ~nc:5 ~ack:0 ~ac:4))
+
+let test_packet_data () =
+  let p = P.data ~flow:1 ~idx:7 ~born:0.5 80_000. in
+  Alcotest.(check bool) "is data" true (P.is_data p);
+  check_close "size" 0. 80_000. p.P.size;
+  (match p.P.header with
+  | P.Data { anticipated; via_detour; detour_route; _ } ->
+    Alcotest.(check bool) "defaults" false (anticipated || via_detour);
+    Alcotest.(check (list int)) "no route" [] detour_route
+  | _ -> Alcotest.fail "wrong header");
+  Alcotest.check_raises "bad size" (Invalid_argument "Packet.data: chunk_bits <= 0")
+    (fun () -> ignore (P.data ~flow:0 ~idx:0 ~born:0. 0.))
+
+let test_packet_pp () =
+  let str p = Format.asprintf "%a" P.pp p in
+  Alcotest.(check string) "req" "req[f1 nc=2 ack=1 ac=5]"
+    (str (P.request ~flow:1 ~nc:2 ~ack:1 ~ac:5));
+  Alcotest.(check string) "bp" "bp[f2 engage]"
+    (str (P.backpressure ~flow:2 ~engage:true))
+
+(* ------------------------------------------------------------------ *)
+(* Fifo *)
+
+let test_fifo_order_and_bounds () =
+  let q = Chunksim.Fifo.create ~capacity:1000. in
+  let mk i = P.data ~flow:0 ~idx:i ~born:0. 400. in
+  Alcotest.(check bool) "first fits" true (Chunksim.Fifo.push q (mk 0) = `Queued);
+  Alcotest.(check bool) "second fits" true (Chunksim.Fifo.push q (mk 1) = `Queued);
+  Alcotest.(check bool) "third dropped" true (Chunksim.Fifo.push q (mk 2) = `Dropped);
+  Alcotest.(check int) "drop counter" 1 (Chunksim.Fifo.total_dropped q);
+  check_close "occupancy" 0. 800. (Chunksim.Fifo.occupancy q);
+  (match Chunksim.Fifo.pop q with
+  | Some p -> (match p.P.header with
+    | P.Data { idx; _ } -> Alcotest.(check int) "FIFO order" 0 idx
+    | _ -> Alcotest.fail "wrong kind")
+  | None -> Alcotest.fail "queue empty");
+  check_close "occupancy after pop" 0. 400. (Chunksim.Fifo.occupancy q)
+
+let test_fifo_empty () =
+  let q = Chunksim.Fifo.create ~capacity:10. in
+  Alcotest.(check bool) "empty" true (Chunksim.Fifo.is_empty q);
+  Alcotest.(check bool) "pop none" true (Chunksim.Fifo.pop q = None);
+  Alcotest.(check bool) "peek none" true (Chunksim.Fifo.peek q = None)
+
+(* ------------------------------------------------------------------ *)
+(* Rr_queue *)
+
+let test_rr_round_robin () =
+  let q = Chunksim.Rr_queue.create ~quantum:400. ~capacity:1e6 () in
+  (* flow 0 bursts 4 packets, flow 1 has 2: service must interleave *)
+  for i = 0 to 3 do
+    ignore (Chunksim.Rr_queue.push q ~class_id:0 (P.data ~flow:0 ~idx:i ~born:0. 400.))
+  done;
+  for i = 0 to 1 do
+    ignore (Chunksim.Rr_queue.push q ~class_id:1 (P.data ~flow:1 ~idx:i ~born:0. 400.))
+  done;
+  let order = ref [] in
+  let rec drain () =
+    match Chunksim.Rr_queue.pop q with
+    | Some p ->
+      order := P.flow p :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let order = List.rev !order in
+  Alcotest.(check int) "all served" 6 (List.length order);
+  (* the first four services alternate between the two classes *)
+  (match order with
+  | a :: b :: c :: d :: _ ->
+    Alcotest.(check bool) "interleaved" true
+      (a <> b && c <> d && a <> c || a <> b && b <> c)
+  | _ -> Alcotest.fail "expected six packets");
+  Alcotest.(check bool) "empty after drain" true (Chunksim.Rr_queue.is_empty q)
+
+let test_rr_capacity_shared () =
+  let q = Chunksim.Rr_queue.create ~quantum:400. ~capacity:1000. () in
+  Alcotest.(check bool) "first fits" true
+    (Chunksim.Rr_queue.push q ~class_id:0 (P.data ~flow:0 ~idx:0 ~born:0. 600.) = `Queued);
+  Alcotest.(check bool) "second class overflows shared budget" true
+    (Chunksim.Rr_queue.push q ~class_id:1 (P.data ~flow:1 ~idx:0 ~born:0. 600.) = `Dropped);
+  Alcotest.(check int) "drop counted" 1 (Chunksim.Rr_queue.total_dropped q)
+
+let test_rr_large_packet_accumulates_deficit () =
+  (* a packet bigger than one quantum must still be served *)
+  let q = Chunksim.Rr_queue.create ~quantum:100. ~capacity:1e6 () in
+  ignore (Chunksim.Rr_queue.push q ~class_id:0 (P.data ~flow:0 ~idx:0 ~born:0. 950.));
+  (match Chunksim.Rr_queue.pop q with
+  | Some p -> Alcotest.(check bool) "served" true (P.is_data p)
+  | None -> Alcotest.fail "starved");
+  Alcotest.(check bool) "empty" true (Chunksim.Rr_queue.is_empty q)
+
+let test_iface_drr_discipline () =
+  let eng = Sim.Engine.create () in
+  let g = Topology.Graph.of_edges ~capacity:1e6 ~delay:0. 2 [ (0, 1) ] in
+  let l = Option.get (Topology.Graph.find_link g 0 1) in
+  let order = ref [] in
+  let iface =
+    Chunksim.Iface.create ~discipline:(Chunksim.Iface.Drr 400.) eng l
+      ~deliver:(fun p -> order := P.flow p :: !order)
+  in
+  (* flow 0 bursts first; the first packet seizes the transmitter, the
+     rest must alternate with flow 1 *)
+  for i = 0 to 2 do
+    ignore (Chunksim.Iface.send iface (P.data ~flow:0 ~idx:i ~born:0. 400.))
+  done;
+  for i = 0 to 2 do
+    ignore (Chunksim.Iface.send iface (P.data ~flow:1 ~idx:i ~born:0. 400.))
+  done;
+  Sim.Engine.run eng;
+  let order = List.rev !order in
+  Alcotest.(check int) "all delivered" 6 (List.length order);
+  (* after the head-of-line packet, services alternate *)
+  (match order with
+  | _ :: b :: c :: d :: e :: _ ->
+    Alcotest.(check bool) "alternation" true (b <> c && c <> d && d <> e)
+  | _ -> Alcotest.fail "unexpected")
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+let cache () = Chunksim.Cache.create ~capacity:1000. ()
+
+let test_cache_custody_fifo () =
+  let c = cache () in
+  Alcotest.(check bool) "store 1" true
+    (Chunksim.Cache.put_custody c ~flow:1 ~idx:10 ~bits:100. = `Stored);
+  Alcotest.(check bool) "store 2" true
+    (Chunksim.Cache.put_custody c ~flow:1 ~idx:11 ~bits:100. = `Stored);
+  Alcotest.(check int) "backlog" 2 (Chunksim.Cache.custody_backlog c ~flow:1);
+  (match Chunksim.Cache.take_custody c ~flow:1 with
+  | Some (idx, bits) ->
+    Alcotest.(check int) "oldest first" 10 idx;
+    check_close "bits" 0. 100. bits
+  | None -> Alcotest.fail "custody empty");
+  Alcotest.(check int) "backlog after take" 1
+    (Chunksim.Cache.custody_backlog c ~flow:1)
+
+let test_cache_custody_full () =
+  let c = cache () in
+  Alcotest.(check bool) "big store" true
+    (Chunksim.Cache.put_custody c ~flow:0 ~idx:0 ~bits:900. = `Stored);
+  Alcotest.(check bool) "overflow refused" true
+    (Chunksim.Cache.put_custody c ~flow:0 ~idx:1 ~bits:200. = `Full);
+  check_close "occupancy unchanged" 0. 900.
+    (Chunksim.Cache.custody_occupancy c)
+
+let test_cache_watermarks () =
+  let c =
+    Chunksim.Cache.create ~high_water:0.7 ~low_water:0.3 ~capacity:1000. ()
+  in
+  Alcotest.(check bool) "empty below low" true (Chunksim.Cache.below_low c);
+  ignore (Chunksim.Cache.put_custody c ~flow:0 ~idx:0 ~bits:750.);
+  Alcotest.(check bool) "above high" true (Chunksim.Cache.above_high c);
+  Alcotest.(check bool) "not below low" false (Chunksim.Cache.below_low c);
+  ignore (Chunksim.Cache.take_custody c ~flow:0);
+  Alcotest.(check bool) "drained" true (Chunksim.Cache.below_low c)
+
+let test_cache_lru () =
+  let c = cache () in
+  Chunksim.Cache.insert_popular c ~flow:0 ~idx:0 ~bits:400.;
+  Chunksim.Cache.insert_popular c ~flow:0 ~idx:1 ~bits:400.;
+  Alcotest.(check bool) "hit 0" true (Chunksim.Cache.lookup_popular c ~flow:0 ~idx:0);
+  (* inserting a third 400-bit entry must evict the LRU, which is idx 1
+     because idx 0 was refreshed by the hit *)
+  Chunksim.Cache.insert_popular c ~flow:0 ~idx:2 ~bits:400.;
+  Alcotest.(check bool) "0 survives" true
+    (Chunksim.Cache.lookup_popular c ~flow:0 ~idx:0);
+  Alcotest.(check bool) "1 evicted" false
+    (Chunksim.Cache.lookup_popular c ~flow:0 ~idx:1);
+  Alcotest.(check int) "hits" 2 (Chunksim.Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Chunksim.Cache.misses c)
+
+let test_cache_custody_evicts_popular () =
+  let c = cache () in
+  Chunksim.Cache.insert_popular c ~flow:0 ~idx:0 ~bits:800.;
+  Alcotest.(check bool) "custody displaces LRU" true
+    (Chunksim.Cache.put_custody c ~flow:1 ~idx:0 ~bits:500. = `Stored);
+  Alcotest.(check bool) "popular gone" false
+    (Chunksim.Cache.lookup_popular c ~flow:0 ~idx:0)
+
+let test_cache_holding_time () =
+  (* the paper's §3.3 envelope: 10 GB behind 40 Gbps holds 2 s *)
+  let c = Chunksim.Cache.create ~capacity:(Sim.Units.gigabytes 10.) () in
+  check_close "2 seconds" 1e-9 2.
+    (Chunksim.Cache.holding_time c ~rate:(Sim.Units.gbps 40.))
+
+let test_cache_validation () =
+  Alcotest.check_raises "capacity"
+    (Invalid_argument "Cache.create: capacity <= 0") (fun () ->
+      ignore (Chunksim.Cache.create ~capacity:0. ()));
+  Alcotest.check_raises "watermarks"
+    (Invalid_argument
+       "Cache.create: watermarks must satisfy 0 <= low < high <= 1")
+    (fun () ->
+      ignore
+        (Chunksim.Cache.create ~high_water:0.2 ~low_water:0.5 ~capacity:1. ()))
+
+(* ------------------------------------------------------------------ *)
+(* Iface + Net *)
+
+let test_iface_serialisation () =
+  let eng = Sim.Engine.create () in
+  let g = Topology.Graph.of_edges ~capacity:1e6 ~delay:0.01 2 [ (0, 1) ] in
+  let l = Option.get (Topology.Graph.find_link g 0 1) in
+  let arrivals = ref [] in
+  let iface =
+    Chunksim.Iface.create eng l ~deliver:(fun p ->
+        arrivals := (Sim.Engine.now eng, p) :: !arrivals)
+  in
+  (* two 10^5-bit packets at 10^6 bps: tx 0.1s each, +10ms delay *)
+  ignore (Chunksim.Iface.send iface (P.data ~flow:0 ~idx:0 ~born:0. 1e5));
+  ignore (Chunksim.Iface.send iface (P.data ~flow:0 ~idx:1 ~born:0. 1e5));
+  Sim.Engine.run eng;
+  match List.rev !arrivals with
+  | [ (t0, _); (t1, _) ] ->
+    check_close "first arrival" 1e-9 0.11 t0;
+    check_close "second arrival" 1e-9 0.21 t1;
+    check_close "tx bits" 0. 2e5 (Chunksim.Iface.tx_bits iface);
+    Alcotest.(check int) "tx packets" 2 (Chunksim.Iface.tx_packets iface)
+  | l -> Alcotest.failf "expected 2 arrivals, got %d" (List.length l)
+
+let test_iface_speed_factor () =
+  let eng = Sim.Engine.create () in
+  let g = Topology.Graph.of_edges ~capacity:1e6 ~delay:0. 2 [ (0, 1) ] in
+  let l = Option.get (Topology.Graph.find_link g 0 1) in
+  let arrived_at = ref 0. in
+  let iface =
+    Chunksim.Iface.create ~speed_factor:0.5 eng l ~deliver:(fun _ ->
+        arrived_at := Sim.Engine.now eng)
+  in
+  check_close "derated" 0. 5e5 (Chunksim.Iface.rate iface);
+  ignore (Chunksim.Iface.send iface (P.data ~flow:0 ~idx:0 ~born:0. 1e5));
+  Sim.Engine.run eng;
+  check_close "slower tx" 1e-9 0.2 !arrived_at
+
+let test_iface_utilisation () =
+  let eng = Sim.Engine.create () in
+  let g = Topology.Graph.of_edges ~capacity:1e6 ~delay:0. 2 [ (0, 1) ] in
+  let l = Option.get (Topology.Graph.find_link g 0 1) in
+  let iface = Chunksim.Iface.create eng l ~deliver:(fun _ -> ()) in
+  (* 0.5 s of transmission, observed at t = 1 s *)
+  ignore (Chunksim.Iface.send iface (P.data ~flow:0 ~idx:0 ~born:0. 5e5));
+  ignore (Sim.Engine.schedule eng ~delay:1. (fun () -> ()));
+  Sim.Engine.run eng;
+  check_close "50% busy" 1e-9 0.5
+    (Chunksim.Iface.utilisation iface ~now:(Sim.Engine.now eng))
+
+let test_iface_wire_loss () =
+  let eng = Sim.Engine.create () in
+  let g = Topology.Graph.of_edges ~capacity:1e9 ~delay:0. 2 [ (0, 1) ] in
+  let l = Option.get (Topology.Graph.find_link g 0 1) in
+  let delivered = ref 0 in
+  let iface =
+    Chunksim.Iface.create ~loss:(0.5, Sim.Rng.create 42L) eng l
+      ~deliver:(fun _ -> incr delivered)
+  in
+  for i = 0 to 199 do
+    ignore (Chunksim.Iface.send iface (P.data ~flow:0 ~idx:i ~born:0. 1e3))
+  done;
+  Sim.Engine.run eng;
+  let lost = Chunksim.Iface.wire_losses iface in
+  Alcotest.(check int) "conservation" 200 (!delivered + lost);
+  Alcotest.(check bool)
+    (Printf.sprintf "about half lost (%d)" lost)
+    true
+    (lost > 60 && lost < 140)
+
+let test_net_delivery_and_handlers () =
+  let eng = Sim.Engine.create () in
+  let g = Topology.Graph.of_edges ~capacity:1e6 ~delay:1e-3 3 [ (0, 1); (1, 2) ] in
+  let net = Chunksim.Net.create eng g in
+  let seen_at_1 = ref 0 in
+  (* node 1 relays data to node 2 *)
+  Chunksim.Net.set_handler net 1 (fun ~from:_ p ->
+      incr seen_at_1;
+      let l = Option.get (Topology.Graph.find_link g 1 2) in
+      ignore (Chunksim.Net.send net ~via:l p));
+  let done_at_2 = ref false in
+  Chunksim.Net.set_handler net 2 (fun ~from p ->
+      (match from with
+      | Some l -> Alcotest.(check int) "arrived over 1->2" 1 l.Topology.Link.src
+      | None -> Alcotest.fail "expected a link");
+      Alcotest.(check bool) "payload intact" true (P.is_data p);
+      done_at_2 := true);
+  let l01 = Option.get (Topology.Graph.find_link g 0 1) in
+  ignore (Chunksim.Net.send net ~via:l01 (P.data ~flow:0 ~idx:0 ~born:0. 1e4));
+  Sim.Engine.run eng;
+  Alcotest.(check int) "relay saw it" 1 !seen_at_1;
+  Alcotest.(check bool) "delivered end to end" true !done_at_2
+
+let test_net_inject () =
+  let eng = Sim.Engine.create () in
+  let g = Topology.Graph.of_edges 2 [ (0, 1) ] in
+  let net = Chunksim.Net.create eng g in
+  let got = ref false in
+  Chunksim.Net.set_handler net 0 (fun ~from p ->
+      Alcotest.(check bool) "local" true (from = None);
+      ignore p;
+      got := true);
+  Chunksim.Net.inject net ~at:0 (P.backpressure ~flow:0 ~engage:true);
+  Alcotest.(check bool) "handler ran synchronously" true !got
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_basics () =
+  let tr = Chunksim.Trace.create () in
+  Chunksim.Trace.record tr ~time:1. (Chunksim.Trace.Cached { node = 1; flow = 0; idx = 5 });
+  Chunksim.Trace.record tr ~time:2.
+    (Chunksim.Trace.Bp_signal { node = 1; flow = 0; engage = true });
+  Alcotest.(check int) "count cached" 1
+    (Chunksim.Trace.count tr (function
+      | Chunksim.Trace.Cached _ -> true
+      | _ -> false));
+  (match Chunksim.Trace.events tr with
+  | [ (t1, _); (t2, _) ] ->
+    check_close "oldest first" 0. 1. t1;
+    check_close "then newer" 0. 2. t2
+  | _ -> Alcotest.fail "expected two events");
+  Chunksim.Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (List.length (Chunksim.Trace.events tr))
+
+let test_trace_limit () =
+  let tr = Chunksim.Trace.create ~limit:10 () in
+  for i = 0 to 99 do
+    Chunksim.Trace.record tr ~time:(float_of_int i)
+      (Chunksim.Trace.Flow_complete { flow = i; fct = 0. })
+  done;
+  let evs = Chunksim.Trace.events tr in
+  Alcotest.(check bool) "bounded" true (List.length evs <= 20);
+  (* newest events survive *)
+  let has_99 =
+    List.exists
+      (fun (_, e) ->
+        match e with
+        | Chunksim.Trace.Flow_complete { flow = 99; _ } -> true
+        | _ -> false)
+      evs
+  in
+  Alcotest.(check bool) "newest kept" true has_99
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_fifo_conserves_bits =
+  QCheck.Test.make ~name:"fifo occupancy equals queued minus popped" ~count:100
+    QCheck.(list (int_range 1 1000))
+    (fun sizes ->
+      let q = Chunksim.Fifo.create ~capacity:1e9 in
+      List.iteri
+        (fun i s ->
+          ignore (Chunksim.Fifo.push q (P.data ~flow:0 ~idx:i ~born:0. (float_of_int s))))
+        sizes;
+      let total = List.fold_left ( + ) 0 sizes in
+      let popped = ref 0. in
+      let rec pop_half n =
+        if n > 0 then begin
+          match Chunksim.Fifo.pop q with
+          | Some p ->
+            popped := !popped +. p.P.size;
+            pop_half (n - 1)
+          | None -> ()
+        end
+      in
+      pop_half (List.length sizes / 2);
+      Float.abs (Chunksim.Fifo.occupancy q +. !popped -. float_of_int total)
+      < 1e-6)
+
+let prop_cache_occupancy_consistent =
+  QCheck.Test.make ~name:"cache occupancy = custody + popular" ~count:100
+    QCheck.(list (pair (int_range 0 5) (int_range 1 100)))
+    (fun ops ->
+      let c = Chunksim.Cache.create ~capacity:5000. () in
+      List.iteri
+        (fun i (flow, bits) ->
+          let bits = float_of_int bits in
+          if i mod 2 = 0 then
+            ignore (Chunksim.Cache.put_custody c ~flow ~idx:i ~bits)
+          else Chunksim.Cache.insert_popular c ~flow ~idx:i ~bits)
+        ops;
+      Float.abs
+        (Chunksim.Cache.occupancy c
+        -. (Chunksim.Cache.custody_occupancy c
+           +. Chunksim.Cache.popular_occupancy c))
+      < 1e-9
+      && Chunksim.Cache.occupancy c <= Chunksim.Cache.capacity c +. 1e-9)
+
+let prop_rr_work_conserving =
+  QCheck.Test.make ~name:"rr queue conserves every queued packet" ~count:100
+    QCheck.(list (pair (int_range 0 4) (int_range 1 500)))
+    (fun ops ->
+      let q = Chunksim.Rr_queue.create ~quantum:200. ~capacity:1e9 () in
+      let queued = ref 0 in
+      List.iteri
+        (fun i (cls, size) ->
+          match
+            Chunksim.Rr_queue.push q ~class_id:cls
+              (P.data ~flow:cls ~idx:i ~born:0. (float_of_int size))
+          with
+          | `Queued -> incr queued
+          | `Dropped -> ())
+        ops;
+      let popped = ref 0 in
+      let rec drain () =
+        match Chunksim.Rr_queue.pop q with
+        | Some _ ->
+          incr popped;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      !popped = !queued && Chunksim.Rr_queue.is_empty q)
+
+let prop_rr_two_class_fairness =
+  QCheck.Test.make ~name:"rr queue serves equal backlogs near-equally"
+    ~count:50
+    QCheck.(int_range 2 40)
+    (fun n ->
+      let q = Chunksim.Rr_queue.create ~quantum:400. ~capacity:1e9 () in
+      for i = 0 to n - 1 do
+        ignore (Chunksim.Rr_queue.push q ~class_id:0 (P.data ~flow:0 ~idx:i ~born:0. 400.));
+        ignore (Chunksim.Rr_queue.push q ~class_id:1 (P.data ~flow:1 ~idx:i ~born:0. 400.))
+      done;
+      (* after any even prefix of services, counts differ by at most 1 *)
+      let c0 = ref 0 and c1 = ref 0 in
+      let ok = ref true in
+      for _ = 1 to 2 * n do
+        (match Chunksim.Rr_queue.pop q with
+        | Some p -> if P.flow p = 0 then incr c0 else incr c1
+        | None -> ok := false);
+        if abs (!c0 - !c1) > 1 then ok := false
+      done;
+      !ok)
+
+let prop_custody_per_flow_fifo =
+  QCheck.Test.make ~name:"custody is FIFO within each flow" ~count:100
+    QCheck.(list (int_range 0 3))
+    (fun flows ->
+      let c = Chunksim.Cache.create ~capacity:1e9 () in
+      let counters = Array.make 4 0 in
+      List.iter
+        (fun f ->
+          ignore
+            (Chunksim.Cache.put_custody c ~flow:f ~idx:counters.(f) ~bits:10.);
+          counters.(f) <- counters.(f) + 1)
+        flows;
+      let expect = Array.make 4 0 in
+      let ok = ref true in
+      for f = 0 to 3 do
+        let rec drain () =
+          match Chunksim.Cache.take_custody c ~flow:f with
+          | Some (idx, _) ->
+            if idx <> expect.(f) then ok := false;
+            expect.(f) <- expect.(f) + 1;
+            drain ()
+          | None -> ()
+        in
+        drain ()
+      done;
+      !ok && Array.for_all2 ( = ) expect counters)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "chunksim"
+    [
+      ( "packet",
+        [
+          Alcotest.test_case "request" `Quick test_packet_request;
+          Alcotest.test_case "data" `Quick test_packet_data;
+          Alcotest.test_case "pp" `Quick test_packet_pp;
+        ] );
+      ( "fifo",
+        [
+          Alcotest.test_case "order and bounds" `Quick test_fifo_order_and_bounds;
+          Alcotest.test_case "empty" `Quick test_fifo_empty;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "custody fifo" `Quick test_cache_custody_fifo;
+          Alcotest.test_case "custody full" `Quick test_cache_custody_full;
+          Alcotest.test_case "watermarks" `Quick test_cache_watermarks;
+          Alcotest.test_case "lru" `Quick test_cache_lru;
+          Alcotest.test_case "custody evicts popular" `Quick test_cache_custody_evicts_popular;
+          Alcotest.test_case "paper holding time" `Quick test_cache_holding_time;
+          Alcotest.test_case "validation" `Quick test_cache_validation;
+        ] );
+      ( "iface",
+        [
+          Alcotest.test_case "serialisation" `Quick test_iface_serialisation;
+          Alcotest.test_case "speed factor" `Quick test_iface_speed_factor;
+          Alcotest.test_case "drr discipline" `Quick test_iface_drr_discipline;
+          Alcotest.test_case "utilisation" `Quick test_iface_utilisation;
+          Alcotest.test_case "wire loss" `Quick test_iface_wire_loss;
+        ] );
+      ( "rr_queue",
+        [
+          Alcotest.test_case "round robin" `Quick test_rr_round_robin;
+          Alcotest.test_case "shared capacity" `Quick test_rr_capacity_shared;
+          Alcotest.test_case "large packet" `Quick test_rr_large_packet_accumulates_deficit;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "delivery and handlers" `Quick test_net_delivery_and_handlers;
+          Alcotest.test_case "inject" `Quick test_net_inject;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "basics" `Quick test_trace_basics;
+          Alcotest.test_case "limit" `Quick test_trace_limit;
+        ] );
+      ( "properties",
+        qc
+          [
+            prop_fifo_conserves_bits;
+            prop_cache_occupancy_consistent;
+            prop_rr_work_conserving;
+            prop_rr_two_class_fairness;
+            prop_custody_per_flow_fifo;
+          ] );
+    ]

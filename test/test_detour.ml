@@ -1,0 +1,276 @@
+(* Tests for detour discovery/classification and the synthetic ISP zoo
+   — the machinery behind the paper's Table 1. *)
+
+open Topology
+
+(* ------------------------------------------------------------------ *)
+(* classify_link on known motifs *)
+
+let test_triangle_one_hop () =
+  let g = Builders.ring 3 in
+  List.iter
+    (fun l ->
+      match Detour.classify_link g l with
+      | Detour.Detour 1 -> ()
+      | Detour.Detour n -> Alcotest.failf "triangle link classed %d" n
+      | Detour.Unavailable -> Alcotest.fail "triangle link has a detour")
+    (Graph.undirected_links g)
+
+let test_square_two_hop () =
+  let g = Builders.ring 4 in
+  List.iter
+    (fun l ->
+      match Detour.classify_link g l with
+      | Detour.Detour 2 -> ()
+      | _ -> Alcotest.fail "square links are 2-hop detours")
+    (Graph.undirected_links g)
+
+let test_pentagon_three_plus () =
+  let g = Builders.ring 5 in
+  List.iter
+    (fun l ->
+      match Detour.classify_link g l with
+      | Detour.Detour 3 -> ()
+      | _ -> Alcotest.fail "pentagon links are 3-hop detours")
+    (Graph.undirected_links g)
+
+let test_bridge_unavailable () =
+  let g = Builders.line 3 in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "bridges have no detour" true
+        (Detour.classify_link g l = Detour.Unavailable))
+    (Graph.undirected_links g)
+
+let test_mesh_all_one_hop () =
+  let g = Builders.full_mesh 6 in
+  let p = Detour.classify_links g in
+  Alcotest.(check (float 1e-9)) "all 1-hop" 1. p.Detour.one_hop;
+  Alcotest.(check int) "link count" 15 p.Detour.total_links
+
+let test_best_detour_path () =
+  let g = Builders.ring 4 in
+  let l = Option.get (Graph.find_link g 0 1) in
+  match Detour.best_detour g l with
+  | None -> Alcotest.fail "ring has detours"
+  | Some p ->
+    Alcotest.(check (list int)) "goes the long way" [ 0; 3; 2; 1 ] p.Path.nodes
+
+let test_best_detour_ignores_reverse () =
+  (* the reverse direction of the protected link must not be used as
+     part of the "alternative" *)
+  let g = Builders.line 2 in
+  let l = Option.get (Graph.find_link g 0 1) in
+  Alcotest.(check bool) "no detour on isolated edge" true
+    (Detour.best_detour g l = None)
+
+let test_classify_profile_sums_to_one () =
+  let g = Isp_zoo.graph Isp_zoo.Exodus in
+  let p = Detour.classify_links g in
+  let sum =
+    p.Detour.one_hop +. p.Detour.two_hop +. p.Detour.three_plus
+    +. p.Detour.unavailable
+  in
+  Alcotest.(check (float 1e-9)) "fractions sum to 1" 1. sum
+
+(* ------------------------------------------------------------------ *)
+(* detours_via *)
+
+let test_detours_via_diamond () =
+  let g = Graph.of_edges 4 [ (0, 1); (1, 3); (0, 2); (2, 3); (0, 3) ] in
+  let l = Option.get (Graph.find_link g 0 3) in
+  let ds = Detour.detours_via g l ~max_intermediate:1 in
+  let vias = List.map fst ds in
+  Alcotest.(check (list int)) "two 1-hop detours" [ 1; 2 ]
+    (List.sort Int.compare vias);
+  List.iter
+    (fun (_, p) ->
+      Alcotest.(check int) "1 intermediate" 2 (Path.hops p);
+      Alcotest.(check int) "src" 0 (Path.src p);
+      Alcotest.(check int) "dst" 3 (Path.dst p))
+    ds
+
+let test_detours_via_depth_limit () =
+  let g = Builders.ring 5 in
+  let l = Option.get (Graph.find_link g 0 1) in
+  Alcotest.(check int) "no detour within 2"
+    0
+    (List.length (Detour.detours_via g l ~max_intermediate:2));
+  Alcotest.(check int) "detour within 3"
+    1
+    (List.length (Detour.detours_via g l ~max_intermediate:3))
+
+let test_detours_via_excludes_protected () =
+  let g = Builders.ring 4 in
+  let l = Option.get (Graph.find_link g 0 1) in
+  List.iter
+    (fun (_, p) ->
+      Alcotest.(check bool) "protected link unused" false (Path.mem_link p l))
+    (Detour.detours_via g l ~max_intermediate:3)
+
+let test_detours_via_no_bounce () =
+  (* first hop must not return through the origin node *)
+  let g = Builders.ring 4 in
+  let l = Option.get (Graph.find_link g 0 1) in
+  List.iter
+    (fun (_, p) ->
+      let inner = List.tl p.Path.nodes in
+      let inner = List.filteri (fun i _ -> i < List.length inner - 1) inner in
+      Alcotest.(check bool) "origin not revisited" false (List.mem 0 inner))
+    (Detour.detours_via g l ~max_intermediate:3)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 calibration *)
+
+let check_isp_row ?(tolerance = 4.0) isp =
+  let p1, p2, p3, pna = Isp_zoo.table1_row isp in
+  let profile = Detour.classify_links (Isp_zoo.graph isp) in
+  let checks =
+    [
+      ("1 hop", p1, 100. *. profile.Detour.one_hop);
+      ("2 hops", p2, 100. *. profile.Detour.two_hop);
+      ("3+ hops", p3, 100. *. profile.Detour.three_plus);
+      ("N/A", pna, 100. *. profile.Detour.unavailable);
+    ]
+  in
+  List.iter
+    (fun (label, expected, actual) ->
+      if Float.abs (expected -. actual) > tolerance then
+        Alcotest.failf "%s %s: paper %.2f%% vs synthetic %.2f%%"
+          (Isp_zoo.name isp) label expected actual)
+    checks
+
+let isp_calibration_tests =
+  List.map
+    (fun isp ->
+      Alcotest.test_case (Isp_zoo.name isp) `Quick (fun () ->
+          check_isp_row isp))
+    Isp_zoo.all
+
+let test_zoo_connected () =
+  List.iter
+    (fun isp ->
+      Alcotest.(check bool)
+        (Isp_zoo.name isp ^ " connected")
+        true
+        (Graph.is_connected (Isp_zoo.graph isp)))
+    Isp_zoo.all
+
+let test_zoo_sizes () =
+  List.iter
+    (fun isp ->
+      let s = Isp_zoo.spec isp in
+      let g = Isp_zoo.graph isp in
+      let actual = List.length (Graph.undirected_links g) in
+      let drift = abs (actual - s.Isp_zoo.target_links) in
+      if drift > 5 then
+        Alcotest.failf "%s: %d links vs target %d" (Isp_zoo.name isp) actual
+          s.Isp_zoo.target_links)
+    Isp_zoo.all
+
+let test_zoo_deterministic () =
+  let a = Isp_zoo.generate (Isp_zoo.spec Isp_zoo.Sprint) in
+  let b = Isp_zoo.generate (Isp_zoo.spec Isp_zoo.Sprint) in
+  Alcotest.(check string) "same serialisation" (Serial.to_string a)
+    (Serial.to_string b)
+
+let test_zoo_names () =
+  List.iter
+    (fun isp ->
+      match Isp_zoo.of_name (Isp_zoo.name isp) with
+      | Some isp' when isp' = isp -> ()
+      | _ -> Alcotest.failf "name roundtrip failed for %s" (Isp_zoo.name isp))
+    Isp_zoo.all;
+  Alcotest.(check bool) "case insensitive" true
+    (Isp_zoo.of_name "LEVEL 3" = Some Isp_zoo.Level3);
+  Alcotest.(check bool) "unknown" true (Isp_zoo.of_name "fastly" = None)
+
+let test_zoo_average_row () =
+  (* the paper's Average row: 52.80 / 30.86 / 3.24 / 13.10 *)
+  let profiles = List.map (fun i -> Detour.classify_links (Isp_zoo.graph i)) Isp_zoo.all in
+  let n = float_of_int (List.length profiles) in
+  let avg f = 100. *. List.fold_left (fun acc p -> acc +. f p) 0. profiles /. n in
+  let a1 = avg (fun p -> p.Detour.one_hop) in
+  let a2 = avg (fun p -> p.Detour.two_hop) in
+  let a3 = avg (fun p -> p.Detour.three_plus) in
+  let ana = avg (fun p -> p.Detour.unavailable) in
+  let close expected actual =
+    Alcotest.(check bool)
+      (Printf.sprintf "avg %.2f vs %.2f" expected actual)
+      true
+      (Float.abs (expected -. actual) < 3.)
+  in
+  close 52.80 a1;
+  close 30.86 a2;
+  close 3.24 a3;
+  close 13.10 ana
+
+let test_fig4_isps () =
+  Alcotest.(check int) "three ISPs" 3 (List.length Isp_zoo.fig4_isps);
+  Alcotest.(check bool) "telstra included" true
+    (List.mem Isp_zoo.Telstra Isp_zoo.fig4_isps)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_best_detour_consistent_with_class =
+  QCheck.Test.make
+    ~name:"best_detour length matches classify_link" ~count:40
+    (QCheck.make QCheck.Gen.(pair (int_range 5 25) (int_range 0 10_000)))
+    (fun (n, seed) ->
+      let g = Builders.erdos_renyi ~seed:(Int64.of_int seed) ~p:0.3 n in
+      List.for_all
+        (fun l ->
+          match Detour.classify_link g l, Detour.best_detour g l with
+          | Detour.Unavailable, None -> true
+          | Detour.Detour k, Some p -> Path.hops p = k + 1
+          | _ -> false)
+        (Graph.undirected_links g))
+
+let prop_detours_via_within_depth =
+  QCheck.Test.make ~name:"detours_via respects depth bound" ~count:40
+    (QCheck.make QCheck.Gen.(pair (int_range 5 20) (int_range 0 10_000)))
+    (fun (n, seed) ->
+      let g = Builders.erdos_renyi ~seed:(Int64.of_int seed) ~p:0.35 n in
+      List.for_all
+        (fun l ->
+          List.for_all
+            (fun (_, p) -> Path.hops p <= 3)
+            (Detour.detours_via g l ~max_intermediate:2))
+        (Graph.undirected_links g))
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "detour"
+    [
+      ( "classification",
+        [
+          Alcotest.test_case "triangle 1-hop" `Quick test_triangle_one_hop;
+          Alcotest.test_case "square 2-hop" `Quick test_square_two_hop;
+          Alcotest.test_case "pentagon 3-hop" `Quick test_pentagon_three_plus;
+          Alcotest.test_case "bridge unavailable" `Quick test_bridge_unavailable;
+          Alcotest.test_case "mesh all 1-hop" `Quick test_mesh_all_one_hop;
+          Alcotest.test_case "best detour path" `Quick test_best_detour_path;
+          Alcotest.test_case "reverse excluded" `Quick test_best_detour_ignores_reverse;
+          Alcotest.test_case "profile sums to 1" `Quick test_classify_profile_sums_to_one;
+        ] );
+      ( "detours_via",
+        [
+          Alcotest.test_case "diamond" `Quick test_detours_via_diamond;
+          Alcotest.test_case "depth limit" `Quick test_detours_via_depth_limit;
+          Alcotest.test_case "protected excluded" `Quick test_detours_via_excludes_protected;
+          Alcotest.test_case "no bounce" `Quick test_detours_via_no_bounce;
+        ] );
+      ("table1 calibration", isp_calibration_tests);
+      ( "isp zoo",
+        [
+          Alcotest.test_case "connected" `Quick test_zoo_connected;
+          Alcotest.test_case "sizes" `Quick test_zoo_sizes;
+          Alcotest.test_case "deterministic" `Quick test_zoo_deterministic;
+          Alcotest.test_case "names" `Quick test_zoo_names;
+          Alcotest.test_case "average row" `Quick test_zoo_average_row;
+          Alcotest.test_case "fig4 trio" `Quick test_fig4_isps;
+        ] );
+      ( "properties",
+        qc [ prop_best_detour_consistent_with_class; prop_detours_via_within_depth ] );
+    ]

@@ -1,0 +1,698 @@
+(* Tests for the INRPP protocol: config, session bookkeeping, the
+   rate estimator (eq. 1), the phase machine, flowlets, detour tables,
+   and full protocol runs exercising push/detour/back-pressure. *)
+
+let check_close msg tolerance expected actual =
+  Alcotest.(check (float tolerance)) msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Config *)
+
+let test_config_default_valid () =
+  match Inrpp.Config.validate Inrpp.Config.default with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m
+
+let test_config_rejections () =
+  let bad f =
+    match Inrpp.Config.validate (f Inrpp.Config.default) with
+    | Ok _ -> Alcotest.fail "accepted invalid config"
+    | Error _ -> ()
+  in
+  bad (fun c -> { c with Inrpp.Config.chunk_bits = 0. });
+  bad (fun c -> { c with Inrpp.Config.anticipation = -1 });
+  bad (fun c -> { c with Inrpp.Config.engage_ratio = 0.5; release_ratio = 0.6 });
+  bad (fun c -> { c with Inrpp.Config.cache_low_water = 0.9 });
+  bad (fun c -> { c with Inrpp.Config.speed_factor = 1.5 });
+  bad (fun c -> { c with Inrpp.Config.ti = 0. })
+
+let test_config_chunk_tx_time () =
+  check_close "80kb at 10Mbps" 1e-12 8e-3
+    (Inrpp.Config.chunk_tx_time Inrpp.Config.default ~rate:10e6)
+
+(* ------------------------------------------------------------------ *)
+(* Session *)
+
+let test_session_in_order () =
+  let s = Inrpp.Session.create ~total_chunks:3 in
+  Alcotest.(check int) "needs 0" 0 (Inrpp.Session.next_needed s);
+  Alcotest.(check bool) "new" true (Inrpp.Session.receive s 0 = `New);
+  Alcotest.(check bool) "dup" true (Inrpp.Session.receive s 0 = `Duplicate);
+  ignore (Inrpp.Session.receive s 1);
+  ignore (Inrpp.Session.receive s 2);
+  Alcotest.(check bool) "complete" true (Inrpp.Session.is_complete s);
+  Alcotest.(check int) "next = total" 3 (Inrpp.Session.next_needed s)
+
+let test_session_out_of_order () =
+  let s = Inrpp.Session.create ~total_chunks:5 in
+  ignore (Inrpp.Session.receive s 3);
+  ignore (Inrpp.Session.receive s 1);
+  Alcotest.(check int) "still needs 0" 0 (Inrpp.Session.next_needed s);
+  Alcotest.(check int) "highest" 3 (Inrpp.Session.highest_received s);
+  ignore (Inrpp.Session.receive s 0);
+  Alcotest.(check int) "skips received 1" 2 (Inrpp.Session.next_needed s);
+  Alcotest.(check (list int)) "missing below 5" [ 2; 4 ]
+    (Inrpp.Session.missing_below s 5);
+  Alcotest.(check int) "count" 3 (Inrpp.Session.received_count s)
+
+let test_session_bounds () =
+  let s = Inrpp.Session.create ~total_chunks:2 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Session.receive: chunk 2 outside [0,2)") (fun () ->
+      ignore (Inrpp.Session.receive s 2))
+
+(* ------------------------------------------------------------------ *)
+(* Rate estimator *)
+
+let test_estimator_converges () =
+  let e = Inrpp.Rate_estimator.create ~ti:0.1 ~alpha:0.5 ~capacity:1e6 in
+  (* 50 kbit predicted per 0.1 s interval = 500 kbps steady demand *)
+  for _ = 1 to 20 do
+    for _ = 1 to 5 do
+      Inrpp.Rate_estimator.note_request e ~expected_bits:1e4
+    done;
+    Inrpp.Rate_estimator.tick e
+  done;
+  check_close "ra converged" 1e3 5e5 (Inrpp.Rate_estimator.anticipated_rate e);
+  check_close "ratio" 1e-2 0.5 (Inrpp.Rate_estimator.ratio e);
+  Alcotest.(check int) "intervals" 20 (Inrpp.Rate_estimator.intervals e)
+
+let test_estimator_transit_counts () =
+  let e = Inrpp.Rate_estimator.create ~ti:1. ~alpha:1. ~capacity:1e6 in
+  Inrpp.Rate_estimator.note_request e ~expected_bits:3e5;
+  Inrpp.Rate_estimator.note_transit e ~bits:2e5;
+  Inrpp.Rate_estimator.tick e;
+  check_close "both counted" 1e-6 5e5 (Inrpp.Rate_estimator.anticipated_rate e)
+
+let test_estimator_decays () =
+  let e = Inrpp.Rate_estimator.create ~ti:1. ~alpha:0.5 ~capacity:1e6 in
+  Inrpp.Rate_estimator.note_request e ~expected_bits:1e6;
+  Inrpp.Rate_estimator.tick e;
+  let first = Inrpp.Rate_estimator.anticipated_rate e in
+  Inrpp.Rate_estimator.tick e;
+  Inrpp.Rate_estimator.tick e;
+  Alcotest.(check bool) "decays toward zero" true
+    (Inrpp.Rate_estimator.anticipated_rate e < first /. 2.)
+
+let test_shares_eq1 () =
+  let s = Inrpp.Rate_estimator.Shares.create ~ifaces:3 in
+  (* iface 0 forwarded 3 requests to iface 1 and 1 to iface 2 *)
+  for _ = 1 to 3 do
+    Inrpp.Rate_estimator.Shares.note s ~from_iface:0 ~to_iface:1
+  done;
+  Inrpp.Rate_estimator.Shares.note s ~from_iface:0 ~to_iface:2;
+  check_close "y(0->1)" 1e-9 0.75
+    (Inrpp.Rate_estimator.Shares.y s ~from_iface:0 ~to_iface:1);
+  check_close "y(0->2)" 1e-9 0.25
+    (Inrpp.Rate_estimator.Shares.y s ~from_iface:0 ~to_iface:2);
+  check_close "empty row" 1e-9 0.
+    (Inrpp.Rate_estimator.Shares.y s ~from_iface:1 ~to_iface:0);
+  Inrpp.Rate_estimator.Shares.reset s;
+  check_close "reset" 1e-9 0.
+    (Inrpp.Rate_estimator.Shares.y s ~from_iface:0 ~to_iface:1)
+
+(* ------------------------------------------------------------------ *)
+(* Phase machine *)
+
+let phase_mk () = Inrpp.Phase.create ~engage:0.95 ~release:0.75
+
+let upd p ~ratio ~detour ~pressure ~drained =
+  Inrpp.Phase.update p ~ratio ~detour_usable:detour ~custody_pressure:pressure
+    ~custody_drained:drained
+
+let test_phase_push_to_detour () =
+  let p = phase_mk () in
+  Alcotest.(check bool) "starts in push" true
+    (Inrpp.Phase.current p = Inrpp.Phase.Push_data);
+  let next = upd p ~ratio:1.0 ~detour:true ~pressure:false ~drained:true in
+  Alcotest.(check bool) "engages detour" true (next = Inrpp.Phase.Detour)
+
+let test_phase_push_to_bp_without_detour () =
+  let p = phase_mk () in
+  let next = upd p ~ratio:1.0 ~detour:false ~pressure:false ~drained:true in
+  Alcotest.(check bool) "goes straight to bp" true
+    (next = Inrpp.Phase.Backpressure)
+
+let test_phase_hysteresis () =
+  let p = phase_mk () in
+  ignore (upd p ~ratio:1.0 ~detour:true ~pressure:false ~drained:true);
+  (* a ratio between release and engage must NOT flip back *)
+  let mid = upd p ~ratio:0.85 ~detour:true ~pressure:false ~drained:true in
+  Alcotest.(check bool) "holds detour" true (mid = Inrpp.Phase.Detour);
+  let low = upd p ~ratio:0.5 ~detour:true ~pressure:false ~drained:true in
+  Alcotest.(check bool) "releases" true (low = Inrpp.Phase.Push_data);
+  Alcotest.(check int) "transitions counted" 2 (Inrpp.Phase.transitions p)
+
+let test_phase_detour_to_bp_on_pressure () =
+  let p = phase_mk () in
+  ignore (upd p ~ratio:1.0 ~detour:true ~pressure:false ~drained:true);
+  let next = upd p ~ratio:1.0 ~detour:true ~pressure:true ~drained:false in
+  Alcotest.(check bool) "custody pressure escalates" true
+    (next = Inrpp.Phase.Backpressure)
+
+let test_phase_bp_recovery () =
+  let p = phase_mk () in
+  ignore (upd p ~ratio:1.0 ~detour:false ~pressure:true ~drained:false);
+  (* still congested, not drained: stay *)
+  let still = upd p ~ratio:1.0 ~detour:false ~pressure:false ~drained:false in
+  Alcotest.(check bool) "stays in bp" true (still = Inrpp.Phase.Backpressure);
+  let back = upd p ~ratio:0.5 ~detour:false ~pressure:false ~drained:true in
+  Alcotest.(check bool) "recovers to push" true (back = Inrpp.Phase.Push_data)
+
+(* ------------------------------------------------------------------ *)
+(* Flowlet *)
+
+let test_flowlet_pinning () =
+  let f = Inrpp.Flowlet.create ~gap:0.1 in
+  let r1 = Inrpp.Flowlet.choose f ~flow:1 ~now:0. ~preferred:(Inrpp.Flowlet.Via 5) in
+  Alcotest.(check bool) "first pick" true (r1 = Inrpp.Flowlet.Via 5);
+  (* within the gap, preference changes are ignored *)
+  let r2 = Inrpp.Flowlet.choose f ~flow:1 ~now:0.05 ~preferred:Inrpp.Flowlet.Primary in
+  Alcotest.(check bool) "pinned" true (r2 = Inrpp.Flowlet.Via 5);
+  (* after an idle gap the flow re-pins *)
+  let r3 = Inrpp.Flowlet.choose f ~flow:1 ~now:0.3 ~preferred:Inrpp.Flowlet.Primary in
+  Alcotest.(check bool) "re-pinned" true (r3 = Inrpp.Flowlet.Primary);
+  Alcotest.(check int) "one flow tracked" 1 (Inrpp.Flowlet.active_flows f)
+
+(* ------------------------------------------------------------------ *)
+(* Detour table *)
+
+let test_detour_table_candidates () =
+  let g = Topology.Builders.fig3 () in
+  let t = Inrpp.Detour_table.create g in
+  let l13 = Option.get (Topology.Graph.find_link g 1 3) in
+  (match Inrpp.Detour_table.candidates t l13 with
+  | c :: _ as cs ->
+    (* shortest first: the 1-intermediate detour via node 2; the
+       2-intermediate 1-0-2-3 fallback follows *)
+    Alcotest.(check int) "two candidates" 2 (List.length cs);
+    Alcotest.(check int) "deflects to node 2" 2
+      c.Inrpp.Detour_table.first_link.Topology.Link.dst;
+    Alcotest.(check (list int)) "rejoins at 3" [ 3 ] c.Inrpp.Detour_table.rest;
+    Alcotest.(check int) "2 hops" 2 c.Inrpp.Detour_table.hops;
+    Alcotest.(check int) "2 links" 2 (List.length c.Inrpp.Detour_table.links)
+  | [] -> Alcotest.fail "expected candidates");
+  Alcotest.(check bool) "has detour" true (Inrpp.Detour_table.has_detour t l13)
+
+let test_detour_table_none_on_line () =
+  let g = Topology.Builders.line 3 in
+  let t = Inrpp.Detour_table.create g in
+  let l = Option.get (Topology.Graph.find_link g 0 1) in
+  Alcotest.(check bool) "no detour on a line" false
+    (Inrpp.Detour_table.has_detour t l)
+
+(* ------------------------------------------------------------------ *)
+(* Sender / Receiver unit behaviour *)
+
+let test_sender_paced_push () =
+  let eng = Sim.Engine.create () in
+  let sent = ref [] in
+  let cfg = Inrpp.Config.default in
+  let s =
+    Inrpp.Sender.create ~cfg ~eng ~flow:0 ~total_chunks:20
+      ~pace_rate:(10. *. cfg.Inrpp.Config.chunk_bits) (* 10 chunks/s *)
+      ~transmit:(fun p -> sent := (Sim.Engine.now eng, p) :: !sent)
+  in
+  (* one request invites chunks 0..4 (ac = 4) into the backlog *)
+  Inrpp.Sender.handle s (Chunksim.Packet.request ~flow:0 ~nc:0 ~ack:0 ~ac:4);
+  Alcotest.(check int) "first chunk sent immediately" 1 (List.length !sent);
+  Alcotest.(check int) "backlog holds the rest" 4 (Inrpp.Sender.backlog s);
+  Sim.Engine.run eng;
+  Alcotest.(check int) "all invited chunks sent" 5 (List.length !sent);
+  Alcotest.(check int) "pushed high-water" 5 (Inrpp.Sender.pushed s);
+  (* pacing: consecutive sends are 0.1 s apart *)
+  let times = List.rev_map fst !sent in
+  let rec gaps = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check (float 1e-9)) "pace gap" 0.1 (b -. a);
+      gaps rest
+    | _ -> ()
+  in
+  gaps times
+
+let test_sender_backpressure_mode () =
+  let eng = Sim.Engine.create () in
+  let sent = ref 0 in
+  let cfg = Inrpp.Config.default in
+  let s =
+    Inrpp.Sender.create ~cfg ~eng ~flow:0 ~total_chunks:100
+      ~pace_rate:(100. *. cfg.Inrpp.Config.chunk_bits)
+      ~transmit:(fun _ -> incr sent)
+  in
+  Inrpp.Sender.handle s (Chunksim.Packet.backpressure ~flow:0 ~engage:true);
+  Alcotest.(check bool) "in bp" true (Inrpp.Sender.in_backpressure s);
+  (* closed loop: exactly one chunk per request, no anticipation *)
+  Inrpp.Sender.handle s (Chunksim.Packet.request ~flow:0 ~nc:0 ~ack:0 ~ac:50);
+  Inrpp.Sender.handle s (Chunksim.Packet.request ~flow:0 ~nc:1 ~ack:1 ~ac:51);
+  Sim.Engine.run eng;
+  Alcotest.(check int) "1-to-1 flow balance" 2 !sent;
+  (* release resumes the open loop *)
+  Inrpp.Sender.handle s (Chunksim.Packet.backpressure ~flow:0 ~engage:false);
+  Inrpp.Sender.handle s (Chunksim.Packet.request ~flow:0 ~nc:2 ~ack:2 ~ac:9);
+  Sim.Engine.run eng;
+  Alcotest.(check int) "open loop refills to ac" 10 !sent
+
+let test_sender_stall_retransmission () =
+  let eng = Sim.Engine.create () in
+  let sent = ref [] in
+  let cfg = Inrpp.Config.default in
+  let s =
+    Inrpp.Sender.create ~cfg ~eng ~flow:0 ~total_chunks:10
+      ~pace_rate:(1000. *. cfg.Inrpp.Config.chunk_bits)
+      ~transmit:(fun p ->
+        match p.Chunksim.Packet.header with
+        | Chunksim.Packet.Data { idx; _ } -> sent := idx :: !sent
+        | _ -> ())
+  in
+  Inrpp.Sender.handle s (Chunksim.Packet.request ~flow:0 ~nc:0 ~ack:0 ~ac:5);
+  Sim.Engine.run eng;
+  let before = List.length !sent in
+  (* two repeats are tolerated (reordering)... *)
+  Inrpp.Sender.handle s (Chunksim.Packet.request ~flow:0 ~nc:2 ~ack:2 ~ac:5);
+  Inrpp.Sender.handle s (Chunksim.Packet.request ~flow:0 ~nc:2 ~ack:2 ~ac:5);
+  Sim.Engine.run eng;
+  Alcotest.(check int) "no retransmit yet" before (List.length !sent);
+  (* ...the third identical Nc is a stall: retransmit chunk 2 *)
+  Inrpp.Sender.handle s (Chunksim.Packet.request ~flow:0 ~nc:2 ~ack:2 ~ac:5);
+  Sim.Engine.run eng;
+  Alcotest.(check int) "retransmitted" (before + 1) (List.length !sent);
+  Alcotest.(check int) "the hole chunk" 2 (List.hd !sent)
+
+let test_receiver_flow_balance () =
+  let eng = Sim.Engine.create () in
+  let requests = ref [] in
+  let completed = ref None in
+  let cfg = Inrpp.Config.default in
+  let r =
+    Inrpp.Receiver.create ~cfg ~eng ~flow:0 ~total_chunks:3
+      ~send_request:(fun p -> requests := p :: !requests)
+      ~on_complete:(fun ~fct -> completed := Some fct)
+  in
+  Inrpp.Receiver.start r;
+  Alcotest.(check int) "initial request" 1 (List.length !requests);
+  (* each arriving chunk triggers exactly one further request *)
+  Inrpp.Receiver.handle_data r
+    (Chunksim.Packet.data ~flow:0 ~idx:0 ~born:0. cfg.Inrpp.Config.chunk_bits);
+  Alcotest.(check int) "one per data" 2 (List.length !requests);
+  Inrpp.Receiver.handle_data r
+    (Chunksim.Packet.data ~flow:0 ~idx:1 ~born:0. cfg.Inrpp.Config.chunk_bits);
+  Inrpp.Receiver.handle_data r
+    (Chunksim.Packet.data ~flow:0 ~idx:2 ~born:0. cfg.Inrpp.Config.chunk_bits);
+  Alcotest.(check bool) "completed" true (!completed <> None);
+  Alcotest.(check int) "duplicates zero" 0 (Inrpp.Receiver.duplicates r);
+  (* the last data needs no further request *)
+  Alcotest.(check int) "no request after completion" 3 (List.length !requests)
+
+let test_receiver_timeout_rerequests () =
+  let eng = Sim.Engine.create () in
+  let requests = ref 0 in
+  let cfg = { Inrpp.Config.default with Inrpp.Config.request_timeout = 0.05 } in
+  let r =
+    Inrpp.Receiver.create ~cfg ~eng ~flow:0 ~total_chunks:5
+      ~send_request:(fun _ -> incr requests)
+      ~on_complete:(fun ~fct -> ignore fct)
+  in
+  Inrpp.Receiver.start r;
+  (* nothing ever arrives: the timeout must keep re-asking *)
+  Sim.Engine.run ~until:0.3 eng;
+  Alcotest.(check bool)
+    (Printf.sprintf "re-requested (%d requests)" !requests)
+    true (!requests >= 4)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol end-to-end *)
+
+let bulk = { Inrpp.Config.default with Inrpp.Config.anticipation = 512 }
+
+let bottleneck_graph () =
+  let b = Topology.Graph.Builder.create () in
+  let n0 = Topology.Graph.Builder.add_node b "0" in
+  let n1 = Topology.Graph.Builder.add_node b "1" in
+  let n2 = Topology.Graph.Builder.add_node b "2" in
+  Topology.Graph.Builder.add_edge b ~capacity:10e6 ~delay:2e-3 n0 n1;
+  Topology.Graph.Builder.add_edge b ~capacity:2e6 ~delay:2e-3 n1 n2;
+  Topology.Graph.Builder.build b
+
+let test_protocol_clean_line () =
+  let g = Topology.Builders.line ~capacity:10e6 ~delay:2e-3 3 in
+  let r = Inrpp.Protocol.run ~cfg:bulk g [ Inrpp.Protocol.flow_spec ~src:0 ~dst:2 200 ] in
+  Alcotest.(check int) "completes" 1 r.Inrpp.Protocol.completed;
+  Alcotest.(check int) "no drops" 0 r.Inrpp.Protocol.total_drops;
+  Alcotest.(check int) "no detours on a line" 0 r.Inrpp.Protocol.detoured;
+  (* 200 x 80 kbit at 10 Mbps is 1.6 s; allow protocol overhead *)
+  match r.Inrpp.Protocol.flows.(0).Inrpp.Protocol.fct with
+  | Some fct ->
+    Alcotest.(check bool)
+      (Printf.sprintf "fct %.3f near line rate" fct)
+      true
+      (fct > 1.5 && fct < 2.0)
+  | None -> Alcotest.fail "flow unfinished"
+
+let test_protocol_bottleneck_custody () =
+  (* pushing 10 Mbps into a 2 Mbps link: custody absorbs, nothing drops,
+     and the transfer finishes at bottleneck pace *)
+  let g = bottleneck_graph () in
+  let r = Inrpp.Protocol.run ~cfg:bulk g [ Inrpp.Protocol.flow_spec ~src:0 ~dst:2 200 ] in
+  Alcotest.(check int) "completes" 1 r.Inrpp.Protocol.completed;
+  Alcotest.(check int) "zero loss despite 5x overload" 0 r.Inrpp.Protocol.total_drops;
+  Alcotest.(check bool) "custody used" true (r.Inrpp.Protocol.custody_stored > 0);
+  Alcotest.(check bool) "custody bounded by store" true
+    (r.Inrpp.Protocol.peak_custody_bits <= bulk.Inrpp.Config.cache_bits);
+  match r.Inrpp.Protocol.flows.(0).Inrpp.Protocol.fct with
+  | Some fct ->
+    Alcotest.(check bool)
+      (Printf.sprintf "fct %.3f near bottleneck pace (8 s ideal)" fct)
+      true
+      (fct > 7.5 && fct < 10.)
+  | None -> Alcotest.fail "flow unfinished"
+
+let test_protocol_backpressure_engages () =
+  (* a small store forces the back-pressure phase: the congested router
+     must signal upstream and the sender must enter the closed loop *)
+  let g = bottleneck_graph () in
+  let cfg = { bulk with Inrpp.Config.cache_bits = 20. *. bulk.Inrpp.Config.chunk_bits } in
+  let r =
+    Inrpp.Protocol.run ~cfg ~collect_trace:true g
+      [ Inrpp.Protocol.flow_spec ~src:0 ~dst:2 200 ]
+  in
+  Alcotest.(check int) "completes" 1 r.Inrpp.Protocol.completed;
+  Alcotest.(check bool) "bp engaged" true (r.Inrpp.Protocol.bp_engages > 0);
+  Alcotest.(check bool) "bp released" true (r.Inrpp.Protocol.bp_releases > 0);
+  let tr = Option.get r.Inrpp.Protocol.trace in
+  Alcotest.(check bool) "bp signal traced" true
+    (Chunksim.Trace.count tr (function
+       | Chunksim.Trace.Bp_signal { engage = true; _ } -> true
+       | _ -> false)
+    > 0)
+
+let test_protocol_fig3_detours () =
+  let g = Topology.Builders.fig3 () in
+  let r =
+    Inrpp.Protocol.run ~cfg:bulk ~collect_trace:true g
+      [ Inrpp.Protocol.flow_spec ~src:0 ~dst:3 300 ]
+  in
+  Alcotest.(check int) "completes" 1 r.Inrpp.Protocol.completed;
+  Alcotest.(check bool) "detour used" true (r.Inrpp.Protocol.detoured > 50);
+  (* detour + primary beat the 2 Mbps bottleneck alone: 300 chunks =
+     24 Mbit; at 2 Mbps that is 12 s, with detours it must be well under *)
+  (match r.Inrpp.Protocol.flows.(0).Inrpp.Protocol.fct with
+  | Some fct ->
+    Alcotest.(check bool)
+      (Printf.sprintf "fct %.3f beats single-path 12 s" fct)
+      true (fct < 9.)
+  | None -> Alcotest.fail "flow unfinished");
+  let tr = Option.get r.Inrpp.Protocol.trace in
+  Alcotest.(check bool) "detour events traced" true
+    (Chunksim.Trace.count tr (function
+       | Chunksim.Trace.Detoured _ -> true
+       | _ -> false)
+    > 0)
+
+let test_protocol_phase_transitions_observed () =
+  let g = Topology.Builders.fig3 () in
+  let r =
+    Inrpp.Protocol.run ~cfg:bulk ~collect_trace:true g
+      [ Inrpp.Protocol.flow_spec ~src:0 ~dst:3 300 ]
+  in
+  Alcotest.(check bool) "phases changed" true (r.Inrpp.Protocol.phase_transitions > 0);
+  let tr = Option.get r.Inrpp.Protocol.trace in
+  let entered_detour =
+    Chunksim.Trace.count tr (function
+      | Chunksim.Trace.Phase_change { phase = "detour"; _ } -> true
+      | _ -> false)
+  in
+  Alcotest.(check bool) "detour phase entered" true (entered_detour > 0)
+
+let test_protocol_two_flows_share () =
+  let g = Topology.Builders.fig3 () in
+  let specs =
+    [
+      Inrpp.Protocol.flow_spec ~src:0 ~dst:3 150;
+      Inrpp.Protocol.flow_spec ~src:0 ~dst:1 150;
+    ]
+  in
+  let r = Inrpp.Protocol.run ~cfg:bulk g specs in
+  Alcotest.(check int) "both complete" 2 r.Inrpp.Protocol.completed;
+  let rates =
+    Array.map
+      (fun fr ->
+        match fr.Inrpp.Protocol.fct with
+        | Some fct ->
+          float_of_int fr.Inrpp.Protocol.chunks_received
+          *. bulk.Inrpp.Config.chunk_bits /. fct
+        | None -> 0.)
+      r.Inrpp.Protocol.flows
+  in
+  let jain = Metrics.Fairness.jain rates in
+  Alcotest.(check bool)
+    (Printf.sprintf "fair rates (jain %.3f)" jain)
+    true (jain > 0.85)
+
+let test_protocol_icn_cache_hits () =
+  (* the same content fetched twice: the repeat is served on path *)
+  let g = Topology.Builders.line ~capacity:10e6 ~delay:5e-3 5 in
+  let cfg = { bulk with Inrpp.Config.icn_caching = true; cache_bits = 64e6 } in
+  let specs =
+    [
+      Inrpp.Protocol.flow_spec ~content:7 ~src:0 ~dst:4 100;
+      Inrpp.Protocol.flow_spec ~content:7 ~start:2. ~src:0 ~dst:4 100;
+    ]
+  in
+  let r = Inrpp.Protocol.run ~cfg g specs in
+  Alcotest.(check int) "both complete" 2 r.Inrpp.Protocol.completed;
+  Alcotest.(check bool) "cache hits happened" true (r.Inrpp.Protocol.cache_hits > 50);
+  match
+    ( r.Inrpp.Protocol.flows.(0).Inrpp.Protocol.fct,
+      r.Inrpp.Protocol.flows.(1).Inrpp.Protocol.fct )
+  with
+  | Some first, Some repeat ->
+    Alcotest.(check bool)
+      (Printf.sprintf "repeat %.3f much faster than first %.3f" repeat first)
+      true
+      (repeat < first /. 2.)
+  | _ -> Alcotest.fail "flows unfinished"
+
+let test_protocol_icn_cache_off_by_default () =
+  let g = Topology.Builders.line ~capacity:10e6 ~delay:5e-3 4 in
+  let specs =
+    [
+      Inrpp.Protocol.flow_spec ~content:7 ~src:0 ~dst:3 50;
+      Inrpp.Protocol.flow_spec ~content:7 ~start:1. ~src:0 ~dst:3 50;
+    ]
+  in
+  let r = Inrpp.Protocol.run ~cfg:bulk g specs in
+  Alcotest.(check int) "no hits without the flag" 0 r.Inrpp.Protocol.cache_hits
+
+let test_protocol_drr_runs () =
+  let g = Topology.Builders.fig3 () in
+  let cfg = { bulk with Inrpp.Config.drr_scheduler = true } in
+  let specs =
+    [
+      Inrpp.Protocol.flow_spec ~src:0 ~dst:3 150;
+      Inrpp.Protocol.flow_spec ~src:0 ~dst:1 150;
+    ]
+  in
+  let r = Inrpp.Protocol.run ~cfg g specs in
+  Alcotest.(check int) "both complete under DRR" 2 r.Inrpp.Protocol.completed;
+  Alcotest.(check int) "no drops" 0 r.Inrpp.Protocol.total_drops
+
+let test_protocol_recovers_from_wire_loss () =
+  let g = Topology.Builders.line ~capacity:10e6 ~delay:2e-3 4 in
+  let r =
+    Inrpp.Protocol.run ~cfg:bulk ~loss_rate:0.02 ~horizon:120. g
+      [ Inrpp.Protocol.flow_spec ~src:0 ~dst:3 150 ]
+  in
+  Alcotest.(check int) "completes despite 2% loss" 1 r.Inrpp.Protocol.completed;
+  Alcotest.(check int) "every chunk delivered" 150
+    r.Inrpp.Protocol.flows.(0).Inrpp.Protocol.chunks_received
+
+let test_protocol_loss_is_deterministic () =
+  let g = Topology.Builders.line ~capacity:10e6 ~delay:2e-3 4 in
+  let run () =
+    Inrpp.Protocol.run ~cfg:bulk ~loss_rate:0.03 ~horizon:120. g
+      [ Inrpp.Protocol.flow_spec ~src:0 ~dst:3 100 ]
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same fct under same loss seed" true
+    (a.Inrpp.Protocol.flows.(0).Inrpp.Protocol.fct
+    = b.Inrpp.Protocol.flows.(0).Inrpp.Protocol.fct)
+
+let test_protocol_isp_multi_flow () =
+  (* integration: three concurrent transfers across the VSNL ISP graph
+     all complete losslessly *)
+  let g = Topology.Isp_zoo.graph Topology.Isp_zoo.Vsnl in
+  let n = Topology.Graph.node_count g in
+  let cfg =
+    {
+      bulk with
+      Inrpp.Config.chunk_bits = 80e3;
+      cache_bits = 100e6;
+      queue_bits = 64. *. 80e3;
+    }
+  in
+  let specs =
+    [
+      Inrpp.Protocol.flow_spec ~src:(n - 4) ~dst:(n - 1) 150;
+      Inrpp.Protocol.flow_spec ~src:(n - 4) ~dst:(n - 2) 150;
+      Inrpp.Protocol.flow_spec ~src:0 ~dst:(n - 3) 150;
+    ]
+  in
+  let r = Inrpp.Protocol.run ~cfg ~horizon:30. g specs in
+  Alcotest.(check int) "all complete" 3 r.Inrpp.Protocol.completed;
+  Alcotest.(check int) "lossless" 0 r.Inrpp.Protocol.total_drops
+
+let test_protocol_deterministic () =
+  let g = Topology.Builders.fig3 () in
+  let run () =
+    Inrpp.Protocol.run ~cfg:bulk g [ Inrpp.Protocol.flow_spec ~src:0 ~dst:3 100 ]
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same fct" true
+    (a.Inrpp.Protocol.flows.(0).Inrpp.Protocol.fct
+    = b.Inrpp.Protocol.flows.(0).Inrpp.Protocol.fct);
+  Alcotest.(check int) "same detours" a.Inrpp.Protocol.detoured
+    b.Inrpp.Protocol.detoured
+
+let test_protocol_validation () =
+  let g = Topology.Builders.line 3 in
+  Alcotest.check_raises "no flows" (Invalid_argument "Protocol.run: no flows")
+    (fun () -> ignore (Inrpp.Protocol.run g []));
+  let disconnected = Topology.Graph.of_edges 4 [ (0, 1); (2, 3) ] in
+  (match
+     Inrpp.Protocol.run disconnected [ Inrpp.Protocol.flow_spec ~src:0 ~dst:3 1 ]
+   with
+  | _ -> Alcotest.fail "unroutable accepted"
+  | exception Invalid_argument _ -> ());
+  Alcotest.check_raises "bad spec" (Invalid_argument "Protocol.flow_spec: chunks <= 0")
+    (fun () -> ignore (Inrpp.Protocol.flow_spec ~src:0 ~dst:1 0))
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_session_next_needed_is_lowest_missing =
+  QCheck.Test.make ~name:"session next_needed is the lowest missing" ~count:200
+    QCheck.(pair (int_range 1 50) (list (int_range 0 49)))
+    (fun (total, arrivals) ->
+      let s = Inrpp.Session.create ~total_chunks:total in
+      let got = Array.make total false in
+      List.iter
+        (fun idx ->
+          if idx < total then begin
+            ignore (Inrpp.Session.receive s idx);
+            got.(idx) <- true
+          end)
+        arrivals;
+      let expected =
+        let rec scan i = if i >= total then total else if got.(i) then scan (i + 1) else i in
+        scan 0
+      in
+      Inrpp.Session.next_needed s = expected)
+
+let prop_phase_never_skips_validation =
+  QCheck.Test.make ~name:"phase machine output is stable under repeats"
+    ~count:200
+    QCheck.(triple (float_bound_inclusive 2.) bool bool)
+    (fun (ratio, detour, pressure) ->
+      let p = phase_mk () in
+      let a = upd p ~ratio ~detour ~pressure ~drained:(not pressure) in
+      let b = upd p ~ratio ~detour ~pressure ~drained:(not pressure) in
+      (* a second identical update never changes the phase again, except
+         the legal Detour -> Backpressure escalation under pressure *)
+      a = b || (a = Inrpp.Phase.Detour && b = Inrpp.Phase.Backpressure))
+
+let prop_session_any_permutation_completes =
+  QCheck.Test.make ~name:"session completes under any arrival order" ~count:100
+    QCheck.(int_range 1 60)
+    (fun n ->
+      let s = Inrpp.Session.create ~total_chunks:n in
+      let order = Array.init n Fun.id in
+      let rng = Sim.Rng.create (Int64.of_int (n * 7919)) in
+      Sim.Rng.shuffle rng order;
+      Array.iter (fun idx -> ignore (Inrpp.Session.receive s idx)) order;
+      Inrpp.Session.is_complete s
+      && Inrpp.Session.next_needed s = n
+      && Inrpp.Session.received_count s = n)
+
+let prop_protocol_completes_on_random_lines =
+  QCheck.Test.make
+    ~name:"single transfer completes on random line topologies" ~count:15
+    QCheck.(pair (int_range 3 6) (int_range 1 50))
+    (fun (hops, chunks) ->
+      let g = Topology.Builders.line ~capacity:10e6 ~delay:1e-3 hops in
+      let r =
+        Inrpp.Protocol.run ~cfg:bulk ~horizon:120. g
+          [ Inrpp.Protocol.flow_spec ~src:0 ~dst:(hops - 1) chunks ]
+      in
+      r.Inrpp.Protocol.completed = 1 && r.Inrpp.Protocol.total_drops = 0)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "inrpp"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "default valid" `Quick test_config_default_valid;
+          Alcotest.test_case "rejections" `Quick test_config_rejections;
+          Alcotest.test_case "chunk tx time" `Quick test_config_chunk_tx_time;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "in order" `Quick test_session_in_order;
+          Alcotest.test_case "out of order" `Quick test_session_out_of_order;
+          Alcotest.test_case "bounds" `Quick test_session_bounds;
+        ] );
+      ( "estimator",
+        [
+          Alcotest.test_case "converges" `Quick test_estimator_converges;
+          Alcotest.test_case "transit counts" `Quick test_estimator_transit_counts;
+          Alcotest.test_case "decays" `Quick test_estimator_decays;
+          Alcotest.test_case "eq.1 shares" `Quick test_shares_eq1;
+        ] );
+      ( "phase",
+        [
+          Alcotest.test_case "push to detour" `Quick test_phase_push_to_detour;
+          Alcotest.test_case "push to bp" `Quick test_phase_push_to_bp_without_detour;
+          Alcotest.test_case "hysteresis" `Quick test_phase_hysteresis;
+          Alcotest.test_case "pressure escalation" `Quick test_phase_detour_to_bp_on_pressure;
+          Alcotest.test_case "bp recovery" `Quick test_phase_bp_recovery;
+        ] );
+      ("flowlet", [ Alcotest.test_case "pinning" `Quick test_flowlet_pinning ]);
+      ( "detour table",
+        [
+          Alcotest.test_case "fig3 candidates" `Quick test_detour_table_candidates;
+          Alcotest.test_case "line has none" `Quick test_detour_table_none_on_line;
+        ] );
+      ( "endpoints",
+        [
+          Alcotest.test_case "sender paced push" `Quick test_sender_paced_push;
+          Alcotest.test_case "sender backpressure mode" `Quick test_sender_backpressure_mode;
+          Alcotest.test_case "sender stall retransmission" `Quick test_sender_stall_retransmission;
+          Alcotest.test_case "receiver flow balance" `Quick test_receiver_flow_balance;
+          Alcotest.test_case "receiver timeout" `Quick test_receiver_timeout_rerequests;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "clean line" `Quick test_protocol_clean_line;
+          Alcotest.test_case "bottleneck custody" `Quick test_protocol_bottleneck_custody;
+          Alcotest.test_case "backpressure engages" `Quick test_protocol_backpressure_engages;
+          Alcotest.test_case "fig3 detours" `Quick test_protocol_fig3_detours;
+          Alcotest.test_case "phase transitions" `Quick test_protocol_phase_transitions_observed;
+          Alcotest.test_case "two flows share" `Quick test_protocol_two_flows_share;
+          Alcotest.test_case "icn cache hits" `Quick test_protocol_icn_cache_hits;
+          Alcotest.test_case "icn cache off by default" `Quick test_protocol_icn_cache_off_by_default;
+          Alcotest.test_case "drr scheduler runs" `Quick test_protocol_drr_runs;
+          Alcotest.test_case "recovers from wire loss" `Quick test_protocol_recovers_from_wire_loss;
+          Alcotest.test_case "loss determinism" `Quick test_protocol_loss_is_deterministic;
+          Alcotest.test_case "isp multi-flow integration" `Quick test_protocol_isp_multi_flow;
+          Alcotest.test_case "deterministic" `Quick test_protocol_deterministic;
+          Alcotest.test_case "validation" `Quick test_protocol_validation;
+        ] );
+      ( "properties",
+        qc
+          [
+            prop_session_next_needed_is_lowest_missing;
+            prop_phase_never_skips_validation;
+            prop_session_any_permutation_completes;
+            prop_protocol_completes_on_random_lines;
+          ] );
+    ]
