@@ -5,6 +5,7 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- table1 fig3  # a selection
      dune exec bench/main.exe -- --list
+     dune exec bench/main.exe -- protocols --sidecar runs.ndjson
 
    Experiment ids: table1 fig3 fig4a fig4b custody phases backpressure
    protocols ablation-detour ablation-ac micro.  See DESIGN.md §5 and
@@ -12,6 +13,19 @@
 
 let section title =
   Format.printf "@.=== %s ===@.@." title
+
+(* --sidecar FILE: machine-readable NDJSON next to the ASCII tables,
+   one object per measured row, tagged with the experiment id *)
+let sidecar : out_channel option ref = ref None
+
+let sidecar_emit ~experiment fields =
+  match !sidecar with
+  | None -> ()
+  | Some oc ->
+    output_string oc
+      (Obs.Json.to_string
+         (Obs.Json.Obj (("experiment", Obs.Json.Str experiment) :: fields)));
+    output_char oc '\n'
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: available detour paths in real topologies *)
@@ -306,6 +320,22 @@ let phases () =
             | Chunksim.Trace.Phase_change { phase = p; _ } -> p = phase
             | _ -> false)
         in
+        sidecar_emit ~experiment:"phases"
+          [
+            ("scenario", Obs.Json.Str name);
+            ("to_detour", Obs.Json.Num (float_of_int (entered "detour")));
+            ( "to_backpressure",
+              Obs.Json.Num (float_of_int (entered "backpressure")) );
+            ( "detoured",
+              Obs.Json.Num (float_of_int r.Inrpp.Protocol.detoured) );
+            ( "custody_stored",
+              Obs.Json.Num (float_of_int r.Inrpp.Protocol.custody_stored) );
+            ("drops", Obs.Json.Num (float_of_int r.Inrpp.Protocol.total_drops));
+            ( "fct",
+              match r.Inrpp.Protocol.flows.(0).Inrpp.Protocol.fct with
+              | Some f -> Obs.Json.Num f
+              | None -> Obs.Json.Null );
+          ];
         [
           name;
           string_of_int (entered "detour");
@@ -340,6 +370,20 @@ let backpressure () =
         let r =
           Inrpp.Protocol.run ~cfg g [ Inrpp.Protocol.flow_spec ~src:0 ~dst:2 200 ]
         in
+        sidecar_emit ~experiment:"backpressure"
+          [
+            ("store_chunks", Obs.Json.Num store_chunks);
+            ( "bp_engages",
+              Obs.Json.Num (float_of_int r.Inrpp.Protocol.bp_engages) );
+            ( "bp_releases",
+              Obs.Json.Num (float_of_int r.Inrpp.Protocol.bp_releases) );
+            ("peak_custody_bits", Obs.Json.Num r.Inrpp.Protocol.peak_custody_bits);
+            ("drops", Obs.Json.Num (float_of_int r.Inrpp.Protocol.total_drops));
+            ( "fct",
+              match r.Inrpp.Protocol.flows.(0).Inrpp.Protocol.fct with
+              | Some f -> Obs.Json.Num f
+              | None -> Obs.Json.Null );
+          ];
         [
           label;
           string_of_int r.Inrpp.Protocol.bp_engages;
@@ -380,6 +424,14 @@ let protocols () =
     (fun (name, g, specs) ->
       Format.printf "%s:@." name;
       let rows = Baselines.Comparison.run_all ~cfg:bulk g specs in
+      List.iter
+        (fun row ->
+          match Baselines.Run_result.to_json row with
+          | Obs.Json.Obj fields ->
+            sidecar_emit ~experiment:"protocols"
+              (("scenario", Obs.Json.Str name) :: fields)
+          | j -> sidecar_emit ~experiment:"protocols" [ ("result", j) ])
+        rows;
       Baselines.Run_result.pp_table Format.std_formatter rows;
       Format.printf "@.")
     scenarios;
@@ -557,6 +609,21 @@ let fct () =
         Flowsim.Simulator.run g cfg)
       [ Flowsim.Routing.sp; Flowsim.Routing.ecmp; Flowsim.Routing.inrp ]
   in
+  List.iter
+    (fun (r : Flowsim.Results.t) ->
+      sidecar_emit ~experiment:"fct"
+        [
+          ("strategy", Obs.Json.Str r.Flowsim.Results.strategy);
+          ("arrivals", Obs.Json.Num (float_of_int r.Flowsim.Results.arrivals));
+          ( "completions",
+            Obs.Json.Num (float_of_int r.Flowsim.Results.completions) );
+          ("throughput", Obs.Json.Num r.Flowsim.Results.throughput);
+          ("mean_fct", Obs.Json.Num r.Flowsim.Results.mean_fct);
+          ("p95_fct", Obs.Json.Num r.Flowsim.Results.p95_fct);
+          ("mean_active", Obs.Json.Num r.Flowsim.Results.mean_active);
+          ("mean_stretch", Obs.Json.Num r.Flowsim.Results.mean_stretch);
+        ])
+    results;
   Flowsim.Results.pp_table Format.std_formatter results;
   match results with
   | [ sp; _; inrp ] when sp.Flowsim.Results.mean_fct > 0. ->
@@ -699,11 +766,21 @@ let experiments =
   ]
 
 let () =
-  match Array.to_list Sys.argv with
-  | [] | _ :: [] -> List.iter (fun (_, f) -> f ()) experiments
-  | _ :: [ "--list" ] ->
-    List.iter (fun (name, _) -> print_endline name) experiments
-  | _ :: names ->
+  let rec strip_sidecar = function
+    | "--sidecar" :: file :: rest ->
+      sidecar := Some (open_out file);
+      strip_sidecar rest
+    | [ "--sidecar" ] ->
+      prerr_endline "--sidecar needs a FILE argument";
+      exit 1
+    | x :: rest -> x :: strip_sidecar rest
+    | [] -> []
+  in
+  let args = strip_sidecar (List.tl (Array.to_list Sys.argv)) in
+  (match args with
+  | [] -> List.iter (fun (_, f) -> f ()) experiments
+  | [ "--list" ] -> List.iter (fun (name, _) -> print_endline name) experiments
+  | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
@@ -711,4 +788,7 @@ let () =
         | None ->
           Printf.eprintf "unknown experiment %s (try --list)\n" name;
           exit 1)
-      names
+      names);
+  match !sidecar with
+  | Some oc -> close_out oc
+  | None -> ()

@@ -68,7 +68,7 @@ let prepare ?queue_bits ~paths_per_flow g specs =
   }
 
 let run_pull ~protocol ~coupled ~paths_per_flow ?(chunk_bits = 10e3 *. 8.)
-    ?queue_bits ?(horizon = 120.) g specs =
+    ?queue_bits ?(horizon = 120.) ?obs g specs =
   let s = prepare ?queue_bits ~paths_per_flow g specs in
   let specs_arr = Array.of_list specs in
   let nflows = Array.length specs_arr in
@@ -127,6 +127,63 @@ let run_pull ~protocol ~coupled ~paths_per_flow ?(chunk_bits = 10e3 *. 8.)
           | None -> ());
       Net.set_handler s.net node (Forwarder.handler fwd))
     s.forwarders;
+  (* observability: the baseline stack has no trace, so an observer
+     gets callback metrics and sampled series only *)
+  (match obs with
+  | None -> ()
+  | Some o ->
+    let reg = Obs.Observer.registry o in
+    let proto_label = ("protocol", protocol) in
+    Array.iteri
+      (fun node fwd ->
+        Obs.Metric.callback reg
+          ~labels:[ proto_label; ("node", string_of_int node) ]
+          "forwarder_drops_total"
+          (fun () -> float_of_int (Forwarder.drops fwd)))
+      s.forwarders;
+    Array.iteri
+      (fun i p ->
+        let labels = [ proto_label; ("flow", string_of_int i) ] in
+        let f name fn = Obs.Metric.callback reg ~labels name fn in
+        f "puller_retransmissions_total" (fun () ->
+            float_of_int (Puller.retransmissions p));
+        f "puller_loss_events_total" (fun () ->
+            float_of_int (Puller.loss_events p));
+        f "puller_chunks_received" (fun () ->
+            float_of_int (Puller.received p)))
+      pullers;
+    Net.iter_ifaces s.net (fun i ->
+        let l = Chunksim.Iface.link i in
+        let labels =
+          [ proto_label; ("link", string_of_int l.Topology.Link.id) ]
+        in
+        let f name fn = Obs.Metric.callback reg ~labels name fn in
+        f "iface_tx_bits_total" (fun () -> Chunksim.Iface.tx_bits i);
+        f "iface_drops_total" (fun () ->
+            float_of_int (Chunksim.Iface.drops i));
+        f "iface_queue_bits" (fun () -> Chunksim.Iface.queue_occupancy i));
+    let smp =
+      Obs.Observer.install_sampler o ~eng:s.eng
+        ~default_interval:(horizon /. 200.)
+    in
+    Net.iter_ifaces s.net (fun i ->
+        let l = Chunksim.Iface.link i in
+        let labels =
+          [ proto_label; ("link", string_of_int l.Topology.Link.id) ]
+        in
+        let track name fn = ignore (Obs.Sampler.track smp ~labels name fn) in
+        track "iface_queue_bits" (fun () ->
+            Chunksim.Iface.queue_occupancy i);
+        track "iface_utilisation" (fun () ->
+            Chunksim.Iface.utilisation i ~now:(Sim.Engine.now s.eng)));
+    Array.iteri
+      (fun i p ->
+        let labels = [ proto_label; ("flow", string_of_int i) ] in
+        ignore
+          (Obs.Sampler.track smp ~labels "chunks_received" (fun () ->
+               float_of_int (Puller.received p))))
+      pullers;
+    Obs.Sampler.start ~stop:(fun () -> !completed = nflows) smp);
   (* flow starts *)
   Array.iteri
     (fun i spec ->

@@ -21,7 +21,16 @@ val prepare :
 val run_pull :
   protocol:string -> coupled:bool -> paths_per_flow:int ->
   ?chunk_bits:float -> ?queue_bits:float -> ?horizon:float ->
-  Topology.Graph.t -> Inrpp.Protocol.flow_spec list -> Run_result.t
+  ?obs:Obs.Observer.t -> Topology.Graph.t ->
+  Inrpp.Protocol.flow_spec list -> Run_result.t
 (** Window-driven pull transport over the prepared network (see
     {!Puller}); the engine of both {!Aimd} and {!Mptcp}.
-    Defaults: 10 kB chunks, 64-chunk queues, 120 s horizon. *)
+    Defaults: 10 kB chunks, 64-chunk queues, 120 s horizon.
+
+    [obs] instruments the run with callback metrics
+    ([forwarder_drops_total], [puller_retransmissions_total],
+    [puller_loss_events_total], [puller_chunks_received], per-link
+    [iface_*]) and sampled [iface_queue_bits] / [iface_utilisation] /
+    per-flow [chunks_received] series, all labelled with [protocol].
+    The baseline stack has no packet trace, so the observer's sinks
+    are not attached. *)

@@ -45,6 +45,28 @@ let make ~protocol ~fcts ~chunk_bits ~chunks ~drops ~retransmissions ~sim_time
     jain = Metrics.Fairness.jain rates;
   }
 
+let to_json r =
+  Obs.Json.Obj
+    [
+      ("protocol", Obs.Json.Str r.protocol);
+      ("flows", Obs.Json.Num (float_of_int r.flows));
+      ("completed", Obs.Json.Num (float_of_int r.completed));
+      ( "fcts",
+        Obs.Json.List
+          (Array.to_list
+             (Array.map
+                (function
+                  | Some v -> Obs.Json.Num v
+                  | None -> Obs.Json.Null)
+                r.fcts)) );
+      ("drops", Obs.Json.Num (float_of_int r.drops));
+      ("retransmissions", Obs.Json.Num (float_of_int r.retransmissions));
+      ("goodput", Obs.Json.Num r.goodput);
+      ("sim_time", Obs.Json.Num r.sim_time);
+      ("mean_fct", Obs.Json.Num r.mean_fct);
+      ("jain", Obs.Json.Num r.jain);
+    ]
+
 let pp ppf r =
   Format.fprintf ppf
     "%-6s %d/%d done mean_fct=%.3gs goodput=%a jain=%.3f drops=%d retx=%d"

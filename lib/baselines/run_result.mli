@@ -21,5 +21,10 @@ val make :
     length; per-flow mean rate (for Jain) is
     [chunks * chunk_bits / fct]. *)
 
+val to_json : t -> Obs.Json.t
+(** One object per run — the machine-readable sidecar record the
+    comparison harness emits next to its ASCII table.  [fcts] become a
+    list with [null] for unfinished flows. *)
+
 val pp : Format.formatter -> t -> unit
 val pp_table : Format.formatter -> t list -> unit

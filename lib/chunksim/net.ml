@@ -46,6 +46,10 @@ let set_handler t node h = t.handlers.(node) <- h
 
 let iface t link_id = t.ifaces.(link_id)
 
+let iface_count t = Array.length t.ifaces
+
+let iter_ifaces t f = Array.iter f t.ifaces
+
 let out_ifaces t node =
   List.map (fun (l : Link.t) -> t.ifaces.(l.Link.id)) (Graph.out_links t.g node)
 

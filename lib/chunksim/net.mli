@@ -31,6 +31,12 @@ val iface : t -> int -> Iface.t
 
 val out_ifaces : t -> Topology.Node.id -> Iface.t list
 
+val iface_count : t -> int
+
+val iter_ifaces : t -> (Iface.t -> unit) -> unit
+(** All interfaces in link-id order — the observability layer walks
+    this to register per-interface gauges and timeseries probes. *)
+
 val send : t -> via:Topology.Link.t -> Packet.t -> [ `Queued | `Dropped ]
 (** Queue on the link's interface.  The packet will be delivered to
     [via.dst]'s handler. *)

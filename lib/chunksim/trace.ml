@@ -14,13 +14,20 @@ type t = {
   limit : int;
   mutable rev_events : (float * event) list;
   mutable size : int;
+  mutable taps : (float -> event -> unit) array;
 }
 
 let create ?(limit = 100_000) () =
   if limit <= 0 then invalid_arg "Trace.create: limit <= 0";
-  { limit; rev_events = []; size = 0 }
+  { limit; rev_events = []; size = 0; taps = [||] }
+
+let on_record t tap = t.taps <- Array.append t.taps [| tap |]
 
 let record t ~time e =
+  let taps = t.taps in
+  for i = 0 to Array.length taps - 1 do
+    taps.(i) time e
+  done;
   t.rev_events <- (time, e) :: t.rev_events;
   t.size <- t.size + 1;
   if t.size > 2 * t.limit then begin

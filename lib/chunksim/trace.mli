@@ -22,6 +22,14 @@ val create : ?limit:int -> unit -> t
 (** [limit] defaults to 100_000 events. *)
 
 val record : t -> time:float -> event -> unit
+
+val on_record : t -> (float -> event -> unit) -> unit
+(** Register a streaming tap: called synchronously on every {!record}
+    with [(time, event)], before the ring stores it.  Taps let events
+    flow to sinks (files, counters, callbacks — see [Obs.Sink])
+    without being bounded by the ring's [limit].  Taps must not call
+    {!record} on the same trace. *)
+
 val events : t -> (float * event) list
 (** Oldest first. *)
 

@@ -46,8 +46,17 @@ type result = {
   trace : Chunksim.Trace.t option;
 }
 
+(* sampler encoding of an interface phase: -1 = no estimator yet *)
+let phase_value = function
+  | None -> -1.
+  | Some Phase.Push_data -> 0.
+  | Some Phase.Detour -> 1.
+  | Some Phase.Backpressure -> 2.
+
+let phase_names = [| "push"; "detour"; "backpressure" |]
+
 let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
-    ?loss_rate g specs =
+    ?loss_rate ?obs g specs =
   (match Config.validate cfg with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("Protocol.run: " ^ msg));
@@ -63,7 +72,13 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
     Net.create ~queue_bits:cfg.Config.queue_bits
       ~speed_factor:cfg.Config.speed_factor ~discipline ?loss_rate eng g
   in
-  let trace = if collect_trace then Some (Trace.create ()) else None in
+  let trace =
+    if collect_trace || Option.is_some obs then Some (Trace.create ())
+    else None
+  in
+  (match (obs, trace) with
+  | Some o, Some tr -> Obs.Observer.attach_trace o tr
+  | _ -> ());
   let detours =
     Detour_table.create ~max_intermediate:(max 1 cfg.Config.max_detour) g
   in
@@ -176,6 +191,137 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
     | None -> ());
     Net.set_handler net node (Router.handler router)
   done;
+  (* observability: callback metrics read the counters the stack
+     already maintains (zero hot-path cost), and a periodic sampler
+     records per-interface phase / rate / queue and per-node custody
+     timeseries at the estimator-tick resolution *)
+  (match obs with
+  | None -> ()
+  | Some o ->
+    let reg = Obs.Observer.registry o in
+    Array.iter
+      (fun r ->
+        let labels = [ ("node", string_of_int (Router.node r)) ] in
+        let c = Router.counters r in
+        let fi name get =
+          Obs.Metric.callback reg ~labels name (fun () ->
+              float_of_int (get ()))
+        in
+        fi "router_forwarded_data_total" (fun () -> c.Router.forwarded_data);
+        fi "router_detoured_total" (fun () -> c.Router.detoured);
+        fi "router_custody_stored_total" (fun () -> c.Router.custody_stored);
+        fi "router_custody_released_total" (fun () ->
+            c.Router.custody_released);
+        fi "router_dropped_total" (fun () -> c.Router.dropped);
+        fi "router_bp_engages_total" (fun () -> c.Router.bp_engages);
+        fi "router_bp_releases_total" (fun () -> c.Router.bp_releases);
+        fi "router_cache_hits_total" (fun () -> c.Router.cache_hits);
+        fi "router_phase_transitions_total" (fun () ->
+            Router.phase_transitions r);
+        fi "router_bp_active_flows" (fun () -> Router.bp_active_flows r);
+        Obs.Metric.callback reg ~labels "router_custody_occupancy_bits"
+          (fun () -> Chunksim.Cache.custody_occupancy (Router.cache r)))
+      routers;
+    Net.iter_ifaces net (fun i ->
+        let l = Chunksim.Iface.link i in
+        let labels =
+          [ ("link", string_of_int l.Link.id);
+            ("src", string_of_int l.Link.src);
+            ("dst", string_of_int l.Link.dst) ]
+        in
+        let f name fn = Obs.Metric.callback reg ~labels name fn in
+        f "iface_tx_bits_total" (fun () -> Chunksim.Iface.tx_bits i);
+        f "iface_drops_total" (fun () ->
+            float_of_int (Chunksim.Iface.drops i));
+        f "iface_queue_bits" (fun () -> Chunksim.Iface.queue_occupancy i);
+        f "iface_utilisation" (fun () ->
+            Chunksim.Iface.utilisation i ~now:(Sim.Engine.now eng)));
+    Hashtbl.iter
+      (fun node senders ->
+        Hashtbl.iter
+          (fun flow s ->
+            let labels =
+              [ ("node", string_of_int node); ("flow", string_of_int flow) ]
+            in
+            let f name fn = Obs.Metric.callback reg ~labels name fn in
+            f "sender_tx_packets_total" (fun () ->
+                float_of_int (Sender.sent_packets s));
+            f "sender_backlog_chunks" (fun () ->
+                float_of_int (Sender.backlog s));
+            f "sender_in_backpressure" (fun () ->
+                if Sender.in_backpressure s then 1. else 0.))
+          senders)
+      producers;
+    Hashtbl.iter
+      (fun node recvs ->
+        Hashtbl.iter
+          (fun flow r ->
+            let labels =
+              [ ("node", string_of_int node); ("flow", string_of_int flow) ]
+            in
+            let f name fn = Obs.Metric.callback reg ~labels name fn in
+            f "receiver_requests_total" (fun () ->
+                float_of_int (Receiver.requests_sent r));
+            f "receiver_duplicates_total" (fun () ->
+                float_of_int (Receiver.duplicates r));
+            f "receiver_chunks_received" (fun () ->
+                float_of_int (Session.received_count (Receiver.session r))))
+          recvs)
+      consumers;
+    let smp =
+      Obs.Observer.install_sampler o ~eng ~default_interval:cfg.Config.ti
+    in
+    Net.iter_ifaces net (fun i ->
+        let l = Chunksim.Iface.link i in
+        let r = routers.(l.Link.src) in
+        let li = l.Link.id in
+        let labels =
+          [ ("node", string_of_int l.Link.src);
+            ("link", string_of_int li) ]
+        in
+        let track name fn = ignore (Obs.Sampler.track smp ~labels name fn) in
+        track "iface_phase" (fun () ->
+            phase_value (Router.phase_of_link r li));
+        track "iface_anticipated_bps" (fun () ->
+            Option.value ~default:0. (Router.anticipated_rate_of_link r li));
+        track "iface_anticipated_ratio" (fun () ->
+            Option.value ~default:0. (Router.ratio_of_link r li));
+        track "iface_queue_bits" (fun () ->
+            Chunksim.Iface.queue_occupancy i);
+        track "iface_utilisation" (fun () ->
+            Chunksim.Iface.utilisation i ~now:(Sim.Engine.now eng));
+        (* time-in-phase fractions, accumulated between samples *)
+        let acc = [| 0.; 0.; 0. |] in
+        let last_t = ref (Sim.Engine.now eng) in
+        let last_ph = ref (-1) in
+        Obs.Sampler.on_sample smp (fun () ->
+            let t_now = Sim.Engine.now eng in
+            if !last_ph >= 0 then
+              acc.(!last_ph) <- acc.(!last_ph) +. (t_now -. !last_t);
+            last_t := t_now;
+            last_ph :=
+              int_of_float (phase_value (Router.phase_of_link r li)));
+        Array.iteri
+          (fun pi pname ->
+            let labels = ("phase", pname) :: labels in
+            ignore
+              (Obs.Sampler.track smp ~labels "iface_phase_occupancy"
+                 (fun () ->
+                   let tot = acc.(0) +. acc.(1) +. acc.(2) in
+                   if tot <= 0. then 0. else acc.(pi) /. tot)))
+          phase_names);
+    Array.iter
+      (fun r ->
+        let labels = [ ("node", string_of_int (Router.node r)) ] in
+        let track name fn = ignore (Obs.Sampler.track smp ~labels name fn) in
+        track "custody_bits" (fun () ->
+            Chunksim.Cache.custody_occupancy (Router.cache r));
+        track "bp_active_flows" (fun () ->
+            float_of_int (Router.bp_active_flows r));
+        let c = Router.counters r in
+        track "detoured_total" (fun () -> float_of_int c.Router.detoured))
+      routers;
+    Obs.Sampler.start ~stop:all_done smp);
   (* periodic estimator ticks and custody drains; track custody peak *)
   let peak_custody = ref 0. in
   Sim.Engine.schedule_periodic eng ~interval:cfg.Config.ti (fun () ->

@@ -52,12 +52,24 @@ type result = {
 
 val run :
   ?cfg:Config.t -> ?horizon:float -> ?collect_trace:bool ->
-  ?loss_rate:float -> Topology.Graph.t -> flow_spec list -> result
+  ?loss_rate:float -> ?obs:Obs.Observer.t -> Topology.Graph.t ->
+  flow_spec list -> result
 (** [horizon] (default 60 s) bounds the run; the engine also stops as
     soon as every flow completes.  [loss_rate] injects seeded random
     wire loss on every link (failure-injection testing; default none —
     the protocol's own behaviour never drops unless the store
     overflows).
+
+    [obs] instruments the run: router/interface/endpoint counters are
+    registered as callback metrics (read at snapshot time — no
+    hot-path cost), the observer's sinks are attached to the trace
+    (implies trace collection, so [result.trace] is [Some _]), and a
+    sampler records per-interface phase ([iface_phase],
+    [iface_phase_occupancy] per phase label), anticipated rate
+    ([iface_anticipated_bps]/[_ratio]), queue and utilisation series
+    plus per-node [custody_bits], [bp_active_flows] and
+    [detoured_total] at interval [cfg.ti] (or the observer's
+    override).
     @raise Invalid_argument on an invalid config, an empty flow list,
     or an unroutable flow. *)
 

@@ -482,6 +482,22 @@ let drain t =
 let phase_of_link t link_id =
   Option.map Phase.current (Hashtbl.find_opt t.phases link_id)
 
+let anticipated_rate_of_link t link_id =
+  Option.map Rate_estimator.anticipated_rate
+    (Hashtbl.find_opt t.estimators link_id)
+
+let ratio_of_link t link_id =
+  Option.map Rate_estimator.ratio (Hashtbl.find_opt t.estimators link_id)
+
+let estimator_links t =
+  List.sort Int.compare
+    (Hashtbl.fold (fun link_id _ acc -> link_id :: acc) t.estimators [])
+
+let bp_active_flows t =
+  Hashtbl.fold
+    (fun _ entry acc -> if entry.bp_local || entry.bp_forwarded then acc + 1 else acc)
+    t.flows 0
+
 let cache t = t.store
 let counters t = t.c
 let node t = t.node_id

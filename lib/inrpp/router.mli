@@ -62,6 +62,22 @@ val phase_of_link : t -> int -> Phase.phase option
 (** Current phase of the interface for the given link id; [None] when
     the link does not leave this node or carried no data yet. *)
 
+val anticipated_rate_of_link : t -> int -> float option
+(** Smoothed r_a of the interface's estimator, bps; [None] as for
+    {!phase_of_link}. *)
+
+val ratio_of_link : t -> int -> float option
+(** r_a / capacity — the phase-machine input. *)
+
+val estimator_links : t -> int list
+(** Link ids with live estimators (i.e. interfaces that carried this
+    router's data or requests), ascending — the observability layer's
+    per-interface probe set. *)
+
+val bp_active_flows : t -> int
+(** Flows for which this router currently has back-pressure engaged
+    (locally originated or relayed upstream). *)
+
 val cache : t -> Chunksim.Cache.t
 val counters : t -> counters
 val node : t -> Topology.Node.id

@@ -1,0 +1,177 @@
+let labels_to_json labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let labels_of_json = function
+  | Json.Obj fields ->
+    let rec conv acc = function
+      | [] -> Ok (List.rev acc)
+      | (k, Json.Str v) :: rest -> conv ((k, v) :: acc) rest
+      | (k, _) :: _ -> Error ("non-string label " ^ k)
+    in
+    conv [] fields
+  | _ -> Error "labels is not an object"
+
+let sample_to_json (s : Metric.sample) =
+  let base =
+    [
+      ("type", Json.Str "metric");
+      ("name", Json.Str s.Metric.name);
+      ("labels", labels_to_json s.Metric.labels);
+    ]
+  in
+  let value =
+    match s.Metric.value with
+    | Metric.Counter_v n ->
+      [ ("kind", Json.Str "counter"); ("value", Json.Num (float_of_int n)) ]
+    | Metric.Gauge_v v -> [ ("kind", Json.Str "gauge"); ("value", Json.Num v) ]
+    | Metric.Histogram_v h ->
+      [
+        ("kind", Json.Str "histogram");
+        ("count", Json.Num (float_of_int h.Metric.count));
+        ("sum", Json.Num h.Metric.sum);
+        ("mean", Json.Num h.Metric.mean);
+        ("min", Json.Num h.Metric.min_v);
+        ("max", Json.Num h.Metric.max_v);
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (lo, hi, c) ->
+                 Json.Obj
+                   [
+                     ("lo", Json.Num lo);
+                     ("hi", Json.Num hi);
+                     ("count", Json.Num (float_of_int c));
+                   ])
+               h.Metric.buckets) );
+      ]
+  in
+  Json.Obj (base @ value)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let req j key conv what =
+  match Option.bind (Json.member key j) conv with
+  | Some v -> Ok v
+  | None -> Error ("missing or malformed " ^ what ^ " field '" ^ key ^ "'")
+
+let sample_of_json j =
+  let* name = req j "name" Json.to_str "metric" in
+  let* labels =
+    match Json.member "labels" j with
+    | Some l -> labels_of_json l
+    | None -> Ok []
+  in
+  let* kind = req j "kind" Json.to_str "metric" in
+  let* value =
+    match kind with
+    | "counter" ->
+      let* n = req j "value" Json.to_int "counter" in
+      Ok (Metric.Counter_v n)
+    | "gauge" ->
+      let* v = req j "value" Json.to_float "gauge" in
+      Ok (Metric.Gauge_v v)
+    | "histogram" ->
+      let* count = req j "count" Json.to_int "histogram" in
+      let* sum = req j "sum" Json.to_float "histogram" in
+      let* mean = req j "mean" Json.to_float "histogram" in
+      let* min_v = req j "min" Json.to_float "histogram" in
+      let* max_v = req j "max" Json.to_float "histogram" in
+      let* buckets =
+        match Json.member "buckets" j with
+        | Some (Json.List bs) ->
+          let rec conv acc = function
+            | [] -> Ok (List.rev acc)
+            | b :: rest ->
+              let* lo = req b "lo" Json.to_float "bucket" in
+              let* hi = req b "hi" Json.to_float "bucket" in
+              let* c = req b "count" Json.to_int "bucket" in
+              conv ((lo, hi, c) :: acc) rest
+          in
+          conv [] bs
+        | _ -> Error "missing histogram buckets"
+      in
+      Ok
+        (Metric.Histogram_v
+           { Metric.count; sum; mean; min_v; max_v; buckets })
+    | k -> Error ("unknown metric kind " ^ k)
+  in
+  Ok { Metric.name; labels; value }
+
+let point_to_json series ~time v =
+  Json.Obj
+    [
+      ("type", Json.Str "sample");
+      ("series", Json.Str (Series.name series));
+      ("labels", labels_to_json (Series.labels series));
+      ("t", Json.Num time);
+      ("v", Json.Num v);
+    ]
+
+let point_of_json j =
+  let* series = req j "series" Json.to_str "sample" in
+  let* labels =
+    match Json.member "labels" j with
+    | Some l -> labels_of_json l
+    | None -> Ok []
+  in
+  let* time = req j "t" Json.to_float "sample" in
+  let* v = req j "v" Json.to_float "sample" in
+  Ok (series, labels, time, v)
+
+let add_line buf j =
+  Json.to_buffer buf j;
+  Buffer.add_char buf '\n'
+
+let snapshot_to_ndjson buf samples =
+  List.iter (fun s -> add_line buf (sample_to_json s)) samples
+
+let series_to_ndjson buf series =
+  List.iter
+    (fun s -> Series.iter (fun ~time v -> add_line buf (point_to_json s ~time v)) s)
+    series
+
+(* ------------------------------------------------------------------ *)
+(* CSV *)
+
+let csv_header = "record,name,labels,time,value"
+
+let labels_to_string labels =
+  String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let csv_row buf ~record ~name ~labels ~time ~value =
+  Buffer.add_string buf
+    (Printf.sprintf "%s,%s,%s,%.9g,%.12g\n" record name
+       (labels_to_string labels) time value)
+
+let snapshot_to_csv buf ~time samples =
+  List.iter
+    (fun (s : Metric.sample) ->
+      let name = s.Metric.name and labels = s.Metric.labels in
+      match s.Metric.value with
+      | Metric.Counter_v n ->
+        csv_row buf ~record:"counter" ~name ~labels ~time
+          ~value:(float_of_int n)
+      | Metric.Gauge_v v -> csv_row buf ~record:"gauge" ~name ~labels ~time ~value:v
+      | Metric.Histogram_v h ->
+        let part suffix value =
+          csv_row buf ~record:"histogram" ~name:(name ^ suffix) ~labels ~time
+            ~value
+        in
+        part ".count" (float_of_int h.Metric.count);
+        part ".sum" h.Metric.sum;
+        part ".mean" h.Metric.mean;
+        if h.Metric.count > 0 then begin
+          part ".min" h.Metric.min_v;
+          part ".max" h.Metric.max_v
+        end)
+    samples
+
+let series_to_csv buf series =
+  List.iter
+    (fun s ->
+      Series.iter
+        (fun ~time v ->
+          csv_row buf ~record:"sample" ~name:(Series.name s)
+            ~labels:(Series.labels s) ~time ~value:v)
+        s)
+    series

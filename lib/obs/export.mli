@@ -1,0 +1,32 @@
+(** NDJSON / CSV export of metric snapshots and timeseries, with the
+    inverse parsers used to verify round-trips.
+
+    Row shapes (NDJSON, one object per line):
+    - metric:  [{"type":"metric","name":...,"labels":{...},"kind":
+      "counter"|"gauge"|"histogram", ...value fields}]
+    - sample:  [{"type":"sample","series":...,"labels":{...},
+      "t":...,"v":...}]
+
+    CSV uses one flat schema for both: [record,name,labels,time,value]
+    where [labels] is [k=v] pairs joined with [;], histogram summaries
+    are flattened to [<name>.count/.sum/.mean/.min/.max] rows, and
+    metric rows carry the snapshot time. *)
+
+val sample_to_json : Metric.sample -> Json.t
+val sample_of_json : Json.t -> (Metric.sample, string) result
+
+val point_to_json : Series.t -> time:float -> float -> Json.t
+val point_of_json :
+  Json.t -> (string * Metric.labels * float * float, string) result
+(** [(series, labels, time, value)]. *)
+
+val snapshot_to_ndjson : Buffer.t -> Metric.sample list -> unit
+val series_to_ndjson : Buffer.t -> Series.t list -> unit
+
+val csv_header : string
+val snapshot_to_csv : Buffer.t -> time:float -> Metric.sample list -> unit
+val series_to_csv : Buffer.t -> Series.t list -> unit
+(** Rows only — write {!csv_header} once per file yourself. *)
+
+val labels_to_string : Metric.labels -> string
+(** [k=v;k2=v2] — the CSV labels cell. *)

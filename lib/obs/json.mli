@@ -1,0 +1,31 @@
+(** Minimal JSON values: enough for NDJSON export of metrics, trace
+    events and timeseries, plus a parser so exports round-trip (the
+    probe CLI and the tests both read their own output back).
+
+    Numbers are printed with the shortest decimal representation that
+    parses back to the same float, so [parse (to_string j) = Ok j]
+    holds for every value this module itself produces. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (no spaces outside strings). *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Parses one JSON value; trailing whitespace allowed, anything else
+    after the value is an error.  Object key order is preserved. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on missing keys or non-objects. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option

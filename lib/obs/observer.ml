@@ -1,0 +1,44 @@
+type t = {
+  o_registry : Metric.t;
+  mutable o_sinks : Sink.t list;
+  sample_interval : float option;
+  mutable o_sampler : Sampler.t option;
+}
+
+let create ?sample_interval ?(sinks = []) () =
+  (match sample_interval with
+  | Some i when i <= 0. || Float.is_nan i ->
+    invalid_arg "Observer.create: sample_interval <= 0"
+  | _ -> ());
+  { o_registry = Metric.create (); o_sinks = sinks; sample_interval;
+    o_sampler = None }
+
+let registry t = t.o_registry
+let sinks t = t.o_sinks
+let add_sink t s = t.o_sinks <- t.o_sinks @ [ s ]
+
+let attach_trace t tr = List.iter (fun s -> Sink.attach s tr) t.o_sinks
+
+let install_sampler t ~eng ~default_interval =
+  if t.o_sampler <> None then
+    invalid_arg "Observer.install_sampler: sampler already installed";
+  let interval = Option.value ~default:default_interval t.sample_interval in
+  let s = Sampler.create ~eng ~interval () in
+  t.o_sampler <- Some s;
+  s
+
+let sampler t = t.o_sampler
+
+let series t =
+  match t.o_sampler with
+  | None -> []
+  | Some s -> Sampler.series s
+
+let find_series t ?labels name =
+  match t.o_sampler with
+  | None -> None
+  | Some s -> Sampler.find s ?labels name
+
+let snapshot t = Metric.snapshot t.o_registry
+
+let close t = List.iter Sink.close t.o_sinks

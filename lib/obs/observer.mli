@@ -1,0 +1,43 @@
+(** One handle bundling everything an instrumented run produces: a
+    metrics {!Metric.t} registry, trace {!Sink.t}s and (once the run
+    wires it) a periodic {!Sampler.t}.
+
+    The caller builds an observer, passes it to an instrumented runner
+    ([Inrpp.Protocol.run ~obs], [Flowsim.Simulator.run ~obs],
+    [Baselines.Harness.run_pull ~obs]); the runner attaches the sinks
+    to its trace, registers its gauges/counters and installs the
+    sampler.  Afterwards the caller reads {!series} and
+    [Metric.snapshot (registry obs)] and exports with {!Export}. *)
+
+type t
+
+val create : ?sample_interval:float -> ?sinks:Sink.t list -> unit -> t
+(** [sample_interval] overrides the runner's default sampling period
+    (seconds).  @raise Invalid_argument if non-positive. *)
+
+val registry : t -> Metric.t
+val sinks : t -> Sink.t list
+
+val add_sink : t -> Sink.t -> unit
+(** Append a sink before handing the observer to a runner — needed
+    for sinks built over this observer's own registry, e.g.
+    [add_sink o (Sink.counter_tap (registry o))]. *)
+
+val attach_trace : t -> Chunksim.Trace.t -> unit
+(** Attach every sink as a tap.  Called by the instrumented runner. *)
+
+val install_sampler : t -> eng:Sim.Engine.t -> default_interval:float -> Sampler.t
+(** Create (once) and remember the sampler, using [sample_interval]
+    when given, else [default_interval].  Called by the instrumented
+    runner; @raise Invalid_argument if a sampler is already installed
+    (an observer instruments one run). *)
+
+val sampler : t -> Sampler.t option
+val series : t -> Series.t list
+(** [[]] before a sampler is installed. *)
+
+val find_series : t -> ?labels:Metric.labels -> string -> Series.t option
+val snapshot : t -> Metric.sample list
+
+val close : t -> unit
+(** Close all sinks (flush files). *)

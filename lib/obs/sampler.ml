@@ -1,0 +1,56 @@
+type probe = {
+  series : Series.t;
+  read : unit -> float;
+}
+
+type t = {
+  eng : Sim.Engine.t;
+  s_interval : float;
+  mutable probes : probe list;     (* reverse registration order *)
+  mutable hooks : (unit -> unit) list;  (* reverse registration order *)
+  mutable started : bool;
+  mutable samples : int;
+}
+
+let create ~eng ~interval () =
+  if interval <= 0. || Float.is_nan interval then
+    invalid_arg "Sampler.create: interval <= 0";
+  { eng; s_interval = interval; probes = []; hooks = []; started = false;
+    samples = 0 }
+
+let interval t = t.s_interval
+
+let track t ?(labels = []) name read =
+  let series = Series.create ~labels name in
+  t.probes <- { series; read } :: t.probes;
+  series
+
+let on_sample t hook = t.hooks <- hook :: t.hooks
+
+let sample_now t =
+  let now = Sim.Engine.now t.eng in
+  List.iter (fun h -> h ()) (List.rev t.hooks);
+  List.iter
+    (fun p -> Series.add p.series ~time:now (p.read ()))
+    (List.rev t.probes);
+  t.samples <- t.samples + 1
+
+let start ?(stop = fun () -> false) t =
+  if t.started then invalid_arg "Sampler.start: already started";
+  t.started <- true;
+  sample_now t;
+  Sim.Engine.schedule_periodic t.eng ~interval:t.s_interval (fun () ->
+      let continue = not (stop ()) in
+      sample_now t;
+      continue)
+
+let series t = List.rev_map (fun p -> p.series) t.probes
+
+let find t ?labels name =
+  List.find_opt
+    (fun s ->
+      Series.name s = name
+      && match labels with None -> true | Some l -> Series.labels s = l)
+    (series t)
+
+let ticks t = t.samples

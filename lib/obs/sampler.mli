@@ -1,0 +1,39 @@
+(** Periodic timeseries sampler over a {!Sim.Engine}.
+
+    Probes are registered at setup time ([unit -> float] closures); on
+    every tick the sampler appends one point per probe to its
+    {!Series.t}, all sharing the same timestamp.  Driven by
+    {!Sim.Engine.schedule_periodic}, so sampling interleaves correctly
+    with the simulation's own events.
+
+    Hooks run before the probes on each tick — use them to advance
+    derived state (e.g. phase-occupancy accumulators) exactly once per
+    sample. *)
+
+type t
+
+val create : eng:Sim.Engine.t -> interval:float -> unit -> t
+(** @raise Invalid_argument if [interval <= 0.]. *)
+
+val interval : t -> float
+
+val track : t -> ?labels:Metric.labels -> string -> (unit -> float) -> Series.t
+(** Register a probe; returns its series.  Probes fire in registration
+    order. *)
+
+val on_sample : t -> (unit -> unit) -> unit
+(** Register a pre-probe hook. *)
+
+val sample_now : t -> unit
+(** Take one sample at the engine's current time immediately. *)
+
+val start : ?stop:(unit -> bool) -> t -> unit
+(** Take a baseline sample now, then one every [interval] until [stop]
+    returns [true] (one final sample is taken at the stopping tick).
+    @raise Invalid_argument if already started. *)
+
+val series : t -> Series.t list
+(** Registration order. *)
+
+val find : t -> ?labels:Metric.labels -> string -> Series.t option
+val ticks : t -> int

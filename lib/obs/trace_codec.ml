@@ -1,0 +1,90 @@
+module T = Chunksim.Trace
+
+let kind = function
+  | T.Sent _ -> "sent"
+  | T.Received _ -> "received"
+  | T.Dropped _ -> "dropped"
+  | T.Cached _ -> "cached"
+  | T.Cache_hit _ -> "cache_hit"
+  | T.Custody_released _ -> "custody_released"
+  | T.Detoured _ -> "detoured"
+  | T.Phase_change _ -> "phase_change"
+  | T.Bp_signal _ -> "bp_signal"
+  | T.Flow_complete _ -> "flow_complete"
+
+let all_kinds =
+  [
+    "sent"; "received"; "dropped"; "cached"; "cache_hit"; "custody_released";
+    "detoured"; "phase_change"; "bp_signal"; "flow_complete";
+  ]
+
+let num i = Json.Num (float_of_int i)
+
+let fields = function
+  | T.Sent { node; link; packet } ->
+    [ ("node", num node); ("link", num link); ("packet", Json.Str packet) ]
+  | T.Received { node; packet } ->
+    [ ("node", num node); ("packet", Json.Str packet) ]
+  | T.Dropped { node; link; packet } ->
+    [ ("node", num node); ("link", num link); ("packet", Json.Str packet) ]
+  | T.Cached { node; flow; idx } | T.Cache_hit { node; flow; idx }
+  | T.Custody_released { node; flow; idx } ->
+    [ ("node", num node); ("flow", num flow); ("idx", num idx) ]
+  | T.Detoured { node; flow; idx; via } ->
+    [ ("node", num node); ("flow", num flow); ("idx", num idx); ("via", num via) ]
+  | T.Phase_change { node; link; phase } ->
+    [ ("node", num node); ("link", num link); ("phase", Json.Str phase) ]
+  | T.Bp_signal { node; flow; engage } ->
+    [ ("node", num node); ("flow", num flow); ("engage", Json.Bool engage) ]
+  | T.Flow_complete { flow; fct } ->
+    [ ("flow", num flow); ("fct", Json.Num fct) ]
+
+let to_json ~time e =
+  Json.Obj
+    (("type", Json.Str "event")
+    :: ("t", Json.Num time)
+    :: ("kind", Json.Str (kind e))
+    :: fields e)
+
+let csv_header = "t,kind,node,link,flow,idx,via,phase,engage,packet,fct"
+
+(* quoting: packet descriptions may contain anything; the rest are
+   plain tokens *)
+let quote s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv_row ~time e =
+  let node, link, flow, idx, via, phase, engage, packet, fct =
+    match e with
+    | T.Sent { node; link; packet } ->
+      (Some node, Some link, None, None, None, None, None, Some packet, None)
+    | T.Received { node; packet } ->
+      (Some node, None, None, None, None, None, None, Some packet, None)
+    | T.Dropped { node; link; packet } ->
+      (Some node, Some link, None, None, None, None, None, Some packet, None)
+    | T.Cached { node; flow; idx } ->
+      (Some node, None, Some flow, Some idx, None, None, None, None, None)
+    | T.Cache_hit { node; flow; idx } ->
+      (Some node, None, Some flow, Some idx, None, None, None, None, None)
+    | T.Custody_released { node; flow; idx } ->
+      (Some node, None, Some flow, Some idx, None, None, None, None, None)
+    | T.Detoured { node; flow; idx; via } ->
+      (Some node, None, Some flow, Some idx, Some via, None, None, None, None)
+    | T.Phase_change { node; link; phase } ->
+      (Some node, Some link, None, None, None, Some phase, None, None, None)
+    | T.Bp_signal { node; flow; engage } ->
+      (Some node, None, Some flow, None, None, None, Some engage, None, None)
+    | T.Flow_complete { flow; fct } ->
+      (None, None, Some flow, None, None, None, None, None, Some fct)
+  in
+  let i = function Some v -> string_of_int v | None -> "" in
+  let s = function Some v -> quote v | None -> "" in
+  let b = function Some v -> string_of_bool v | None -> "" in
+  let f = function Some v -> Printf.sprintf "%.9g" v | None -> "" in
+  String.concat ","
+    [
+      Printf.sprintf "%.9g" time; kind e; i node; i link; i flow; i idx; i via;
+      s phase; b engage; s packet; f fct;
+    ]

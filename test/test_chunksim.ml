@@ -358,6 +358,57 @@ let test_trace_limit () =
   in
   Alcotest.(check bool) "newest kept" true has_99
 
+(* Regression for the amortised trim: the ring trims only when the
+   size exceeds [2 * limit], and what survives must be exactly the
+   [limit] newest events, still in chronological order, with [count]
+   and [find_all] agreeing with [events]. *)
+let test_trace_trim_regression () =
+  let limit = 10 in
+  let tr = Chunksim.Trace.create ~limit () in
+  let n = (2 * limit) + 1 in
+  for i = 0 to n - 1 do
+    Chunksim.Trace.record tr ~time:(float_of_int i)
+      (Chunksim.Trace.Flow_complete { flow = i; fct = 0. })
+  done;
+  let evs = Chunksim.Trace.events tr in
+  Alcotest.(check int) "exactly limit survive" limit (List.length evs);
+  let flows =
+    List.map
+      (fun (_, e) ->
+        match e with
+        | Chunksim.Trace.Flow_complete { flow; _ } -> flow
+        | _ -> Alcotest.fail "unexpected event kind")
+      evs
+  in
+  let expected = List.init limit (fun k -> n - limit + k) in
+  Alcotest.(check (list int)) "newest, chronological" expected flows;
+  List.iter2
+    (fun (t, _) flow -> check_close "timestamp matches flow" 0. (float_of_int flow) t)
+    evs flows;
+  Alcotest.(check int) "count agrees" limit
+    (Chunksim.Trace.count tr (fun _ -> true));
+  Alcotest.(check int) "find_all agrees" limit
+    (List.length (Chunksim.Trace.find_all tr (fun _ -> true)));
+  (* one more record after a trim must not trim again prematurely *)
+  Chunksim.Trace.record tr ~time:(float_of_int n)
+    (Chunksim.Trace.Flow_complete { flow = n; fct = 0. });
+  Alcotest.(check int) "grows past limit between trims" (limit + 1)
+    (List.length (Chunksim.Trace.events tr))
+
+let test_trace_taps () =
+  let tr = Chunksim.Trace.create ~limit:5 () in
+  let seen = ref [] in
+  Chunksim.Trace.on_record tr (fun time e -> seen := (time, e) :: !seen);
+  let n = 20 in
+  for i = 0 to n - 1 do
+    Chunksim.Trace.record tr ~time:(float_of_int i)
+      (Chunksim.Trace.Cached { node = 0; flow = 0; idx = i })
+  done;
+  (* taps see every event, unbounded by the ring's limit *)
+  Alcotest.(check int) "tap saw all" n (List.length !seen);
+  Alcotest.(check bool) "ring stayed bounded" true
+    (List.length (Chunksim.Trace.events tr) <= 2 * 5)
+
 (* ------------------------------------------------------------------ *)
 (* Properties *)
 
@@ -526,6 +577,8 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_trace_basics;
           Alcotest.test_case "limit" `Quick test_trace_limit;
+          Alcotest.test_case "trim regression" `Quick test_trace_trim_regression;
+          Alcotest.test_case "taps" `Quick test_trace_taps;
         ] );
       ( "properties",
         qc
