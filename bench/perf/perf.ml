@@ -1,0 +1,315 @@
+(* Simulation-core hot-path benchmark runner.
+
+   Measures raw engine throughput (events/sec), end-to-end chunk
+   delivery rate (chunks/sec) and allocation pressure
+   (minor-words/event) on three scenarios:
+
+   - engine_churn : fixed count of self-rescheduling timers plus a
+     cancel-heavy side channel; pure Event_queue/Engine cost, the
+     event count is identical across core implementations.
+   - dumbbell    : forwarding microbenchmark — pre-filled source
+     queues drain through a 4-source dumbbell (src -> left -> right
+     -> dst, 5 Mbps bottleneck) with static next-hop handlers and no
+     protocol machinery; isolates the Engine + Iface hot path the
+     overhaul targets.
+   - isp_zoo     : 8 INRPP flows across the EBONE ISP-zoo graph
+     (protocol macro-benchmark; tracks end-to-end chunk throughput).
+
+   Writes BENCH_core.json (schema `inrpp-bench-core/v1`) so future
+   PRs can compare against the recorded trajectory.  `--smoke` runs
+   small iteration counts for CI; `--check FILE` validates that an
+   existing JSON file matches the schema (shape, not numbers) and
+   exits non-zero on drift. *)
+
+let schema_version = "inrpp-bench-core/v1"
+
+(* Events/sec on the pre-overhaul core (two events per forwarded
+   packet, cancelled timers left in the heap until expiry,
+   closure-per-packet Iface), measured with this same runner at full
+   iteration counts on the reference machine (a worktree of the
+   pre-overhaul commit with bench/perf copied in).  Kept as the
+   comparison floor for the overhaul's >= 1.5x dumbbell acceptance
+   criterion.  isp_zoo is protocol-bound: the overhaul shrinks its
+   event count ~35% at equal wall time, so chunks/sec — not
+   events/sec — is the number to track there. *)
+let baseline =
+  [
+    ("engine_churn_events_per_sec", 791_443.);
+    ("dumbbell_events_per_sec", 1_172_531.);
+    ("dumbbell_chunks_per_sec", 195_360.);
+    ("isp_zoo_events_per_sec", 358_497.);
+    ("isp_zoo_chunks_per_sec", 23_460.);
+  ]
+
+type outcome = {
+  name : string;
+  events : int;
+  wall_s : float;
+  chunks : int;
+  minor_words : float;
+}
+
+let measure ?(repeat = 1) name f =
+  let one () =
+    Gc.compact ();
+    let minor0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let events, chunks = f () in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let minor_words = Gc.minor_words () -. minor0 in
+    { name; events; wall_s; chunks; minor_words }
+  in
+  (* best-of-n: the minimum wall time is the least noisy estimate *)
+  let best a b = if a.wall_s <= b.wall_s then a else b in
+  let r = ref (one ()) in
+  for _ = 2 to repeat do
+    r := best !r (one ())
+  done;
+  !r
+
+(* ------------------------------------------------------------------ *)
+(* Scenarios *)
+
+let engine_churn ~total () =
+  let eng = Sim.Engine.create () in
+  let remaining = ref total in
+  let n_timers = 64 in
+  let noop () = () in
+  let doomed = Array.make n_timers None in
+  let timers =
+    Array.init n_timers (fun i ->
+        let delay = 1e-3 +. (float_of_int i *. 1e-6) in
+        let rec tick () =
+          if !remaining > 0 then begin
+            decr remaining;
+            (* cancel-heavy side channel: replace a far-future event on
+               every tick so the heap accumulates cancelled entries *)
+            (match doomed.(i) with
+            | Some h -> Sim.Engine.cancel h
+            | None -> ());
+            doomed.(i) <- Some (Sim.Engine.schedule eng ~delay:1e6 noop);
+            ignore (Sim.Engine.schedule eng ~delay tick)
+          end
+        in
+        tick)
+  in
+  Array.iteri
+    (fun i tick ->
+      ignore (Sim.Engine.schedule eng ~delay:(float_of_int (i + 1) *. 1e-5) tick))
+    timers;
+  Sim.Engine.run ~until:1e5 eng;
+  (Sim.Engine.events_handled eng, 0)
+
+let received (r : Inrpp.Protocol.result) =
+  Array.fold_left
+    (fun acc (f : Inrpp.Protocol.flow_result) -> acc + f.Inrpp.Protocol.chunks_received)
+    0 r.Inrpp.Protocol.flows
+
+let bulk = { Inrpp.Config.default with Inrpp.Config.anticipation = 512 }
+
+(* Forwarding microbenchmark: every packet is queued up front, then
+   the engine drains the network to completion.  Each packet crosses
+   three hops (src access link, bottleneck, dst access link), so the
+   run is arrival events and interface pops — no protocol logic.
+   Each router touch re-arms that flow's idle/custody timer, the way
+   per-flow router state (and the paper's chunk-custody retention)
+   behaves, so the heap carries a realistic cancelled-timer load
+   alongside the forwarding events.  Queues are sized to hold the
+   full load: the benchmark measures forwarding cost, not drop
+   behaviour. *)
+let chunk_bits = 80_000. (* 10 kB data chunk *)
+
+let idle_timeout = 1e4 (* outlives the run: idle flows are never torn down *)
+
+let dumbbell ~packets () =
+  let g =
+    Topology.Builders.dumbbell ~access_capacity:10e6 ~bottleneck_capacity:5e6 4
+  in
+  let eng = Sim.Engine.create () in
+  let queue_bits = float_of_int packets *. chunk_bits *. 8. in
+  let net = Chunksim.Net.create ~queue_bits eng g in
+  let left = 0 and right = 1 in
+  let bottleneck = Option.get (Topology.Graph.find_link g left right) in
+  let dst_link =
+    Array.init 4 (fun i -> Option.get (Topology.Graph.find_link g right (6 + i)))
+  in
+  let src_link =
+    Array.init 4 (fun i -> Option.get (Topology.Graph.find_link g (2 + i) left))
+  in
+  let delivered = ref 0 in
+  let idle = Array.make 4 None in
+  let noop () = () in
+  let touch f =
+    (match idle.(f) with
+    | Some h -> Sim.Engine.cancel h
+    | None -> ());
+    idle.(f) <- Some (Sim.Engine.schedule eng ~delay:idle_timeout noop)
+  in
+  Chunksim.Net.set_handler net left (fun ~from:_ p ->
+      touch (Chunksim.Packet.flow p);
+      ignore (Chunksim.Net.send net ~via:bottleneck p));
+  Chunksim.Net.set_handler net right (fun ~from:_ p ->
+      touch (Chunksim.Packet.flow p);
+      ignore (Chunksim.Net.send net ~via:dst_link.(Chunksim.Packet.flow p) p));
+  for i = 0 to 3 do
+    Chunksim.Net.set_handler net (6 + i) (fun ~from:_ _ -> incr delivered)
+  done;
+  for i = 0 to 3 do
+    let p = Chunksim.Packet.data ~flow:i ~idx:0 ~born:0. chunk_bits in
+    for _ = 1 to packets do
+      ignore (Chunksim.Net.send net ~via:src_link.(i) p)
+    done
+  done;
+  Sim.Engine.run eng;
+  (Sim.Engine.events_handled eng, !delivered)
+
+let isp_zoo ~chunks () =
+  let g = Topology.Isp_zoo.graph Topology.Isp_zoo.Ebone in
+  let n = Topology.Graph.node_count g in
+  let specs =
+    List.filter_map
+      (fun i ->
+        let src = i * 3 mod n and dst = (i + (n / 2)) mod n in
+        if src <> dst
+           && Option.is_some (Topology.Dijkstra.shortest_path g src dst)
+        then Some (Inrpp.Protocol.flow_spec ~src ~dst chunks)
+        else None)
+      (List.init 8 Fun.id)
+  in
+  let r = Inrpp.Protocol.run ~cfg:bulk ~horizon:600. g specs in
+  (r.Inrpp.Protocol.engine_events, received r)
+
+(* ------------------------------------------------------------------ *)
+(* JSON output *)
+
+let outcome_json o =
+  let per_event x = if o.events > 0 then x /. float_of_int o.events else 0. in
+  let per_sec x = if o.wall_s > 0. then x /. o.wall_s else 0. in
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.Str o.name);
+      ("events", Obs.Json.Num (float_of_int o.events));
+      ("wall_s", Obs.Json.Num o.wall_s);
+      ("events_per_sec", Obs.Json.Num (per_sec (float_of_int o.events)));
+      ("chunks_delivered", Obs.Json.Num (float_of_int o.chunks));
+      ("chunks_per_sec", Obs.Json.Num (per_sec (float_of_int o.chunks)));
+      ("minor_words_per_event", Obs.Json.Num (per_event o.minor_words));
+    ]
+
+let report ~smoke outcomes =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str schema_version);
+      ("smoke", Obs.Json.Bool smoke);
+      ("benchmarks", Obs.Json.List (List.map outcome_json outcomes));
+      ( "baseline",
+        Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Num v)) baseline) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Schema check: shape only, never absolute numbers *)
+
+let benchmark_fields =
+  [ "name"; "events"; "wall_s"; "events_per_sec"; "chunks_delivered";
+    "chunks_per_sec"; "minor_words_per_event" ]
+
+let check_file path =
+  let read_all ic =
+    let b = Buffer.create 4096 in
+    (try
+       while true do
+         Buffer.add_channel b ic 1
+       done
+     with End_of_file -> ());
+    Buffer.contents b
+  in
+  let ic = open_in path in
+  let text = read_all ic in
+  close_in ic;
+  let fail msg =
+    Printf.eprintf "BENCH_core.json schema drift: %s\n" msg;
+    exit 1
+  in
+  match Obs.Json.parse text with
+  | Error e -> fail ("not valid JSON: " ^ e)
+  | Ok j ->
+    (match Obs.Json.member "schema" j with
+    | Some (Obs.Json.Str s) when s = schema_version -> ()
+    | Some (Obs.Json.Str s) -> fail ("schema is " ^ s ^ ", want " ^ schema_version)
+    | _ -> fail "missing string field: schema");
+    (match Obs.Json.member "smoke" j with
+    | Some (Obs.Json.Bool _) -> ()
+    | _ -> fail "missing bool field: smoke");
+    (match Obs.Json.member "baseline" j with
+    | Some (Obs.Json.Obj fields) ->
+      List.iter
+        (fun (k, _) ->
+          match List.assoc_opt k fields with
+          | Some (Obs.Json.Num _) -> ()
+          | _ -> fail ("baseline missing numeric field: " ^ k))
+        baseline
+    | _ -> fail "missing object field: baseline");
+    (match Obs.Json.member "benchmarks" j with
+    | Some (Obs.Json.List (_ :: _ as bs)) ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun field ->
+              match Obs.Json.member field b with
+              | Some (Obs.Json.Num _) when field <> "name" -> ()
+              | Some (Obs.Json.Str _) when field = "name" -> ()
+              | _ -> fail ("benchmark entry missing field: " ^ field))
+            benchmark_fields)
+        bs
+    | _ -> fail "missing non-empty list field: benchmarks");
+    Printf.printf "%s: schema ok (%s)\n" path schema_version;
+    exit 0
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let smoke = ref false in
+  let out = ref "BENCH_core.json" in
+  let args = Array.to_list Sys.argv in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse rest
+    | "--out" :: path :: rest ->
+      out := path;
+      parse rest
+    | "--check" :: path :: _ -> check_file path
+    | a :: rest ->
+      if a <> Sys.argv.(0) then (
+        Printf.eprintf
+          "usage: perf [--smoke] [--out FILE] [--check FILE]\n";
+        exit 2);
+      parse rest
+  in
+  parse args;
+  let churn_total = if !smoke then 20_000 else 1_000_000 in
+  let dumbbell_packets = if !smoke then 400 else 40_000 in
+  let zoo_chunks = if !smoke then 40 else 1_000 in
+  let repeat = if !smoke then 1 else 3 in
+  let outcomes =
+    [
+      measure ~repeat "engine_churn" (engine_churn ~total:churn_total);
+      measure ~repeat "dumbbell" (dumbbell ~packets:dumbbell_packets);
+      measure ~repeat "isp_zoo" (isp_zoo ~chunks:zoo_chunks);
+    ]
+  in
+  let j = report ~smoke:!smoke outcomes in
+  let oc = open_out !out in
+  output_string oc (Obs.Json.to_string j);
+  output_char oc '\n';
+  close_out oc;
+  List.iter
+    (fun o ->
+      Printf.printf "%-14s %9d events  %8.3f s  %12.0f ev/s  %6d chunks  %8.1f minor-w/ev\n"
+        o.name o.events o.wall_s
+        (if o.wall_s > 0. then float_of_int o.events /. o.wall_s else 0.)
+        o.chunks
+        (if o.events > 0 then o.minor_words /. float_of_int o.events else 0.))
+    outcomes;
+  Printf.printf "wrote %s\n" !out

@@ -15,11 +15,18 @@ val all : protocol list
 val name : protocol -> string
 
 val run_one :
-  ?cfg:Inrpp.Config.t -> ?horizon:float -> protocol ->
+  ?cfg:Inrpp.Config.t -> ?horizon:float -> ?obs:Obs.Observer.t -> protocol ->
   Topology.Graph.t -> Inrpp.Protocol.flow_spec list -> Run_result.t
 (** The INRPP chunk size, queue size and horizon are taken from / kept
-    consistent with [cfg] across all protocols. *)
+    consistent with [cfg] across all protocols.  [obs] instruments the
+    run (every protocol now accepts an observer). *)
 
 val run_all :
   ?cfg:Inrpp.Config.t -> ?horizon:float -> ?protocols:protocol list ->
-  Topology.Graph.t -> Inrpp.Protocol.flow_spec list -> Run_result.t list
+  ?observe:(protocol -> Obs.Observer.t option) -> Topology.Graph.t ->
+  Inrpp.Protocol.flow_spec list -> Run_result.t list
+(** [observe] supplies at most one fresh observer per protocol run —
+    an observer instruments exactly one run (its sampler installs
+    once), so the comparison takes a factory rather than a shared
+    observer.  Each protocol's series carry a
+    [("protocol", name p)] label. *)

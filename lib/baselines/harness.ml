@@ -67,6 +67,54 @@ let prepare ?queue_bits ~paths_per_flow g specs =
     wire_ids = Array.of_list (List.map snd flows);
   }
 
+(* Shared observability wiring for baseline runs: callback metrics on
+   the forwarders and interfaces plus sampled per-interface series
+   (the per-protocol interface series of the comparison runs).
+   Returns the sampler — still stopped — and the protocol label so
+   the caller can add its own flow series before {!Obs.Sampler.start}. *)
+let observe_net o ~protocol ~horizon s =
+  let reg = Obs.Observer.registry o in
+  let proto_label = ("protocol", protocol) in
+  Array.iteri
+    (fun node fwd ->
+      Obs.Metric.callback reg
+        ~labels:[ proto_label; ("node", string_of_int node) ]
+        "forwarder_drops_total"
+        (fun () -> float_of_int (Forwarder.drops fwd)))
+    s.forwarders;
+  Net.iter_ifaces s.net (fun i ->
+      let l = Chunksim.Iface.link i in
+      let labels =
+        [ proto_label; ("link", string_of_int l.Topology.Link.id) ]
+      in
+      let f name fn = Obs.Metric.callback reg ~labels name fn in
+      f "iface_tx_bits_total" (fun () -> Chunksim.Iface.tx_bits i);
+      f "iface_drops_total" (fun () ->
+          float_of_int (Chunksim.Iface.drops i));
+      f "iface_queue_bits" (fun () -> Chunksim.Iface.queue_occupancy i));
+  let smp =
+    Obs.Observer.install_sampler o ~eng:s.eng
+      ~default_interval:(horizon /. 200.)
+  in
+  Net.iter_ifaces s.net (fun i ->
+      let l = Chunksim.Iface.link i in
+      let labels =
+        [ proto_label; ("link", string_of_int l.Topology.Link.id) ]
+      in
+      let track name fn = ignore (Obs.Sampler.track smp ~labels name fn) in
+      track "iface_queue_bits" (fun () -> Chunksim.Iface.queue_occupancy i);
+      track "iface_utilisation" (fun () ->
+          Chunksim.Iface.utilisation i ~now:(Sim.Engine.now s.eng)));
+  (smp, proto_label)
+
+(* unloaded latency of a path: propagation plus one serialisation per
+   hop — the floor against which receivers measure queueing delay *)
+let path_base_delay ~chunk_bits (path : Path.t) =
+  List.fold_left
+    (fun acc (l : Topology.Link.t) ->
+      acc +. l.Topology.Link.delay +. (chunk_bits /. l.Topology.Link.capacity))
+    0. path.Path.links
+
 let run_pull ~protocol ~coupled ~paths_per_flow ?(chunk_bits = 10e3 *. 8.)
     ?queue_bits ?(horizon = 120.) ?obs g specs =
   let s = prepare ?queue_bits ~paths_per_flow g specs in
@@ -75,6 +123,35 @@ let run_pull ~protocol ~coupled ~paths_per_flow ?(chunk_bits = 10e3 *. 8.)
   let fcts = Array.make nflows None in
   let completed = ref 0 in
   let finished_at = ref None in
+  (* receiver-side distribution metrics (only when observed): FCT per
+     completed flow, and queueing delay per delivered chunk — arrival
+     time minus the send timestamp minus the subflow path's unloaded
+     latency *)
+  let fct_hist, qdelay_by_wire =
+    match obs with
+    | None -> (None, None)
+    | Some o ->
+      let reg = Obs.Observer.registry o in
+      let proto_label = ("protocol", protocol) in
+      let by_wire = Hashtbl.create 32 in
+      Array.iteri
+        (fun i wires ->
+          let h =
+            Obs.Metric.histogram reg
+              ~labels:[ proto_label; ("flow", string_of_int i) ]
+              ~lo:0. ~hi:10. ~bins:50 "chunk_queueing_delay_seconds"
+          in
+          Array.iteri
+            (fun j wire ->
+              Hashtbl.replace by_wire wire
+                (path_base_delay ~chunk_bits s.paths.(i).(j), h))
+            wires)
+        s.wire_ids;
+      ( Some
+          (Obs.Metric.histogram reg ~labels:[ proto_label ] ~lo:0.
+             ~hi:horizon ~bins:64 "flow_fct_seconds"),
+        Some by_wire )
+  in
   (* producers: wire id -> responder *)
   let producers : (int, Packet.t -> unit) Hashtbl.t = Hashtbl.create 32 in
   (* consumers: wire id -> (puller, subflow index) *)
@@ -95,6 +172,9 @@ let run_pull ~protocol ~coupled ~paths_per_flow ?(chunk_bits = 10e3 *. 8.)
             ~subflow_request ~wire_ids:wires
             ~on_complete:(fun ~fct ->
               fcts.(i) <- Some fct;
+              (match fct_hist with
+              | Some h -> Obs.Metric.observe h fct
+              | None -> ());
               incr completed;
               if !completed = nflows then
                 finished_at := Some (Sim.Engine.now s.eng))
@@ -121,26 +201,35 @@ let run_pull ~protocol ~coupled ~paths_per_flow ?(chunk_bits = 10e3 *. 8.)
           match Hashtbl.find_opt producers (Packet.flow p) with
           | Some respond -> respond p
           | None -> ());
+      let observe_data =
+        match qdelay_by_wire with
+        | None -> fun (_ : Packet.t) -> ()
+        | Some by_wire ->
+          fun (p : Packet.t) -> (
+            match p.Packet.header with
+            | Packet.Data { flow; born; _ } -> (
+              match Hashtbl.find_opt by_wire flow with
+              | Some (base, h) ->
+                let d = Sim.Engine.now s.eng -. born -. base in
+                Obs.Metric.observe h (Float.max 0. d)
+              | None -> ())
+            | _ -> ())
+      in
       Forwarder.set_local_consumer fwd (fun p ->
+          observe_data p;
           match Hashtbl.find_opt consumers (Packet.flow p) with
           | Some (puller, j) -> Puller.handle_data puller ~subflow:j p
           | None -> ());
       Net.set_handler s.net node (Forwarder.handler fwd))
     s.forwarders;
   (* observability: the baseline stack has no trace, so an observer
-     gets callback metrics and sampled series only *)
+     gets callback metrics, sampled series and the receiver-side
+     histograms only *)
   (match obs with
   | None -> ()
   | Some o ->
     let reg = Obs.Observer.registry o in
-    let proto_label = ("protocol", protocol) in
-    Array.iteri
-      (fun node fwd ->
-        Obs.Metric.callback reg
-          ~labels:[ proto_label; ("node", string_of_int node) ]
-          "forwarder_drops_total"
-          (fun () -> float_of_int (Forwarder.drops fwd)))
-      s.forwarders;
+    let smp, proto_label = observe_net o ~protocol ~horizon s in
     Array.iteri
       (fun i p ->
         let labels = [ proto_label; ("flow", string_of_int i) ] in
@@ -150,35 +239,7 @@ let run_pull ~protocol ~coupled ~paths_per_flow ?(chunk_bits = 10e3 *. 8.)
         f "puller_loss_events_total" (fun () ->
             float_of_int (Puller.loss_events p));
         f "puller_chunks_received" (fun () ->
-            float_of_int (Puller.received p)))
-      pullers;
-    Net.iter_ifaces s.net (fun i ->
-        let l = Chunksim.Iface.link i in
-        let labels =
-          [ proto_label; ("link", string_of_int l.Topology.Link.id) ]
-        in
-        let f name fn = Obs.Metric.callback reg ~labels name fn in
-        f "iface_tx_bits_total" (fun () -> Chunksim.Iface.tx_bits i);
-        f "iface_drops_total" (fun () ->
-            float_of_int (Chunksim.Iface.drops i));
-        f "iface_queue_bits" (fun () -> Chunksim.Iface.queue_occupancy i));
-    let smp =
-      Obs.Observer.install_sampler o ~eng:s.eng
-        ~default_interval:(horizon /. 200.)
-    in
-    Net.iter_ifaces s.net (fun i ->
-        let l = Chunksim.Iface.link i in
-        let labels =
-          [ proto_label; ("link", string_of_int l.Topology.Link.id) ]
-        in
-        let track name fn = ignore (Obs.Sampler.track smp ~labels name fn) in
-        track "iface_queue_bits" (fun () ->
-            Chunksim.Iface.queue_occupancy i);
-        track "iface_utilisation" (fun () ->
-            Chunksim.Iface.utilisation i ~now:(Sim.Engine.now s.eng)));
-    Array.iteri
-      (fun i p ->
-        let labels = [ proto_label; ("flow", string_of_int i) ] in
+            float_of_int (Puller.received p));
         ignore
           (Obs.Sampler.track smp ~labels "chunks_received" (fun () ->
                float_of_int (Puller.received p))))

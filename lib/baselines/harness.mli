@@ -18,6 +18,22 @@ val prepare :
     wire ids and installs forwarding state.
     @raise Invalid_argument if [paths_per_flow < 1] or no flows. *)
 
+val observe_net :
+  Obs.Observer.t -> protocol:string -> horizon:float -> setup ->
+  Obs.Sampler.t * (string * string)
+(** Register the network-level instrumentation every baseline shares:
+    callback metrics ([forwarder_drops_total], per-link [iface_*]) and
+    sampled per-interface [iface_queue_bits] / [iface_utilisation]
+    series, all labelled [("protocol", protocol)].  Installs the
+    observer's sampler (at [horizon /. 200.] by default) but does not
+    start it; returns it with the protocol label so the caller can add
+    flow series, then call {!Obs.Sampler.start}. *)
+
+val path_base_delay : chunk_bits:float -> Topology.Path.t -> float
+(** Unloaded latency of a path: propagation plus one serialisation
+    per hop — the floor receivers subtract when histogramming
+    queueing delay. *)
+
 val run_pull :
   protocol:string -> coupled:bool -> paths_per_flow:int ->
   ?chunk_bits:float -> ?queue_bits:float -> ?horizon:float ->
@@ -31,6 +47,7 @@ val run_pull :
     ([forwarder_drops_total], [puller_retransmissions_total],
     [puller_loss_events_total], [puller_chunks_received], per-link
     [iface_*]) and sampled [iface_queue_bits] / [iface_utilisation] /
-    per-flow [chunks_received] series, all labelled with [protocol].
-    The baseline stack has no packet trace, so the observer's sinks
-    are not attached. *)
+    per-flow [chunks_received] series, all labelled with [protocol],
+    plus receiver-side distributions: [flow_fct_seconds] and per-flow
+    [chunk_queueing_delay_seconds] histograms.  The baseline stack
+    has no packet trace, so the observer's sinks are not attached. *)

@@ -16,7 +16,8 @@ type node_state = {
   data_links : (int, Link.t option) Hashtbl.t;  (* flow -> downstream link *)
 }
 
-let run ?(chunk_bits = 10e3 *. 8.) ?queue_bits ?(horizon = 120.) g specs =
+let run ?(chunk_bits = 10e3 *. 8.) ?queue_bits ?(horizon = 120.) ?obs g specs
+    =
   let s = Harness.prepare ?queue_bits ~paths_per_flow:1 g specs in
   let eng = s.Harness.eng in
   let specs_arr = Array.of_list specs in
@@ -24,6 +25,26 @@ let run ?(chunk_bits = 10e3 *. 8.) ?queue_bits ?(horizon = 120.) g specs =
   let fcts = Array.make nflows None in
   let completed = ref 0 in
   let finished_at = ref None in
+  (* receiver-side distributions (only when observed) *)
+  let base_delay =
+    Array.init nflows (fun i ->
+        Harness.path_base_delay ~chunk_bits s.Harness.paths.(i).(0))
+  in
+  let fct_hist, qdelay_hist =
+    match obs with
+    | None -> (None, None)
+    | Some o ->
+      let reg = Obs.Observer.registry o in
+      let proto_label = ("protocol", "HBH") in
+      ( Some
+          (Obs.Metric.histogram reg ~labels:[ proto_label ] ~lo:0.
+             ~hi:horizon ~bins:64 "flow_fct_seconds"),
+        Some
+          (Array.init nflows (fun i ->
+               Obs.Metric.histogram reg
+                 ~labels:[ proto_label; ("flow", string_of_int i) ]
+                 ~lo:0. ~hi:10. ~bins:50 "chunk_queueing_delay_seconds")) )
+  in
   (* how many flows send data over each directed link: the processor
      sharing denominator of the shaper *)
   let flows_on_link = Hashtbl.create 32 in
@@ -122,15 +143,23 @@ let run ?(chunk_bits = 10e3 *. 8.) ?queue_bits ?(horizon = 120.) g specs =
           | None -> ());
       Forwarder.set_local_consumer fwd (fun p ->
           match p.Packet.header, Hashtbl.find_opt consumers (Packet.flow p) with
-          | Packet.Data { idx; _ }, Some i -> begin
+          | Packet.Data { idx; born; _ }, Some i -> begin
+            (match qdelay_hist with
+            | Some hs ->
+              let d = Sim.Engine.now eng -. born -. base_delay.(i) in
+              Obs.Metric.observe hs.(i) (Float.max 0. d)
+            | None -> ());
             match sessions.(i) with
             | Some sess when not (Inrpp.Session.is_complete sess) -> begin
               match Inrpp.Session.receive sess idx with
               | `New ->
                 if Inrpp.Session.is_complete sess then begin
                   let now = Sim.Engine.now eng in
-                  fcts.(i) <-
-                    Some (now -. specs_arr.(i).Inrpp.Protocol.start);
+                  let fct = now -. specs_arr.(i).Inrpp.Protocol.start in
+                  fcts.(i) <- Some fct;
+                  (match fct_hist with
+                  | Some h -> Obs.Metric.observe h fct
+                  | None -> ());
                   incr completed;
                   if !completed = nflows then finished_at := Some now
                 end
@@ -149,6 +178,22 @@ let run ?(chunk_bits = 10e3 *. 8.) ?queue_bits ?(horizon = 120.) g specs =
           | Packet.Data _ | Packet.Backpressure _ ->
             Forwarder.handler fwd ~from p))
     s.Harness.forwarders;
+  (* observability: shared net series plus per-flow progress *)
+  (match obs with
+  | None -> ()
+  | Some o ->
+    let smp, proto_label = Harness.observe_net o ~protocol:"HBH" ~horizon s in
+    Array.iteri
+      (fun i _ ->
+        let labels = [ proto_label; ("flow", string_of_int i) ] in
+        ignore
+          (Obs.Sampler.track smp ~labels "chunks_received" (fun () ->
+               match sessions.(i) with
+               | Some sess ->
+                 float_of_int (Inrpp.Session.received_count sess)
+               | None -> 0.)))
+      specs_arr;
+    Obs.Sampler.start ~stop:(fun () -> !completed = nflows) smp);
   (* consumers: window of outstanding interests, self-clocked; the
      shapers inside the network do the congestion control *)
   let window = 32 in

@@ -15,5 +15,10 @@
 
 val run :
   ?chunk_bits:float -> ?queue_bits:float -> ?horizon:float ->
-  Topology.Graph.t -> Inrpp.Protocol.flow_spec list -> Run_result.t
-(** Defaults as in {!Harness.run_pull}. *)
+  ?obs:Obs.Observer.t -> Topology.Graph.t ->
+  Inrpp.Protocol.flow_spec list -> Run_result.t
+(** Defaults as in {!Harness.run_pull}.  [obs] adds the shared network
+    series (see {!Harness.observe_net}), a sampled per-flow
+    [chunks_received] series, and receiver-side [flow_fct_seconds] /
+    [chunk_queueing_delay_seconds] histograms, labelled
+    [("protocol", "HBH")]. *)

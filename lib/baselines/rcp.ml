@@ -20,7 +20,7 @@ type flow_state = {
 let max_outstanding = 512
 
 let run ?(chunk_bits = 10e3 *. 8.) ?queue_bits ?(horizon = 120.)
-    ?(update_interval = 0.05) g specs =
+    ?(update_interval = 0.05) ?obs g specs =
   if update_interval <= 0. then invalid_arg "Rcp.run: update_interval <= 0";
   let s = Harness.prepare ?queue_bits ~paths_per_flow:1 g specs in
   let specs_arr = Array.of_list specs in
@@ -47,6 +47,27 @@ let run ?(chunk_bits = 10e3 *. 8.) ?queue_bits ?(horizon = 120.)
           pacing_armed = false;
           retx = 0;
         })
+  in
+  (* receiver-side distributions (only when observed) *)
+  let base_delay =
+    Array.map
+      (fun st -> Harness.path_base_delay ~chunk_bits st.path)
+      states
+  in
+  let fct_hist, qdelay_hist =
+    match obs with
+    | None -> (None, None)
+    | Some o ->
+      let reg = Obs.Observer.registry o in
+      let proto_label = ("protocol", "RCP") in
+      ( Some
+          (Obs.Metric.histogram reg ~labels:[ proto_label ] ~lo:0.
+             ~hi:horizon ~bins:64 "flow_fct_seconds"),
+        Some
+          (Array.init nflows (fun i ->
+               Obs.Metric.histogram reg
+                 ~labels:[ proto_label; ("flow", string_of_int i) ]
+                 ~lo:0. ~hi:10. ~bins:50 "chunk_queueing_delay_seconds")) )
   in
   (* explicit rate feedback: max-min share among active flows *)
   let update_rates () =
@@ -156,7 +177,14 @@ let run ?(chunk_bits = 10e3 *. 8.) ?queue_bits ?(horizon = 120.)
           | _ -> ());
       Forwarder.set_local_consumer fwd (fun p ->
           match p.Packet.header, Hashtbl.find_opt consumers (Packet.flow p) with
-          | Packet.Data { idx; _ }, Some i ->
+          | Packet.Data { idx; born; _ }, Some i ->
+            (match qdelay_hist with
+            | Some hs ->
+              let d =
+                Sim.Engine.now s.Harness.eng -. born -. base_delay.(i)
+              in
+              Obs.Metric.observe hs.(i) (Float.max 0. d)
+            | None -> ());
             let st = states.(i) in
             if not st.finished then begin
               Hashtbl.remove st.outstanding idx;
@@ -171,6 +199,9 @@ let run ?(chunk_bits = 10e3 *. 8.) ?queue_bits ?(horizon = 120.)
                     | None -> now
                   in
                   fcts.(i) <- Some fct;
+                  (match fct_hist with
+                  | Some h -> Obs.Metric.observe h fct
+                  | None -> ());
                   incr completed;
                   if !completed = nflows then finished_at := Some now
                 end
@@ -179,11 +210,29 @@ let run ?(chunk_bits = 10e3 *. 8.) ?queue_bits ?(horizon = 120.)
           | _ -> ());
       Net.set_handler s.Harness.net node (Forwarder.handler fwd))
     s.Harness.forwarders;
+  (* observability: shared net series plus RCP's assigned-rate series *)
+  (match obs with
+  | None -> ()
+  | Some o ->
+    let reg = Obs.Observer.registry o in
+    let smp, proto_label = Harness.observe_net o ~protocol:"RCP" ~horizon s in
+    Array.iteri
+      (fun i st ->
+        let labels = [ proto_label; ("flow", string_of_int i) ] in
+        Obs.Metric.callback reg ~labels "rcp_retransmissions_total"
+          (fun () -> float_of_int st.retx);
+        let track name fn = ignore (Obs.Sampler.track smp ~labels name fn) in
+        track "rcp_rate_bps" (fun () -> st.rate);
+        track "chunks_received" (fun () ->
+            float_of_int (Inrpp.Session.received_count st.sess)))
+      states;
+    Obs.Sampler.start ~stop:(fun () -> !completed = nflows) smp);
   (* rate feedback loop *)
-  Sim.Engine.schedule_periodic s.Harness.eng ~interval:update_interval
-    (fun () ->
-      update_rates ();
-      !completed < nflows);
+  ignore
+  @@ Sim.Engine.schedule_periodic s.Harness.eng ~interval:update_interval
+       (fun () ->
+         update_rates ();
+         !completed < nflows);
   (* flow starts *)
   Array.iteri
     (fun i st ->

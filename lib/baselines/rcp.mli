@@ -11,6 +11,10 @@
 
 val run :
   ?chunk_bits:float -> ?queue_bits:float -> ?horizon:float ->
-  ?update_interval:float -> Topology.Graph.t ->
+  ?update_interval:float -> ?obs:Obs.Observer.t -> Topology.Graph.t ->
   Inrpp.Protocol.flow_spec list -> Run_result.t
-(** [update_interval] (default 50 ms) is the rate-feedback period. *)
+(** [update_interval] (default 50 ms) is the rate-feedback period.
+    [obs] adds the shared network series (see {!Harness.observe_net}),
+    a sampled per-flow [rcp_rate_bps] series, and receiver-side
+    [flow_fct_seconds] / [chunk_queueing_delay_seconds] histograms,
+    labelled [("protocol", "RCP")]. *)

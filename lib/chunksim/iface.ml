@@ -6,15 +6,45 @@ type queue =
   | Q_fifo of Fifo.t
   | Q_drr of Rr_queue.t
 
+(* Two transmitter implementations share this record.
+
+   Fast path (no wire loss): the transmitter is a [next_free_at]
+   virtual clock.  Popping a packet advances the clock by its
+   serialisation time and schedules its arrival — one pre-allocated
+   engine event per packet, no per-packet closure.  Pops that fall due
+   while no event touches the interface are performed lazily ("catch
+   up") by the next send, delivery or state read, with the start time
+   taken from the virtual clock, so queue occupancy, DRR service
+   order, delivery timestamps and utilisation are exactly those of an
+   eager transmitter.  Transmission statistics accrue the same way:
+   at most one popped packet's completion lies in the future at any
+   instant, so a single pending record is settled lazily.
+
+   Slow path (wire loss configured): the original two-event scheme —
+   a serialisation-complete event that rolls the loss dice, then a
+   propagation event per surviving packet — because the loss decision
+   must happen at completion time in RNG order. *)
 type t = {
   eng : Sim.Engine.t;
   l : Topology.Link.t;
   q : queue;
   effective_rate : float;
+  prop_delay : float;
   deliver : Packet.t -> unit;
   loss : (float * Sim.Rng.t) option;
+  (* fast path *)
+  mutable next_free_at : float;  (* virtual clock: busy until this time *)
+  mutable chain_stamp : int;     (* scheduling stamp of the send that
+                                    began the current busy period *)
+  wire : Packet.t Queue.t;       (* popped packets awaiting their arrival *)
+  mutable arrive : unit -> unit; (* the shared delivery continuation *)
+  mutable inflight_tx : float;   (* un-settled tx seconds … *)
+  mutable inflight_bits : float; (* … and bits of the newest popped packet *)
+  mutable inflight_pending : bool;
+  (* slow path *)
   mutable is_busy : bool;
-  mutable busy_accum : float;   (* total seconds spent transmitting *)
+  (* statistics *)
+  mutable busy_accum : float;    (* total seconds spent transmitting *)
   mutable tx_bits_acc : float;
   mutable tx_packets_acc : int;
   mutable wire_loss_acc : int;
@@ -22,38 +52,10 @@ type t = {
 
 let default_queue_bits = 64. *. 10e3 *. 8.
 
-let create ?(queue_bits = default_queue_bits) ?(speed_factor = 1.)
-    ?(discipline = Fifo_discipline) ?loss eng l ~deliver =
-  if queue_bits <= 0. then invalid_arg "Iface.create: queue_bits <= 0";
-  if speed_factor <= 0. || speed_factor > 1. then
-    invalid_arg "Iface.create: speed_factor outside (0,1]";
-  (match loss with
-  | Some (p, _) when p < 0. || p >= 1. ->
-    invalid_arg "Iface.create: loss probability outside [0,1)"
-  | Some _ | None -> ());
-  {
-    eng;
-    l;
-    q =
-      (match discipline with
-      | Fifo_discipline -> Q_fifo (Fifo.create ~capacity:queue_bits)
-      | Drr quantum -> Q_drr (Rr_queue.create ~quantum ~capacity:queue_bits ()));
-    effective_rate = l.Topology.Link.capacity *. speed_factor;
-    deliver;
-    loss;
-    is_busy = false;
-    busy_accum = 0.;
-    tx_bits_acc = 0.;
-    tx_packets_acc = 0;
-    wire_loss_acc = 0;
-  }
-
 let link t = t.l
 
 let rate t = t.effective_rate
 
-(* Serialise the head-of-line packet; on completion deliver it after
-   the propagation delay and continue with the next one. *)
 let q_pop t =
   match t.q with
   | Q_fifo f -> Fifo.pop f
@@ -63,6 +65,100 @@ let q_push t (p : Packet.t) =
   match t.q with
   | Q_fifo f -> Fifo.push f p
   | Q_drr d -> Rr_queue.push d ~class_id:(Packet.flow p) p
+
+(* ------------------------------------------------------------------ *)
+(* Fast path *)
+
+(* accrue the newest popped packet once its completion time passes *)
+let settle t ~now =
+  if t.inflight_pending && t.next_free_at <= now then begin
+    t.busy_accum <- t.busy_accum +. t.inflight_tx;
+    t.tx_bits_acc <- t.tx_bits_acc +. t.inflight_bits;
+    t.tx_packets_acc <- t.tx_packets_acc + 1;
+    t.inflight_pending <- false
+  end
+
+(* start serialising [p] at the virtual clock and schedule its arrival.
+   The arrival lies strictly in the future: a packet only waits in the
+   queue while a predecessor is on the wire, and our caller pops it no
+   later than the predecessor's arrival event, so
+   [next_free_at + tx + prop > predecessor arrival >= now].  The
+   arrival's tie-break epoch is the completion instant — where the
+   eager two-event scheme would have scheduled the propagation — so
+   it sorts identically among simultaneous events. *)
+let start_tx t (p : Packet.t) =
+  settle t ~now:t.next_free_at;
+  let start = t.next_free_at in
+  let tx = p.Packet.size /. t.effective_rate in
+  t.next_free_at <- start +. tx;
+  t.inflight_tx <- tx;
+  t.inflight_bits <- p.Packet.size;
+  t.inflight_pending <- true;
+  Queue.add p t.wire;
+  Sim.Engine.schedule_fixed_at t.eng ~epoch:t.next_free_at
+    ~parent_epoch:start ~stamp:t.chain_stamp
+    ~time:(t.next_free_at +. t.prop_delay)
+    t.arrive
+
+(* Is the pending completion at [next_free_at] due?  Strictly past:
+   yes.  At an exact tie the eager scheme's completion event — pushed
+   when its packet started transmitting — has run already iff it
+   sorts before the event executing right now, i.e. iff the
+   transmission's start instant precedes the current event's epoch. *)
+let completion_due t ~now =
+  t.next_free_at < now
+  || (t.next_free_at = now
+      && t.next_free_at -. t.inflight_tx < Sim.Engine.current_epoch t.eng)
+
+(* perform every pop whose completion event would already have run,
+   exactly as the eager transmitter would have at those instants *)
+let rec catch_up t ~now =
+  if completion_due t ~now then begin
+    match q_pop t with
+    | Some p ->
+      start_tx t p;
+      catch_up t ~now
+    | None -> settle t ~now
+  end
+
+(* the one pre-allocated continuation: deliver the oldest packet on
+   the wire (arrivals fire in FIFO order — serialisation times are
+   strictly positive, so arrival times strictly increase) *)
+let on_arrival t =
+  let p = Queue.pop t.wire in
+  catch_up t ~now:(Sim.Engine.now t.eng);
+  t.deliver p
+
+let send_fast t p =
+  let now = Sim.Engine.now t.eng in
+  catch_up t ~now;
+  match q_push t p with
+  | `Dropped -> `Dropped
+  | `Queued ->
+    (* Start transmitting right away only if the transmitter is truly
+       idle (its last completion event has run — [inflight_pending]
+       false covers the exact-tie case).  If a completion is pending
+       at this very instant but ordered after the current event, the
+       eager scheme would pop inside that later completion event;
+       leaving the pop to a later catch-up reproduces both the pop's
+       candidate set and the queue occupancy seen by any event ordered
+       in between. *)
+    if t.next_free_at < now || (t.next_free_at = now && not t.inflight_pending)
+    then begin
+      match q_pop t with
+      | Some head ->
+        t.next_free_at <- now;
+        (* a busy period begins here: arrivals scheduled lazily for
+           its later packets tie-break as if pushed now *)
+        t.chain_stamp <- Sim.Engine.stamp t.eng;
+        start_tx t head
+      | None -> ()
+    end;
+    `Queued
+
+(* ------------------------------------------------------------------ *)
+(* Slow path: wire loss configured (the pre-overhaul two-event
+   scheme, kept verbatim so the loss dice roll at completion time) *)
 
 let rec kick t =
   if not t.is_busy then begin
@@ -86,19 +182,71 @@ let rec kick t =
              in
              if not lost then
                ignore
-                 (Sim.Engine.schedule t.eng ~delay:t.l.Topology.Link.delay
-                    (fun () -> t.deliver p));
+                 (Sim.Engine.schedule t.eng ~delay:t.prop_delay (fun () ->
+                      t.deliver p));
              kick t))
   end
 
+(* ------------------------------------------------------------------ *)
+
+let create ?(queue_bits = default_queue_bits) ?(speed_factor = 1.)
+    ?(discipline = Fifo_discipline) ?loss eng l ~deliver =
+  if queue_bits <= 0. then invalid_arg "Iface.create: queue_bits <= 0";
+  if speed_factor <= 0. || speed_factor > 1. then
+    invalid_arg "Iface.create: speed_factor outside (0,1]";
+  (match loss with
+  | Some (p, _) when p < 0. || p >= 1. ->
+    invalid_arg "Iface.create: loss probability outside [0,1)"
+  | Some _ | None -> ());
+  let t =
+    {
+      eng;
+      l;
+      q =
+        (match discipline with
+        | Fifo_discipline -> Q_fifo (Fifo.create ~capacity:queue_bits)
+        | Drr quantum ->
+          Q_drr (Rr_queue.create ~quantum ~capacity:queue_bits ()));
+      effective_rate = l.Topology.Link.capacity *. speed_factor;
+      prop_delay = l.Topology.Link.delay;
+      deliver;
+      loss;
+      next_free_at = 0.;
+      chain_stamp = 0;
+      wire = Queue.create ();
+      arrive = (fun () -> ());
+      inflight_tx = 0.;
+      inflight_bits = 0.;
+      inflight_pending = false;
+      is_busy = false;
+      busy_accum = 0.;
+      tx_bits_acc = 0.;
+      tx_packets_acc = 0;
+      wire_loss_acc = 0;
+    }
+  in
+  t.arrive <- (fun () -> on_arrival t);
+  t
+
 let send t p =
-  match q_push t p with
-  | `Dropped -> `Dropped
-  | `Queued ->
-    kick t;
-    `Queued
+  match t.loss with
+  | None -> send_fast t p
+  | Some _ -> begin
+    match q_push t p with
+    | `Dropped -> `Dropped
+    | `Queued ->
+      kick t;
+      `Queued
+  end
+
+(* Reads catch the virtual transmitter up first, so observed queue
+   occupancy, busy state and statistics are those of the eager
+   two-event scheme at the same instant. *)
+let sync t =
+  if t.loss = None then catch_up t ~now:(Sim.Engine.now t.eng)
 
 let queue_occupancy t =
+  sync t;
   match t.q with
   | Q_fifo f -> Fifo.occupancy f
   | Q_drr d -> Rr_queue.occupancy d
@@ -108,12 +256,28 @@ let queue_capacity t =
   | Q_fifo f -> Fifo.capacity f
   | Q_drr d -> Rr_queue.capacity d
 
-let busy t = t.is_busy
+let busy t =
+  match t.loss with
+  | None ->
+    sync t;
+    let now = Sim.Engine.now t.eng in
+    (* at an exact tie the transmitter is still busy iff its
+       completion event has not run yet (inflight still pending) *)
+    t.next_free_at > now || (t.next_free_at = now && t.inflight_pending)
+  | Some _ -> t.is_busy
 
-let utilisation t ~now = if now <= 0. then 0. else t.busy_accum /. now
+let utilisation t ~now =
+  sync t;
+  if now <= 0. then 0. else t.busy_accum /. now
 
-let tx_bits t = t.tx_bits_acc
-let tx_packets t = t.tx_packets_acc
+let tx_bits t =
+  sync t;
+  t.tx_bits_acc
+
+let tx_packets t =
+  sync t;
+  t.tx_packets_acc
+
 let drops t =
   match t.q with
   | Q_fifo f -> Fifo.total_dropped f

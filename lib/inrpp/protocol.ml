@@ -43,6 +43,7 @@ type result = {
   peak_custody_bits : float;
   mean_utilisation : float;
   goodput : float;
+  engine_events : int;
   trace : Chunksim.Trace.t option;
 }
 
@@ -107,6 +108,27 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
   let finished_at = ref None in
   let all_done () = !completed = total_flows in
   let fcts = Array.make total_flows None in
+  (* distribution metrics, observed at the receivers: per-flow
+     completion times and per-chunk queueing delay (arrival time minus
+     send timestamp minus the primary path's unloaded latency, so a
+     detoured chunk shows its detour cost as queueing).  Histograms
+     exist only when an observer asks; the handlers stay callback-free
+     otherwise. *)
+  let base_delay = Array.make total_flows 0. in
+  let fct_hist, qdelay_hist =
+    match obs with
+    | None -> (None, None)
+    | Some o ->
+      let reg = Obs.Observer.registry o in
+      ( Some
+          (Obs.Metric.histogram reg ~lo:0. ~hi:horizon ~bins:64
+             "flow_fct_seconds"),
+        Some
+          (Array.init total_flows (fun i ->
+               Obs.Metric.histogram reg
+                 ~labels:[ ("flow", string_of_int i) ]
+                 ~lo:0. ~hi:10. ~bins:50 "chunk_queueing_delay_seconds")) )
+  in
   (* set up each flow along its shortest path *)
   let receivers = Array.make total_flows None in
   List.iteri
@@ -121,6 +143,13 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
       in
       let nodes = Array.of_list path.Path.nodes in
       let links = Array.of_list path.Path.links in
+      base_delay.(flow_id) <-
+        List.fold_left
+          (fun acc (l : Link.t) ->
+            acc +. l.Link.delay
+            +. (cfg.Config.chunk_bits
+               /. (l.Link.capacity *. cfg.Config.speed_factor)))
+          0. path.Path.links;
       let n = Array.length nodes in
       for k = 0 to n - 1 do
         let data_link = if k < n - 1 then Some links.(k) else None in
@@ -161,6 +190,9 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
           ~send_request:(fun p -> Net.inject net ~at:spec.dst p)
           ~on_complete:(fun ~fct ->
             fcts.(flow_id) <- Some fct;
+            (match fct_hist with
+            | Some h -> Obs.Metric.observe h fct
+            | None -> ());
             incr completed;
             if all_done () then finished_at := Some (Sim.Engine.now eng);
             match trace with
@@ -184,7 +216,19 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
     | None -> ());
     (match Hashtbl.find_opt consumers node with
     | Some recvs ->
+      let observe_data =
+        match qdelay_hist with
+        | None -> fun (_ : Packet.t) -> ()
+        | Some hs ->
+          fun (p : Packet.t) -> (
+            match p.Packet.header with
+            | Packet.Data { flow; born; _ } ->
+              let d = Sim.Engine.now eng -. born -. base_delay.(flow) in
+              Obs.Metric.observe hs.(flow) (Float.max 0. d)
+            | _ -> ())
+      in
       Router.set_local_consumer router (fun p ->
+          observe_data p;
           match Hashtbl.find_opt recvs (Packet.flow p) with
           | Some r -> Receiver.handle_data r p
           | None -> ())
@@ -324,7 +368,8 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
     Obs.Sampler.start ~stop:all_done smp);
   (* periodic estimator ticks and custody drains; track custody peak *)
   let peak_custody = ref 0. in
-  Sim.Engine.schedule_periodic eng ~interval:cfg.Config.ti (fun () ->
+  ignore
+  @@ Sim.Engine.schedule_periodic eng ~interval:cfg.Config.ti (fun () ->
       Array.iter
         (fun r ->
           Router.tick r;
@@ -332,9 +377,11 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
           if occ > !peak_custody then peak_custody := occ)
         routers;
       not (all_done ()));
-  Sim.Engine.schedule_periodic eng ~interval:(cfg.Config.ti /. 4.) (fun () ->
-      Array.iter Router.drain routers;
-      not (all_done ()));
+  ignore
+  @@ Sim.Engine.schedule_periodic eng ~interval:(cfg.Config.ti /. 4.)
+       (fun () ->
+         Array.iter Router.drain routers;
+         not (all_done ()));
   (* flow starts *)
   List.iteri
     (fun flow_id spec ->
@@ -398,6 +445,7 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
     peak_custody_bits = !peak_custody;
     mean_utilisation = Net.mean_utilisation net;
     goodput = (if sim_time > 0. then delivered_bits /. sim_time else 0.);
+    engine_events = Sim.Engine.events_handled eng;
     trace;
   }
 

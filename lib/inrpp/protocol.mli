@@ -47,6 +47,7 @@ type result = {
   peak_custody_bits : float;     (** max over routers and ticks *)
   mean_utilisation : float;
   goodput : float;               (** delivered application bits / sim_time *)
+  engine_events : int;           (** events the engine processed *)
   trace : Chunksim.Trace.t option;
 }
 

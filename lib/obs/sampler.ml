@@ -10,13 +10,14 @@ type t = {
   mutable hooks : (unit -> unit) list;  (* reverse registration order *)
   mutable started : bool;
   mutable samples : int;
+  mutable ticker : Sim.Engine.periodic option;
 }
 
 let create ~eng ~interval () =
   if interval <= 0. || Float.is_nan interval then
     invalid_arg "Sampler.create: interval <= 0";
   { eng; s_interval = interval; probes = []; hooks = []; started = false;
-    samples = 0 }
+    samples = 0; ticker = None }
 
 let interval t = t.s_interval
 
@@ -39,10 +40,24 @@ let start ?(stop = fun () -> false) t =
   if t.started then invalid_arg "Sampler.start: already started";
   t.started <- true;
   sample_now t;
-  Sim.Engine.schedule_periodic t.eng ~interval:t.s_interval (fun () ->
-      let continue = not (stop ()) in
-      sample_now t;
-      continue)
+  t.ticker <-
+    Some
+      (Sim.Engine.schedule_periodic t.eng ~interval:t.s_interval (fun () ->
+           let continue = not (stop ()) in
+           sample_now t;
+           continue))
+
+let stop t =
+  match t.ticker with
+  | Some p ->
+    Sim.Engine.cancel_periodic p;
+    t.ticker <- None
+  | None -> ()
+
+let running t =
+  match t.ticker with
+  | Some p -> Sim.Engine.periodic_active p
+  | None -> false
 
 let series t = List.rev_map (fun p -> p.series) t.probes
 

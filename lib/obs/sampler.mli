@@ -29,8 +29,17 @@ val sample_now : t -> unit
 
 val start : ?stop:(unit -> bool) -> t -> unit
 (** Take a baseline sample now, then one every [interval] until [stop]
-    returns [true] (one final sample is taken at the stopping tick).
+    returns [true] (one final sample is taken at the stopping tick) or
+    {!stop} is called.
     @raise Invalid_argument if already started. *)
+
+val stop : t -> unit
+(** Cancel the periodic tick (see {!Sim.Engine.cancel_periodic});
+    idempotent, no-op before [start].  No further samples are taken. *)
+
+val running : t -> bool
+(** [true] between [start] and whichever comes first of [stop] and the
+    stop predicate firing. *)
 
 val series : t -> Series.t list
 (** Registration order. *)

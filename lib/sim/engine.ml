@@ -1,70 +1,142 @@
 type t = {
   queue : (unit -> unit) Event_queue.t;
+  time_cell : float array;       (* the queue's last-popped-time cell *)
+  epoch_cell : float array;      (* … and its last-popped-epoch cell *)
   mutable clock : float;
+  mutable cur_epoch : float;     (* epoch of the executing event;
+                                    [infinity] outside event execution *)
   mutable handled : int;
 }
 
-let create () = { queue = Event_queue.create (); clock = 0.; handled = 0 }
+let create () =
+  let queue = Event_queue.create () in
+  {
+    queue;
+    time_cell = Event_queue.last_time_cell queue;
+    epoch_cell = Event_queue.last_epoch_cell queue;
+    clock = 0.;
+    cur_epoch = infinity;
+    handled = 0;
+  }
 
 let now t = t.clock
+
+let current_epoch t = t.cur_epoch
+
+(* Tie-break parent for an ordinary push: the executing event's own
+   epoch (outside event execution, the clock itself). *)
+let push_parent t = Float.min t.cur_epoch t.clock
 
 let schedule_at t ~time f =
   if Float.is_nan time then invalid_arg "Engine.schedule_at: NaN time";
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g < now %g" time t.clock);
-  Event_queue.push t.queue ~time f
+  Event_queue.push t.queue ~epoch:t.clock ~parent:(push_parent t) ~time f
 
 let schedule t ~delay f =
   if Float.is_nan delay || delay < 0. then
     invalid_arg "Engine.schedule: negative or NaN delay";
   schedule_at t ~time:(t.clock +. delay) f
 
+let stamp t = Event_queue.next_stamp t.queue
+
+let schedule_fixed_at ?epoch ?parent_epoch ?stamp t ~time f =
+  if Float.is_nan time then invalid_arg "Engine.schedule_fixed_at: NaN time";
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_fixed_at: time %g < now %g" time
+         t.clock);
+  let epoch =
+    match epoch with
+    | None -> t.clock
+    | Some e ->
+      if Float.is_nan e || e > time then
+        invalid_arg "Engine.schedule_fixed_at: epoch > time";
+      e
+  in
+  let parent =
+    match parent_epoch with
+    | None -> if epoch = t.clock then push_parent t else epoch
+    | Some p ->
+      if Float.is_nan p || p > epoch then
+        invalid_arg "Engine.schedule_fixed_at: parent_epoch > epoch";
+      p
+  in
+  Event_queue.push_fixed ?stamp t.queue ~epoch ~parent ~time f
+
+let schedule_fixed t ~delay f =
+  if Float.is_nan delay || delay < 0. then
+    invalid_arg "Engine.schedule_fixed: negative or NaN delay";
+  schedule_fixed_at t ~time:(t.clock +. delay) f
+
 let cancel = Event_queue.cancel
+
+type periodic = {
+  mutable next : Event_queue.handle option;
+  mutable stopped : bool;
+}
 
 let schedule_periodic t ~interval f =
   if interval <= 0. then
     invalid_arg "Engine.schedule_periodic: interval <= 0";
+  let p = { next = None; stopped = false } in
   let rec tick () =
-    if f () then ignore (schedule t ~delay:interval tick)
+    if not p.stopped then
+      if f () then p.next <- Some (schedule t ~delay:interval tick)
+      else p.next <- None
   in
-  ignore (schedule t ~delay:interval tick)
+  p.next <- Some (schedule t ~delay:interval tick);
+  p
+
+let cancel_periodic p =
+  p.stopped <- true;
+  (match p.next with
+  | Some h -> Event_queue.cancel h
+  | None -> ());
+  p.next <- None
+
+let periodic_active p = not p.stopped && p.next <> None
 
 let step t =
-  match Event_queue.pop t.queue with
+  match Event_queue.pop_if_before t.queue ~horizon:infinity with
   | None -> false
-  | Some (time, f) ->
-    t.clock <- time;
+  | Some f ->
+    t.clock <- t.time_cell.(0);
+    t.cur_epoch <- t.epoch_cell.(0);
     t.handled <- t.handled + 1;
     f ();
     true
 
 let run ?until ?(max_events = 100_000_000) t =
+  let horizon = match until with Some h -> h | None -> infinity in
   let budget = ref max_events in
   let continue = ref true in
   while !continue do
     if !budget <= 0 then continue := false
     else begin
-      match Event_queue.peek_time t.queue with
+      match Event_queue.pop_if_before t.queue ~horizon with
       | None -> continue := false
-      | Some next -> begin
-        match until with
-        | Some horizon when next > horizon ->
-          t.clock <- Float.max t.clock horizon;
-          continue := false
-        | _ ->
-          ignore (step t);
-          decr budget
-      end
+      | Some f ->
+        t.clock <- t.time_cell.(0);
+        t.cur_epoch <- t.epoch_cell.(0);
+        t.handled <- t.handled + 1;
+        f ();
+        decr budget
     end
   done;
-  match until with
-  | Some horizon when Event_queue.peek_time t.queue = None ->
-    (* queue drained before the horizon: advance to it, matching the
-       contract that [run ~until] leaves the clock at the horizon *)
-    t.clock <- Float.max t.clock horizon
-  | _ -> ()
+  (* when stopped by the horizon or by draining the queue (not by the
+     runaway guard), the clock advances to [until] per the contract
+     and every event at or before the final clock has run *)
+  if !budget > 0 || Event_queue.is_empty t.queue then begin
+    t.cur_epoch <- infinity;
+    match until with
+    | Some h -> t.clock <- Float.max t.clock h
+    | None -> ()
+  end
 
 let pending t = Event_queue.size t.queue
 
 let events_handled t = t.handled
+
+let queue_stats t = Event_queue.stats t.queue

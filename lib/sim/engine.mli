@@ -12,6 +12,14 @@ val create : unit -> t
 val now : t -> float
 (** Current virtual time, seconds.  Starts at [0.]. *)
 
+val current_epoch : t -> float
+(** Scheduling epoch of the event currently being executed — the
+    instant at which it was scheduled, the key that orders it among
+    same-time ties (see {!Event_queue}).  [infinity] when no event is
+    executing (before the first event and after {!run} returns having
+    drained or reached its horizon), meaning every event at or before
+    [now] has already run. *)
+
 val schedule : t -> delay:float -> (unit -> unit) -> Event_queue.handle
 (** [schedule t ~delay f] runs [f] at [now t +. delay].
     @raise Invalid_argument if [delay < 0.] or NaN. *)
@@ -20,12 +28,55 @@ val schedule_at : t -> time:float -> (unit -> unit) -> Event_queue.handle
 (** Absolute-time variant.  @raise Invalid_argument if
     [time < now t]. *)
 
+val schedule_fixed : t -> delay:float -> (unit -> unit) -> unit
+(** Like {!schedule} for events that are never cancelled: no handle
+    is allocated or returned (see {!Event_queue.push_fixed}).  The
+    forwarding hot path uses this. *)
+
+val stamp : t -> int
+(** Monotone scheduling stamp (the next event-queue insertion number).
+    Capture it when a causal chain begins and pass it to
+    {!schedule_fixed_at} so later lazy schedules order among full ties
+    as if pushed when the chain began. *)
+
+val schedule_fixed_at :
+  ?epoch:float -> ?parent_epoch:float -> ?stamp:int -> t -> time:float ->
+  (unit -> unit) -> unit
+(** Absolute-time variant of {!schedule_fixed}.  [epoch] (default
+    [now]) positions the event among same-time ties as if it had been
+    scheduled at that instant; it may lie in the past (a lazy caller
+    scheduling an event that an equivalent eager process would have
+    scheduled earlier) but never after the event itself.
+    [parent_epoch] (default [epoch] when [epoch] is given, else the
+    executing event's epoch) breaks remaining ties: the instant at
+    which the scheduling process was itself scheduled.  The forwarding
+    fast path schedules each packet's arrival when it notices the
+    transmission started, with epoch = the transmission's completion
+    (when the eager two-event transmitter would have scheduled the
+    propagation) and parent epoch = the transmission's start (when
+    that transmitter would have scheduled the completion), so tie
+    order is preserved.
+    @raise Invalid_argument if [epoch > time], [parent_epoch > epoch]
+    or NaN. *)
+
 val cancel : Event_queue.handle -> unit
 
-val schedule_periodic : t -> interval:float -> (unit -> bool) -> unit
+type periodic
+(** A running periodic schedule; cancellable. *)
+
+val schedule_periodic : t -> interval:float -> (unit -> bool) -> periodic
 (** [schedule_periodic t ~interval f] runs [f] every [interval]
-    seconds starting at [now + interval], until [f] returns [false].
+    seconds starting at [now + interval], until [f] returns [false]
+    or the returned handle is cancelled.
     @raise Invalid_argument if [interval <= 0.]. *)
+
+val cancel_periodic : periodic -> unit
+(** Stop a periodic schedule; idempotent.  The pending tick is
+    cancelled in the queue, so no further calls to [f] happen. *)
+
+val periodic_active : periodic -> bool
+(** [true] while ticks are still scheduled (not cancelled and [f] has
+    not returned [false]). *)
 
 val run : ?until:float -> ?max_events:int -> t -> unit
 (** Drain the queue.  Stops when empty, when the next event is later
@@ -37,7 +88,11 @@ val step : t -> bool
 (** Process exactly one event; [false] when the queue is empty. *)
 
 val pending : t -> int
-(** Live scheduled events. *)
+(** Live scheduled events.  O(1). *)
 
 val events_handled : t -> int
 (** Total events processed since creation. *)
+
+val queue_stats : t -> Event_queue.stats
+(** Scheduling / cancellation / compaction counters of the underlying
+    event queue. *)

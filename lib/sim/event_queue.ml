@@ -1,81 +1,134 @@
-type handle = { mutable cancelled : bool }
+(* Binary min-heap keyed on (time, epoch, parent, stamp, seq), with O(1) cancellation
+   and O(1) size.
+
+   The heap is stored as parallel arrays: [times], [epochs] and [parents] are flat
+   float arrays (unboxed — key comparisons never chase a pointer) and
+   [data] holds the payload entries.  Each entry carries a [handle]
+   through which [cancel] updates the queue's live/dead counters
+   directly, so [size] is a field read with no scanning and no side
+   effects.
+
+   The [epoch] key orders events that fire at the same instant: it is
+   the (virtual) time at which the event was scheduled.  A caller that
+   always pushes with epoch = its current clock gets plain FIFO
+   (time, seq) order, because epochs are then non-decreasing in push
+   order.  A caller that knows an event *would* have been scheduled at
+   a later instant T by an equivalent eager process may push it early
+   with [~epoch:T] and still take the same slot among same-time ties —
+   the forwarding fast path relies on this to collapse two events into
+   one without perturbing tie order.  [seq] (push order) is the final
+   tie-break.
+
+   Cancelled entries stay in the heap until they surface (lazy
+   deletion) or until a compaction sweeps them out: when more than
+   half the heap is dead weight, [push] filters the arrays in place
+   and re-heapifies bottom-up.  Compaction preserves every live
+   (time, seq) key, and the pop order is a function of those keys
+   alone, so observable event order is unchanged.
+
+   Events that will never be cancelled can be scheduled through
+   [push_fixed], which shares one pre-allocated sentinel handle
+   instead of allocating a fresh one per event — the forwarding fast
+   path schedules every packet this way. *)
+
+type counts = {
+  mutable live : int;            (* schedulable entries in the heap *)
+  mutable dead : int;            (* cancelled entries still in the heap *)
+  mutable pushed_total : int;
+  mutable cancelled_total : int;
+  mutable compactions : int;
+}
+
+type handle = {
+  mutable cancelled : bool;
+  mutable in_heap : bool;
+  counts : counts;
+}
+
+type stats = {
+  scheduled : int;
+  cancelled : int;
+  compacted : int;
+}
 
 type 'a entry = {
-  time : float;
   seq : int;
+  stamp : int;        (* penultimate tie-break; defaults to [seq] *)
   payload : 'a;
   h : handle;
 }
 
 type 'a t = {
+  mutable times : float array;   (* heap order, parallel to [data] *)
+  mutable epochs : float array;  (* scheduling instants, same order *)
+  mutable parents : float array; (* the scheduler's own epochs *)
   mutable data : 'a entry array;
-  mutable size_total : int;    (* entries in heap incl. cancelled *)
-  mutable live : int;          (* non-cancelled entries *)
+  mutable size_total : int;      (* entries in heap incl. cancelled *)
   mutable next_seq : int;
+  counts : counts;
+  fixed : handle;                (* shared handle for push_fixed *)
+  last_time : float array;       (* singleton cell: time of last pop *)
+  last_epoch : float array;      (* singleton cell: epoch of last pop *)
 }
 
-let create () = { data = [||]; size_total = 0; live = 0; next_seq = 0 }
+let create () =
+  let counts =
+    { live = 0; dead = 0; pushed_total = 0; cancelled_total = 0;
+      compactions = 0 }
+  in
+  {
+    times = [||];
+    epochs = [||];
+    parents = [||];
+    data = [||];
+    size_total = 0;
+    next_seq = 0;
+    counts;
+    fixed = { cancelled = false; in_heap = true; counts };
+    last_time = [| nan |];
+    last_epoch = [| nan |];
+  }
 
-let entry_before a b =
-  a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let entry_before t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j)
+      && (t.epochs.(i) < t.epochs.(j)
+          || (t.epochs.(i) = t.epochs.(j)
+              && (t.parents.(i) < t.parents.(j)
+                  || (t.parents.(i) = t.parents.(j)
+                      && (t.data.(i).stamp < t.data.(j).stamp
+                          || (t.data.(i).stamp = t.data.(j).stamp
+                              && t.data.(i).seq < t.data.(j).seq)))))))
 
 let swap t i j =
+  let tt = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- tt;
+  let te = t.epochs.(i) in
+  t.epochs.(i) <- t.epochs.(j);
+  t.epochs.(j) <- te;
+  let tp = t.parents.(i) in
+  t.parents.(i) <- t.parents.(j);
+  t.parents.(j) <- tp;
   let tmp = t.data.(i) in
   t.data.(i) <- t.data.(j);
   t.data.(j) <- tmp
 
-let ensure_capacity t =
-  let cap = Array.length t.data in
-  if t.size_total = cap then begin
-    let dummy =
-      if cap = 0 then None else Some t.data.(0)
-    in
-    match dummy with
-    | None -> ()
-    | Some d ->
-      let bigger = Array.make (2 * cap) d in
-      Array.blit t.data 0 bigger 0 cap;
-      t.data <- bigger
-  end
-
-let push t ~time payload =
-  if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
-  let h = { cancelled = false } in
-  let e = { time; seq = t.next_seq; payload; h } in
-  t.next_seq <- t.next_seq + 1;
-  if Array.length t.data = 0 then t.data <- Array.make 16 e;
-  ensure_capacity t;
-  t.data.(t.size_total) <- e;
-  let i = ref t.size_total in
-  t.size_total <- t.size_total + 1;
-  t.live <- t.live + 1;
-  while !i > 0 && entry_before t.data.(!i) t.data.((!i - 1) / 2) do
+let sift_up t start =
+  let i = ref start in
+  while !i > 0 && entry_before t !i ((!i - 1) / 2) do
     swap t !i ((!i - 1) / 2);
     i := (!i - 1) / 2
-  done;
-  h
+  done
 
-let cancel h =
-  (* live count is fixed up lazily at pop; a cancelled-twice handle must
-     not decrement twice, hence the flag check lives with the queue: we
-     cannot reach the queue from the handle, so live is adjusted when the
-     entry is skipped.  To keep [size] accurate we instead record the
-     cancellation only here and subtract cancelled-but-unpopped entries
-     when reporting. *)
-  h.cancelled <- true
-
-let is_cancelled h = h.cancelled
-
-let sift_down t =
-  let i = ref 0 in
+let sift_down t start =
+  let i = ref start in
   let continue = ref true in
   while !continue do
     let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
     let smallest = ref !i in
-    if l < t.size_total && entry_before t.data.(l) t.data.(!smallest) then
-      smallest := l;
-    if r < t.size_total && entry_before t.data.(r) t.data.(!smallest) then
-      smallest := r;
+    if l < t.size_total && entry_before t l !smallest then smallest := l;
+    if r < t.size_total && entry_before t r !smallest then smallest := r;
     if !smallest <> !i then begin
       swap t !i !smallest;
       i := !smallest
@@ -83,44 +136,158 @@ let sift_down t =
     else continue := false
   done
 
+let ensure_capacity t e =
+  let cap = Array.length t.data in
+  if cap = 0 then begin
+    t.times <- Array.make 16 0.;
+    t.epochs <- Array.make 16 0.;
+    t.parents <- Array.make 16 0.;
+    t.data <- Array.make 16 e
+  end
+  else if t.size_total = cap then begin
+    let times = Array.make (2 * cap) 0. in
+    Array.blit t.times 0 times 0 cap;
+    t.times <- times;
+    let epochs = Array.make (2 * cap) 0. in
+    Array.blit t.epochs 0 epochs 0 cap;
+    t.epochs <- epochs;
+    let parents = Array.make (2 * cap) 0. in
+    Array.blit t.parents 0 parents 0 cap;
+    t.parents <- parents;
+    let data = Array.make (2 * cap) t.data.(0) in
+    Array.blit t.data 0 data 0 cap;
+    t.data <- data
+  end
+
+(* Drop cancelled entries in place and rebuild the heap bottom-up
+   (Floyd).  Live keys are untouched, so pop order is preserved. *)
+let compact t =
+  let n = ref 0 in
+  for i = 0 to t.size_total - 1 do
+    let e = t.data.(i) in
+    if e.h.cancelled then e.h.in_heap <- false
+    else begin
+      t.times.(!n) <- t.times.(i);
+      t.epochs.(!n) <- t.epochs.(i);
+      t.parents.(!n) <- t.parents.(i);
+      t.data.(!n) <- e;
+      incr n
+    end
+  done;
+  t.size_total <- !n;
+  t.counts.dead <- 0;
+  for i = (!n / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  t.counts.compactions <- t.counts.compactions + 1
+
+(* compaction threshold: worth a sweep once the heap is mostly dead
+   weight, and big enough that the O(n) cost is amortised *)
+let needs_compaction t =
+  t.size_total >= 64 && 2 * t.counts.dead > t.size_total
+
+let push_entry t ~time ~epoch ~parent e =
+  if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
+  if needs_compaction t then compact t;
+  ensure_capacity t e;
+  t.times.(t.size_total) <- time;
+  t.epochs.(t.size_total) <- epoch;
+  t.parents.(t.size_total) <- parent;
+  t.data.(t.size_total) <- e;
+  t.size_total <- t.size_total + 1;
+  t.counts.live <- t.counts.live + 1;
+  t.counts.pushed_total <- t.counts.pushed_total + 1;
+  sift_up t (t.size_total - 1)
+
+let push ?(epoch = neg_infinity) ?(parent = neg_infinity) t ~time payload =
+  let h = { cancelled = false; in_heap = true; counts = t.counts } in
+  push_entry t ~time ~epoch ~parent
+    { seq = t.next_seq; stamp = t.next_seq; payload; h };
+  t.next_seq <- t.next_seq + 1;
+  h
+
+let push_fixed ?(epoch = neg_infinity) ?(parent = neg_infinity) ?stamp t
+    ~time payload =
+  let stamp = match stamp with Some s -> s | None -> t.next_seq in
+  push_entry t ~time ~epoch ~parent
+    { seq = t.next_seq; stamp; payload; h = t.fixed };
+  t.next_seq <- t.next_seq + 1
+
+let next_stamp t = t.next_seq
+
+let cancel (h : handle) =
+  if not h.cancelled then begin
+    h.cancelled <- true;
+    h.counts.cancelled_total <- h.counts.cancelled_total + 1;
+    if h.in_heap then begin
+      h.counts.live <- h.counts.live - 1;
+      h.counts.dead <- h.counts.dead + 1
+    end
+  end
+
+let is_cancelled (h : handle) = h.cancelled
+
 let remove_top t =
   t.size_total <- t.size_total - 1;
   if t.size_total > 0 then begin
+    t.times.(0) <- t.times.(t.size_total);
+    t.epochs.(0) <- t.epochs.(t.size_total);
+    t.parents.(0) <- t.parents.(t.size_total);
     t.data.(0) <- t.data.(t.size_total);
-    sift_down t
+    sift_down t 0
   end
 
-let rec pop t =
-  if t.size_total = 0 then None
-  else begin
-    let top = t.data.(0) in
-    remove_top t;
-    if top.h.cancelled then pop t
-    else begin
-      t.live <- t.live - 1;
-      Some (top.time, top.payload)
-    end
-  end
-
-let rec peek_time t =
-  if t.size_total = 0 then None
-  else begin
-    let top = t.data.(0) in
-    if top.h.cancelled then begin
+(* surface a live entry at the top, discarding cancelled ones *)
+let rec clean_top t =
+  if t.size_total > 0 then begin
+    let e = t.data.(0) in
+    if e.h.cancelled then begin
+      e.h.in_heap <- false;
+      t.counts.dead <- t.counts.dead - 1;
       remove_top t;
-      peek_time t
+      clean_top t
     end
-    else Some top.time
   end
 
-let size t =
-  (* count live entries: cancelled ones not yet popped are excluded by
-     scanning — kept O(n) but only used by tests and assertions. *)
-  let n = ref 0 in
-  for i = 0 to t.size_total - 1 do
-    if not t.data.(i).h.cancelled then incr n
-  done;
-  t.live <- !n;
-  !n
+(* Engine fast path: pop the earliest live event if it is due at or
+   before [horizon]; its time lands in the [last_time] cell (read it
+   via [last_popped_time] / the cell from [last_time_cell]) so the
+   caller pays no option-of-tuple allocation for the timestamp. *)
+let pop_if_before t ~horizon =
+  clean_top t;
+  if t.size_total = 0 || t.times.(0) > horizon then None
+  else begin
+    let e = t.data.(0) in
+    t.last_time.(0) <- t.times.(0);
+    t.last_epoch.(0) <- t.epochs.(0);
+    e.h.in_heap <- false;
+    t.counts.live <- t.counts.live - 1;
+    remove_top t;
+    Some e.payload
+  end
 
-let is_empty t = size t = 0
+let last_popped_time t = t.last_time.(0)
+
+let last_time_cell t = t.last_time
+
+let last_epoch_cell t = t.last_epoch
+
+let pop t =
+  match pop_if_before t ~horizon:infinity with
+  | None -> None
+  | Some payload -> Some (t.last_time.(0), payload)
+
+let peek_time t =
+  clean_top t;
+  if t.size_total = 0 then None else Some t.times.(0)
+
+let size t = t.counts.live
+
+let is_empty t = t.counts.live = 0
+
+let stats t =
+  {
+    scheduled = t.counts.pushed_total;
+    cancelled = t.counts.cancelled_total;
+    compacted = t.counts.compactions;
+  }

@@ -1,32 +1,92 @@
 (** Priority queue of timestamped events (binary min-heap).
 
-    Ties on time break by insertion sequence number, so simultaneous
-    events run FIFO — important for reproducibility of the
-    discrete-event simulators.  Cancellation is O(1) lazy: cancelled
-    handles are skipped at pop time. *)
+    Ties on time break by scheduling epoch, then by the scheduler's
+    own epoch ([parent]), then by insertion sequence number, so
+    simultaneous events run FIFO in scheduling order —
+    important for reproducibility of the discrete-event simulators.
+    The epoch is the (virtual) instant the event was scheduled at:
+    callers that push with [~epoch] equal to their current clock get
+    plain FIFO order, while a caller that knows an event would have
+    been scheduled at a later instant by an equivalent eager process
+    may push it early and still occupy the same slot among same-time
+    ties (the forwarding fast path depends on this).  Cancellation is
+    O(1) lazy: cancelled handles are skipped when they surface, and
+    the heap is compacted in place once cancelled entries outnumber
+    live ones.  [size] and [is_empty] are O(1): the handle carries the
+    queue's counters and updates them at cancel time. *)
 
 type 'a t
 
 type handle
 (** Token for cancelling a scheduled event. *)
 
+type stats = {
+  scheduled : int;   (** total entries ever pushed *)
+  cancelled : int;   (** total cancel calls on live handles *)
+  compacted : int;   (** heap compaction sweeps performed *)
+}
+
 val create : unit -> 'a t
 
-val push : 'a t -> time:float -> 'a -> handle
-(** @raise Invalid_argument if [time] is NaN. *)
+val push : ?epoch:float -> ?parent:float -> 'a t -> time:float -> 'a -> handle
+(** [epoch] is the instant this event was scheduled; [parent] the
+    instant its scheduler was itself scheduled (a second-level
+    tie-break for events sharing both time and epoch).  Both default
+    to [neg_infinity], which reduces tie order to plain insertion
+    order.
+    @raise Invalid_argument if [time] is NaN. *)
+
+val push_fixed :
+  ?epoch:float -> ?parent:float -> ?stamp:int -> 'a t -> time:float -> 'a ->
+  unit
+(** Like {!push} for events that will never be cancelled: shares one
+    sentinel handle instead of allocating one per event.  The hot
+    forwarding path schedules every packet this way.  [stamp] (default
+    the entry's own insertion number) is the penultimate tie-break,
+    letting a lazy caller order an event as if it had been pushed when
+    its causal chain began (see {!next_stamp}). *)
+
+val next_stamp : 'a t -> int
+(** The stamp the next push will receive — capture it to order later
+    [push_fixed ~stamp] calls as if they happened now. *)
 
 val cancel : handle -> unit
-(** Idempotent. *)
+(** Idempotent.  O(1): adjusts the owning queue's live count through
+    the handle; the entry itself is removed lazily. *)
 
 val is_cancelled : handle -> bool
 
 val pop : 'a t -> (float * 'a) option
 (** Earliest live event, removed.  [None] when empty. *)
 
+val pop_if_before : 'a t -> horizon:float -> 'a option
+(** Earliest live event, removed, provided its time is [<= horizon];
+    [None] when empty or the next event lies beyond the horizon.  The
+    popped time is stored in the queue's last-time cell (see
+    {!last_popped_time}) instead of being returned, so the caller
+    pays no tuple allocation.  Pass [infinity] for an unbounded pop. *)
+
+val last_popped_time : 'a t -> float
+(** Time of the most recent successful {!pop} / {!pop_if_before};
+    NaN before the first pop. *)
+
+val last_time_cell : 'a t -> float array
+(** The singleton cell behind {!last_popped_time}, for callers that
+    read it on every event and want to skip the function call (the
+    engine's run loop).  Do not write to it. *)
+
+val last_epoch_cell : 'a t -> float array
+(** Singleton cell holding the scheduling epoch of the most recently
+    popped event; NaN before the first pop.  Do not write to it. *)
+
 val peek_time : 'a t -> float option
 (** Time of the earliest live event without removing it. *)
 
 val size : 'a t -> int
-(** Live (non-cancelled) entries. *)
+(** Live (non-cancelled) entries.  O(1), no side effects. *)
 
 val is_empty : 'a t -> bool
+(** O(1). *)
+
+val stats : 'a t -> stats
+(** Scheduling / cancellation / compaction counters since [create]. *)

@@ -284,6 +284,111 @@ let test_iface_wire_loss () =
     true
     (lost > 60 && lost < 140)
 
+(* the loss-free fast path costs exactly one engine event per
+   transmitted packet (the overhaul's core invariant) *)
+let test_iface_one_event_per_packet () =
+  let eng = Sim.Engine.create () in
+  let g = Topology.Graph.of_edges ~capacity:1e6 ~delay:0.002 2 [ (0, 1) ] in
+  let l = Option.get (Topology.Graph.find_link g 0 1) in
+  let delivered = ref 0 in
+  let iface =
+    Chunksim.Iface.create ~queue_bits:1e9 eng l ~deliver:(fun _ ->
+        incr delivered)
+  in
+  let n = 50 in
+  for i = 0 to n - 1 do
+    ignore (Chunksim.Iface.send iface (P.data ~flow:0 ~idx:i ~born:0. 1e4))
+  done;
+  Sim.Engine.run eng;
+  Alcotest.(check int) "all delivered" n !delivered;
+  Alcotest.(check int) "one event per packet" n
+    (Sim.Engine.events_handled eng)
+
+(* per-packet allocation on the loss-free path is bounded: no
+   per-packet closures, no tuples on pop (style of test_obs.ml) *)
+let test_iface_alloc_budget () =
+  match Sys.backend_type with
+  | Sys.Bytecode | Sys.Other _ -> () (* minor-word counts differ *)
+  | Sys.Native ->
+    let eng = Sim.Engine.create () in
+    let g = Topology.Graph.of_edges ~capacity:1e9 ~delay:0. 2 [ (0, 1) ] in
+    let l = Option.get (Topology.Graph.find_link g 0 1) in
+    let iface =
+      Chunksim.Iface.create ~queue_bits:1e12 eng l ~deliver:(fun _ -> ())
+    in
+    let p = P.data ~flow:0 ~idx:0 ~born:0. 1e3 in
+    (* warm up: grow the heap and FIFO rings past steady-state size *)
+    for _ = 1 to 1_000 do
+      ignore (Chunksim.Iface.send iface p)
+    done;
+    Sim.Engine.run eng;
+    let rounds = 10_000 in
+    let before = Gc.minor_words () in
+    for _ = 1 to rounds do
+      ignore (Chunksim.Iface.send iface p)
+    done;
+    Sim.Engine.run eng;
+    let per_packet = (Gc.minor_words () -. before) /. float_of_int rounds in
+    Alcotest.(check bool)
+      (Printf.sprintf "allocation per packet (%.1f minor words)" per_packet)
+      true (per_packet <= 64.)
+
+(* The fast path must be observationally identical to the legacy
+   two-event transmitter, which [~loss] still uses — probability 0
+   keeps the dice harmless while forcing that path.  Same bursts,
+   mid-run arrivals and overflows through both; delivery times must
+   match to the last bit. *)
+let iface_delivery_trace ~discipline ~legacy () =
+  let eng = Sim.Engine.create () in
+  let g = Topology.Graph.of_edges ~capacity:1e6 ~delay:0.003 2 [ (0, 1) ] in
+  let l = Option.get (Topology.Graph.find_link g 0 1) in
+  let idx p = match p.P.header with P.Data { idx; _ } -> idx | _ -> -1 in
+  let trace = ref [] in
+  let loss = if legacy then Some (0., Sim.Rng.create 1L) else None in
+  let iface =
+    Chunksim.Iface.create ?loss ~queue_bits:6e4 ~discipline eng l
+      ~deliver:(fun p ->
+        trace :=
+          Printf.sprintf "%.17g f%d i%d" (Sim.Engine.now eng) (P.flow p)
+            (idx p)
+          :: !trace)
+  in
+  let send flow idx bits =
+    ignore (Chunksim.Iface.send iface (P.data ~flow ~idx ~born:0. bits))
+  in
+  (* initial bursts, varied sizes, enough to overflow the 6e4-bit queue *)
+  for i = 0 to 9 do
+    send 0 i (float_of_int (4_000 + (i * 700)));
+    send 1 i 8_000.
+  done;
+  (* mid-run arrivals: while the transmitter is busy and after it idles *)
+  for i = 10 to 14 do
+    let d = 0.05 *. float_of_int i in
+    ignore (Sim.Engine.schedule eng ~delay:d (fun () -> send (i mod 2) i 5_000.))
+  done;
+  ignore (Sim.Engine.schedule eng ~delay:2. (fun () -> send 0 99 1_000.));
+  Sim.Engine.run eng;
+  (List.rev !trace, Chunksim.Iface.drops iface, Chunksim.Iface.tx_bits iface)
+
+let check_fast_legacy_equiv discipline =
+  let fast_trace, fast_drops, fast_bits =
+    iface_delivery_trace ~discipline ~legacy:false ()
+  in
+  let legacy_trace, legacy_drops, legacy_bits =
+    iface_delivery_trace ~discipline ~legacy:true ()
+  in
+  Alcotest.(check (list string)) "delivery order and times" legacy_trace
+    fast_trace;
+  Alcotest.(check int) "drops" legacy_drops fast_drops;
+  Alcotest.(check (float 0.)) "tx bits" legacy_bits fast_bits;
+  Alcotest.(check bool) "queue overflowed in scenario" true (fast_drops > 0)
+
+let test_iface_fast_legacy_equiv_fifo () =
+  check_fast_legacy_equiv Chunksim.Iface.Fifo_discipline
+
+let test_iface_fast_legacy_equiv_drr () =
+  check_fast_legacy_equiv (Chunksim.Iface.Drr 4_000.)
+
 let test_net_delivery_and_handlers () =
   let eng = Sim.Engine.create () in
   let g = Topology.Graph.of_edges ~capacity:1e6 ~delay:1e-3 3 [ (0, 1); (1, 2) ] in
@@ -561,6 +666,13 @@ let () =
           Alcotest.test_case "drr discipline" `Quick test_iface_drr_discipline;
           Alcotest.test_case "utilisation" `Quick test_iface_utilisation;
           Alcotest.test_case "wire loss" `Quick test_iface_wire_loss;
+          Alcotest.test_case "one event per packet" `Quick
+            test_iface_one_event_per_packet;
+          Alcotest.test_case "allocation budget" `Quick test_iface_alloc_budget;
+          Alcotest.test_case "fast = legacy (FIFO)" `Quick
+            test_iface_fast_legacy_equiv_fifo;
+          Alcotest.test_case "fast = legacy (DRR)" `Quick
+            test_iface_fast_legacy_equiv_drr;
         ] );
       ( "rr_queue",
         [

@@ -214,6 +214,71 @@ let test_queue_peek () =
   Alcotest.(check (option (float 0.))) "peek skips cancelled" (Some 2.)
     (Sim.Event_queue.peek_time q)
 
+(* [size] must stay exact under arbitrary push/cancel/pop
+   interleavings — the pre-overhaul implementation recomputed the live
+   count by scanning, and rewrote it as a side effect of the read *)
+let test_queue_size_exact_random () =
+  let r = Sim.Rng.create 7L in
+  let q = Sim.Event_queue.create () in
+  let live = Hashtbl.create 64 in
+  let next = ref 0 in
+  let model = ref 0 in
+  for _ = 1 to 2_000 do
+    (match Sim.Rng.int r 4 with
+    | 0 | 1 ->
+      let h = Sim.Event_queue.push q ~time:(Sim.Rng.float r 100.) !next in
+      Hashtbl.replace live !next h;
+      incr next;
+      incr model
+    | 2 ->
+      if Hashtbl.length live > 0 then begin
+        let ks = Hashtbl.fold (fun k _ acc -> k :: acc) live [] in
+        let k = List.nth ks (Sim.Rng.int r (List.length ks)) in
+        Sim.Event_queue.cancel (Hashtbl.find live k);
+        Hashtbl.remove live k;
+        decr model
+      end
+    | _ -> (
+      match Sim.Event_queue.pop q with
+      | Some (_, k) ->
+        Hashtbl.remove live k;
+        decr model
+      | None -> ()));
+    if Sim.Event_queue.size q <> !model then
+      Alcotest.failf "size drifted: %d <> model %d"
+        (Sim.Event_queue.size q) !model;
+    if Sim.Event_queue.is_empty q <> (!model = 0) then
+      Alcotest.fail "is_empty inconsistent with size"
+  done;
+  let st = Sim.Event_queue.stats q in
+  Alcotest.(check int) "scheduled counter" !next
+    st.Sim.Event_queue.scheduled
+
+(* cancelling is idempotent on the counters, and a mostly-dead heap is
+   compacted on the next push *)
+let test_queue_cancel_idempotent_compaction () =
+  let q = Sim.Event_queue.create () in
+  let hs =
+    Array.init 200 (fun i ->
+        Sim.Event_queue.push q ~time:(float_of_int i) i)
+  in
+  Array.iter Sim.Event_queue.cancel hs;
+  Array.iter Sim.Event_queue.cancel hs;
+  Alcotest.(check int) "all cancelled" 0 (Sim.Event_queue.size q);
+  let st = Sim.Event_queue.stats q in
+  Alcotest.(check int) "cancel counted once" 200 st.Sim.Event_queue.cancelled;
+  ignore (Sim.Event_queue.push q ~time:1000. (-1));
+  let st = Sim.Event_queue.stats q in
+  Alcotest.(check bool) "push over dead heap compacts" true
+    (st.Sim.Event_queue.compacted >= 1);
+  Alcotest.(check int) "live survives compaction" 1 (Sim.Event_queue.size q);
+  (match Sim.Event_queue.pop q with
+  | Some (t, v) ->
+    Alcotest.(check (float 0.)) "survivor time" 1000. t;
+    Alcotest.(check int) "survivor payload" (-1) v
+  | None -> Alcotest.fail "survivor lost by compaction");
+  Alcotest.(check bool) "drained" true (Sim.Event_queue.is_empty q)
+
 let test_queue_nan_rejected () =
   let q = Sim.Event_queue.create () in
   Alcotest.check_raises "NaN time"
@@ -285,9 +350,10 @@ let test_engine_past_rejected () =
 let test_engine_periodic () =
   let e = Sim.Engine.create () in
   let ticks = ref 0 in
-  Sim.Engine.schedule_periodic e ~interval:1. (fun () ->
-      incr ticks;
-      !ticks < 4);
+  ignore
+  @@ Sim.Engine.schedule_periodic e ~interval:1. (fun () ->
+         incr ticks;
+         !ticks < 4);
   Sim.Engine.run e;
   Alcotest.(check int) "stops when false" 4 !ticks;
   check_float "last tick time" 4. (Sim.Engine.now e)
@@ -299,6 +365,26 @@ let test_engine_cancel () =
   Sim.Engine.cancel h;
   Sim.Engine.run e;
   Alcotest.(check bool) "cancelled handler never fires" false !fired
+
+let test_engine_periodic_cancel () =
+  let e = Sim.Engine.create () in
+  let ticks = ref 0 in
+  let p =
+    Sim.Engine.schedule_periodic e ~interval:1. (fun () ->
+        incr ticks;
+        true)
+  in
+  Alcotest.(check bool) "active before run" true (Sim.Engine.periodic_active p);
+  (* a third party stops the schedule mid-run *)
+  ignore
+    (Sim.Engine.schedule e ~delay:3.5 (fun () -> Sim.Engine.cancel_periodic p));
+  Sim.Engine.run e;
+  Alcotest.(check int) "ticks until cancelled" 3 !ticks;
+  Alcotest.(check bool) "inactive after cancel" false
+    (Sim.Engine.periodic_active p);
+  (* idempotent *)
+  Sim.Engine.cancel_periodic p;
+  Alcotest.(check bool) "still inactive" false (Sim.Engine.periodic_active p)
 
 let test_engine_step () =
   let e = Sim.Engine.create () in
@@ -520,6 +606,10 @@ let () =
           Alcotest.test_case "peek" `Quick test_queue_peek;
           Alcotest.test_case "NaN rejected" `Quick test_queue_nan_rejected;
           Alcotest.test_case "large random load" `Quick test_queue_large_random;
+          Alcotest.test_case "size exact under interleavings" `Quick
+            test_queue_size_exact_random;
+          Alcotest.test_case "cancel idempotent, compaction" `Quick
+            test_queue_cancel_idempotent_compaction;
         ] );
       ( "engine",
         [
@@ -528,6 +618,7 @@ let () =
           Alcotest.test_case "run until" `Quick test_engine_until;
           Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
           Alcotest.test_case "periodic" `Quick test_engine_periodic;
+          Alcotest.test_case "periodic cancel" `Quick test_engine_periodic_cancel;
           Alcotest.test_case "cancel" `Quick test_engine_cancel;
           Alcotest.test_case "max events guard" `Quick test_engine_max_events;
           Alcotest.test_case "step" `Quick test_engine_step;
