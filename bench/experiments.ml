@@ -1,0 +1,806 @@
+(* Experiment implementations: regenerate every table and figure of
+   the paper plus the repository's own ablations, and micro-benchmark
+   the core primitives.  `bench/main.ml` is the CLI over this library;
+   the golden-artefact regression test (test/test_artefacts.ml) calls
+   the same entries in-process through {!capture} and pins their
+   output by SHA-256.
+
+   Experiment ids: table1 fig3 fig4a fig4b custody phases backpressure
+   protocols ablation-detour ablation-ac micro.  See DESIGN.md §5 and
+   EXPERIMENTS.md for the paper-vs-measured record. *)
+
+let section title =
+  Format.printf "@.=== %s ===@.@." title
+
+(* --sidecar FILE: machine-readable NDJSON next to the ASCII tables,
+   one object per measured row, tagged with the experiment id *)
+let sidecar : out_channel option ref = ref None
+
+let set_sidecar oc = sidecar := Some oc
+
+let close_sidecar () =
+  match !sidecar with
+  | Some oc ->
+    close_out oc;
+    sidecar := None
+  | None -> ()
+
+let sidecar_emit ~experiment fields =
+  match !sidecar with
+  | None -> ()
+  | Some oc ->
+    output_string oc
+      (Obs.Json.to_string
+         (Obs.Json.Obj (("experiment", Obs.Json.Str experiment) :: fields)));
+    output_char oc '\n'
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: available detour paths in real topologies *)
+
+let table1 () =
+  section "Table 1 — Available detour paths (paper vs synthetic)";
+  let rows =
+    List.map
+      (fun isp ->
+        let p1, p2, p3, pna = Topology.Isp_zoo.table1_row isp in
+        let m = Topology.Detour.classify_links (Topology.Isp_zoo.graph isp) in
+        let cell paper mine = Printf.sprintf "%.2f/%.2f" paper (100. *. mine) in
+        [
+          Topology.Isp_zoo.name isp;
+          cell p1 m.Topology.Detour.one_hop;
+          cell p2 m.Topology.Detour.two_hop;
+          cell p3 m.Topology.Detour.three_plus;
+          cell pna m.Topology.Detour.unavailable;
+        ])
+      Topology.Isp_zoo.all
+  in
+  (* averages, the paper's last row *)
+  let profiles =
+    List.map (fun i -> Topology.Detour.classify_links (Topology.Isp_zoo.graph i))
+      Topology.Isp_zoo.all
+  in
+  let n = float_of_int (List.length profiles) in
+  let avg f = 100. *. List.fold_left (fun a p -> a +. f p) 0. profiles /. n in
+  let avg_row =
+    [
+      "Average";
+      Printf.sprintf "52.80/%.2f" (avg (fun p -> p.Topology.Detour.one_hop));
+      Printf.sprintf "30.86/%.2f" (avg (fun p -> p.Topology.Detour.two_hop));
+      Printf.sprintf "3.24/%.2f" (avg (fun p -> p.Topology.Detour.three_plus));
+      Printf.sprintf "13.10/%.2f" (avg (fun p -> p.Topology.Detour.unavailable));
+    ]
+  in
+  Metrics.Report.table
+    ~header:[ "ISP"; "1 hop (p/m)"; "2 hops (p/m)"; "3+ (p/m)"; "N/A (p/m)" ]
+    (rows @ [ avg_row ])
+    Format.std_formatter ()
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3: the fairness worked example *)
+
+let fig3 () =
+  section "Fig. 3 — e2e flow control vs INRPP (worked example)";
+  let g = Topology.Builders.fig3 () in
+  let pairs = [ (0, 3); (0, 1) ] in
+  let e2e = Flowsim.Simulator.run_static g ~strategy:Flowsim.Routing.sp pairs in
+  let inrp =
+    Flowsim.Simulator.run_static g
+      ~strategy:(Flowsim.Routing.Inrp Flowsim.Allocation.fig3_inrp)
+      pairs
+  in
+  Metrics.Report.table
+    ~header:[ "scheme"; "flow A (Mbps)"; "flow B (Mbps)"; "Jain" ]
+    [
+      [
+        "e2e (paper: 2 / 8 / 0.73)";
+        Printf.sprintf "%.2f" (e2e.(0) /. 1e6);
+        Printf.sprintf "%.2f" (e2e.(1) /. 1e6);
+        Printf.sprintf "%.3f" (Metrics.Fairness.jain e2e);
+      ];
+      [
+        "INRPP (paper: 5 / 5 / 1.00)";
+        Printf.sprintf "%.2f" (inrp.(0) /. 1e6);
+        Printf.sprintf "%.2f" (inrp.(1) /. 1e6);
+        Printf.sprintf "%.3f" (Metrics.Fairness.jain inrp);
+      ];
+    ]
+    Format.std_formatter ()
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4: flow-level evaluation on Telstra / Exodus / Tiscali *)
+
+let fig4_endpoints =
+  Flowsim.Workload.Role_pairs [ Topology.Node.Core; Topology.Node.Aggregation ]
+
+let fig4_demand = 6e9
+let fig4_seeds = [ 1L; 2L; 3L ]
+
+let fig4_ensemble =
+  (* computed once, shared by fig4a and fig4b *)
+  lazy
+    (List.map
+       (fun isp ->
+         let g = Topology.Isp_zoo.graph isp in
+         let nflows = 2 * Topology.Graph.node_count g in
+         let run strategy =
+           Flowsim.Snapshot.ensemble ~endpoints:fig4_endpoints ~strategy
+             ~demand:fig4_demand ~nflows ~seeds:fig4_seeds g
+         in
+         ( isp,
+           run Flowsim.Routing.sp,
+           run Flowsim.Routing.ecmp,
+           run Flowsim.Routing.inrp ))
+       Topology.Isp_zoo.fig4_isps)
+
+let fig4a () =
+  section "Fig. 4a — Network throughput: SP vs ECMP vs INRP";
+  Format.printf
+    "(saturated snapshots: %d seeds, %.0f Gbps per-flow demand, PoP endpoints)@.@."
+    (List.length fig4_seeds) (fig4_demand /. 1e9);
+  let entries =
+    List.concat_map
+      (fun (isp, sp, ecmp, inrp) ->
+        let nm = Topology.Isp_zoo.name isp in
+        [
+          (nm ^ " SP", sp.Flowsim.Snapshot.throughput);
+          (nm ^ " ECMP", ecmp.Flowsim.Snapshot.throughput);
+          (nm ^ " INRP", inrp.Flowsim.Snapshot.throughput);
+        ])
+      (Lazy.force fig4_ensemble)
+  in
+  Metrics.Report.bar_chart ~header:"network throughput (delivered/offered)"
+    entries Format.std_formatter ();
+  Format.printf "@.";
+  Metrics.Report.table
+    ~header:[ "ISP"; "SP"; "ECMP"; "INRP"; "INRP vs SP"; "detoured"; "stretch" ]
+    (List.map
+       (fun (isp, sp, ecmp, inrp) ->
+         [
+           Topology.Isp_zoo.name isp;
+           Printf.sprintf "%.3f" sp.Flowsim.Snapshot.throughput;
+           Printf.sprintf "%.3f" ecmp.Flowsim.Snapshot.throughput;
+           Printf.sprintf "%.3f" inrp.Flowsim.Snapshot.throughput;
+           Printf.sprintf "%+.1f%%"
+             (100.
+             *. (inrp.Flowsim.Snapshot.throughput
+                 /. sp.Flowsim.Snapshot.throughput
+                -. 1.));
+           Metrics.Report.percent inrp.Flowsim.Snapshot.detoured_fraction;
+           Printf.sprintf "%.3f" inrp.Flowsim.Snapshot.mean_stretch;
+         ])
+       (Lazy.force fig4_ensemble))
+    Format.std_formatter ();
+  Format.printf "@.(paper: INRP gains 9-15%% over SP; ECMP in between)@."
+
+let fig4b () =
+  section "Fig. 4b — INRP path-stretch CDF";
+  let series =
+    List.map
+      (fun (isp, _, _, inrp) ->
+        ( Topology.Isp_zoo.name isp,
+          Sim.Stats.Samples.cdf ~points:40 inrp.Flowsim.Snapshot.stretch_samples
+        ))
+      (Lazy.force fig4_ensemble)
+  in
+  Metrics.Report.cdf_plot ~header:"P(stretch <= x)" series Format.std_formatter ();
+  Format.printf "@.";
+  Metrics.Report.table
+    ~header:[ "ISP"; "P(=1.0)"; "P(<=1.05)"; "p90"; "p99"; "max" ]
+    (List.map
+       (fun (isp, _, _, inrp) ->
+         let s = inrp.Flowsim.Snapshot.stretch_samples in
+         [
+           Topology.Isp_zoo.name isp;
+           Printf.sprintf "%.2f" (Sim.Stats.Samples.cdf_at s 1.0);
+           Printf.sprintf "%.2f" (Sim.Stats.Samples.cdf_at s 1.05);
+           Printf.sprintf "%.3f" (Sim.Stats.Samples.percentile s 90.);
+           Printf.sprintf "%.3f" (Sim.Stats.Samples.percentile s 99.);
+           Printf.sprintf "%.3f" (Sim.Stats.Samples.percentile s 100.);
+         ])
+       (Lazy.force fig4_ensemble))
+    Format.std_formatter ();
+  Format.printf "@.(paper: CDF starts >= 0.5 at stretch 1.0, max ~1.35)@."
+
+let fig4_all () =
+  section "Extension — Fig. 4a across all nine ISPs";
+  Format.printf
+    "(does the INRP gain track each ISP's detour availability, as the      Table 1 -> Fig. 4 linkage implies?)@.@.";
+  let rows =
+    List.map
+      (fun isp ->
+        let g = Topology.Isp_zoo.graph isp in
+        let nflows = 2 * Topology.Graph.node_count g in
+        let run strategy =
+          Flowsim.Snapshot.ensemble ~endpoints:fig4_endpoints ~strategy
+            ~demand:fig4_demand ~nflows ~seeds:fig4_seeds g
+        in
+        let sp = run Flowsim.Routing.sp in
+        let inrp = run Flowsim.Routing.inrp in
+        let one_hop, _, _, _ = Topology.Isp_zoo.table1_row isp in
+        ( isp,
+          one_hop,
+          sp.Flowsim.Snapshot.throughput,
+          inrp.Flowsim.Snapshot.throughput ))
+      Topology.Isp_zoo.all
+  in
+  Metrics.Report.table
+    ~header:[ "ISP"; "1-hop detours"; "SP"; "INRP"; "gain" ]
+    (List.map
+       (fun (isp, one_hop, sp, inrp) ->
+         [
+           Topology.Isp_zoo.name isp;
+           Printf.sprintf "%.1f%%" one_hop;
+           Printf.sprintf "%.3f" sp;
+           Printf.sprintf "%.3f" inrp;
+           Printf.sprintf "%+.1f%%" (100. *. ((inrp /. sp) -. 1.));
+         ])
+       rows)
+    Format.std_formatter ();
+  (* rank correlation between detour availability and gain *)
+  let gains = List.map (fun (_, oh, sp, inrp) -> (oh, (inrp /. sp) -. 1.)) rows in
+  let rank xs =
+    let sorted = List.sort compare xs in
+    List.map (fun x ->
+        let rec idx i = function
+          | [] -> i
+          | y :: _ when y = x -> i
+          | _ :: rest -> idx (i + 1) rest
+        in
+        float_of_int (idx 0 sorted))
+      xs
+  in
+  let rx = rank (List.map fst gains) and ry = rank (List.map snd gains) in
+  let n = float_of_int (List.length gains) in
+  let d2 =
+    List.fold_left2 (fun acc a b -> acc +. ((a -. b) ** 2.)) 0. rx ry
+  in
+  let rho = 1. -. (6. *. d2 /. (n *. ((n *. n) -. 1.))) in
+  Format.printf
+    "@.Spearman rank correlation between 1-hop detour availability and      INRP gain: %.2f@."
+    rho
+
+(* ------------------------------------------------------------------ *)
+(* §3.3 custody feasibility *)
+
+let custody () =
+  section "§3.3 — Custody holding time (cache size vs link rate)";
+  let sizes = [ 1.; 10.; 100. ] in
+  let rates = [ 1.; 10.; 40.; 100. ] in
+  let rows =
+    List.map
+      (fun gb ->
+        Printf.sprintf "%g GB" gb
+        :: List.map
+             (fun gbps ->
+               let t =
+                 Sim.Units.holding_time
+                   ~cache_bits:(Sim.Units.gigabytes gb)
+                   ~rate:(Sim.Units.gbps gbps)
+               in
+               Format.asprintf "%a" Sim.Units.pp_time t)
+             rates)
+      sizes
+  in
+  Metrics.Report.table
+    ~header:("cache" :: List.map (fun r -> Printf.sprintf "%g Gbps" r) rates)
+    rows Format.std_formatter ();
+  Format.printf
+    "@.(paper: \"a 10GB cache after a 40Gbps link can hold incoming traffic \
+     for 2 seconds - much more than the average RTT\")@."
+
+(* ------------------------------------------------------------------ *)
+(* Protocol-behaviour experiments (chunk level) *)
+
+let bulk = { Inrpp.Config.default with Inrpp.Config.anticipation = 512 }
+
+let bottleneck_graph () =
+  let b = Topology.Graph.Builder.create () in
+  let n0 = Topology.Graph.Builder.add_node b "0" in
+  let n1 = Topology.Graph.Builder.add_node b "1" in
+  let n2 = Topology.Graph.Builder.add_node b "2" in
+  Topology.Graph.Builder.add_edge b ~capacity:10e6 ~delay:2e-3 n0 n1;
+  Topology.Graph.Builder.add_edge b ~capacity:2e6 ~delay:2e-3 n1 n2;
+  Topology.Graph.Builder.build b
+
+let phases () =
+  section "§3.3 — Interface phase machine under a demand ramp";
+  let scenarios =
+    [
+      ("clean line (no congestion)",
+       Topology.Builders.line ~capacity:10e6 ~delay:2e-3 3,
+       [ Inrpp.Protocol.flow_spec ~src:0 ~dst:2 200 ]);
+      ("bottleneck, no detour (push->backpressure)",
+       bottleneck_graph (),
+       [ Inrpp.Protocol.flow_spec ~src:0 ~dst:2 200 ]);
+      ("fig3, detour available (push->detour)",
+       Topology.Builders.fig3 (),
+       [ Inrpp.Protocol.flow_spec ~src:0 ~dst:3 300 ]);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, g, specs) ->
+        let r = Inrpp.Protocol.run ~cfg:bulk ~collect_trace:true g specs in
+        let tr = Option.get r.Inrpp.Protocol.trace in
+        let entered phase =
+          Chunksim.Trace.count tr (function
+            | Chunksim.Trace.Phase_change { phase = p; _ } -> p = phase
+            | _ -> false)
+        in
+        sidecar_emit ~experiment:"phases"
+          [
+            ("scenario", Obs.Json.Str name);
+            ("to_detour", Obs.Json.Num (float_of_int (entered "detour")));
+            ( "to_backpressure",
+              Obs.Json.Num (float_of_int (entered "backpressure")) );
+            ( "detoured",
+              Obs.Json.Num (float_of_int r.Inrpp.Protocol.detoured) );
+            ( "custody_stored",
+              Obs.Json.Num (float_of_int r.Inrpp.Protocol.custody_stored) );
+            ("drops", Obs.Json.Num (float_of_int r.Inrpp.Protocol.total_drops));
+            ( "fct",
+              match r.Inrpp.Protocol.flows.(0).Inrpp.Protocol.fct with
+              | Some f -> Obs.Json.Num f
+              | None -> Obs.Json.Null );
+          ];
+        [
+          name;
+          string_of_int (entered "detour");
+          string_of_int (entered "backpressure");
+          string_of_int r.Inrpp.Protocol.detoured;
+          string_of_int r.Inrpp.Protocol.custody_stored;
+          string_of_int r.Inrpp.Protocol.total_drops;
+          (match r.Inrpp.Protocol.flows.(0).Inrpp.Protocol.fct with
+          | Some f -> Printf.sprintf "%.2fs" f
+          | None -> "-");
+        ])
+      scenarios
+  in
+  Metrics.Report.table
+    ~header:
+      [ "scenario"; "->detour"; "->bp"; "detoured"; "custody"; "drops"; "fct" ]
+    rows Format.std_formatter ()
+
+let backpressure () =
+  section "§3.3 — Back-pressure keeps a 5x overload lossless";
+  let g = bottleneck_graph () in
+  let rows =
+    List.map
+      (fun (label, store_chunks) ->
+        let cfg =
+          {
+            bulk with
+            Inrpp.Config.cache_bits =
+              store_chunks *. bulk.Inrpp.Config.chunk_bits;
+          }
+        in
+        let r =
+          Inrpp.Protocol.run ~cfg g [ Inrpp.Protocol.flow_spec ~src:0 ~dst:2 200 ]
+        in
+        sidecar_emit ~experiment:"backpressure"
+          [
+            ("store_chunks", Obs.Json.Num store_chunks);
+            ( "bp_engages",
+              Obs.Json.Num (float_of_int r.Inrpp.Protocol.bp_engages) );
+            ( "bp_releases",
+              Obs.Json.Num (float_of_int r.Inrpp.Protocol.bp_releases) );
+            ("peak_custody_bits", Obs.Json.Num r.Inrpp.Protocol.peak_custody_bits);
+            ("drops", Obs.Json.Num (float_of_int r.Inrpp.Protocol.total_drops));
+            ( "fct",
+              match r.Inrpp.Protocol.flows.(0).Inrpp.Protocol.fct with
+              | Some f -> Obs.Json.Num f
+              | None -> Obs.Json.Null );
+          ];
+        [
+          label;
+          string_of_int r.Inrpp.Protocol.bp_engages;
+          string_of_int r.Inrpp.Protocol.bp_releases;
+          Format.asprintf "%a" Sim.Units.pp_size r.Inrpp.Protocol.peak_custody_bits;
+          string_of_int r.Inrpp.Protocol.total_drops;
+          (match r.Inrpp.Protocol.flows.(0).Inrpp.Protocol.fct with
+          | Some f -> Printf.sprintf "%.2fs" f
+          | None -> "-");
+        ])
+      [ ("store = 20 chunks", 20.); ("store = 100 chunks", 100.);
+        ("store = 400 chunks", 400.) ]
+  in
+  Metrics.Report.table
+    ~header:[ "custody store"; "bp on"; "bp off"; "peak custody"; "drops"; "fct" ]
+    rows Format.std_formatter ();
+  Format.printf
+    "@.(ideal single-path fct is 8.0 s at the 2 Mbps bottleneck; a smaller \
+     store engages back-pressure earlier but never drops)@."
+
+let protocols () =
+  section "Protocol comparison — INRPP vs AIMD / MPTCP / RCP / HBH";
+  let scenarios =
+    [
+      ("fig3, 2 flows (A: 0->3 through the bottleneck, B: 0->1)",
+       Topology.Builders.fig3 (),
+       [
+         Inrpp.Protocol.flow_spec ~src:0 ~dst:3 300;
+         Inrpp.Protocol.flow_spec ~src:0 ~dst:1 300;
+       ]);
+      ("dumbbell, 4 flows over a shared 5 Mbps bottleneck",
+       Topology.Builders.dumbbell ~access_capacity:10e6
+         ~bottleneck_capacity:5e6 4,
+       List.init 4 (fun i -> Inrpp.Protocol.flow_spec ~src:(2 + i) ~dst:(6 + i) 150));
+    ]
+  in
+  List.iter
+    (fun (name, g, specs) ->
+      Format.printf "%s:@." name;
+      let rows = Baselines.Comparison.run_all ~cfg:bulk g specs in
+      List.iter
+        (fun row ->
+          match Baselines.Run_result.to_json row with
+          | Obs.Json.Obj fields ->
+            sidecar_emit ~experiment:"protocols"
+              (("scenario", Obs.Json.Str name) :: fields)
+          | j -> sidecar_emit ~experiment:"protocols" [ ("result", j) ])
+        rows;
+      Baselines.Run_result.pp_table Format.std_formatter rows;
+      Format.printf "@.")
+    scenarios;
+  Format.printf
+    "(the paper's claim: in-network resource pooling moves traffic faster \
+     than e2e closed-loop control, without packet drops)@."
+
+let icn_cache () =
+  section "Extension — custody + popularity caching compose (ICN role)";
+  Format.printf
+    "(the paper notes no ICN transport had been evaluated together with      caches; here the same store serves both roles)@.@.";
+  let g = Topology.Builders.line ~capacity:10e6 ~delay:5e-3 5 in
+  let run icn =
+    let cfg =
+      {
+        bulk with
+        Inrpp.Config.icn_caching = icn;
+        cache_bits = 64e6;
+      }
+    in
+    Inrpp.Protocol.run ~cfg g
+      [
+        Inrpp.Protocol.flow_spec ~content:42 ~src:0 ~dst:4 200;
+        Inrpp.Protocol.flow_spec ~content:42 ~start:3. ~src:0 ~dst:4 200;
+      ]
+  in
+  let rows =
+    List.map
+      (fun (label, icn) ->
+        let r = run icn in
+        let fct i =
+          match r.Inrpp.Protocol.flows.(i).Inrpp.Protocol.fct with
+          | Some f -> Printf.sprintf "%.3fs" f
+          | None -> "-"
+        in
+        [ label; fct 0; fct 1; string_of_int r.Inrpp.Protocol.cache_hits ])
+      [ ("custody only", false); ("custody + ICN caching", true) ]
+  in
+  Metrics.Report.table
+    ~header:[ "mode"; "1st fetch"; "repeat fetch"; "cache hits" ]
+    rows Format.std_formatter ();
+  Format.printf
+    "@.(the repeat fetch of the same content is served by on-path copies      instead of crossing the network again)@."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+let ablation_detour () =
+  section "Ablation — detour depth and recursion (flow level, Telstra)";
+  let g = Topology.Isp_zoo.graph Topology.Isp_zoo.Telstra in
+  let nflows = 2 * Topology.Graph.node_count g in
+  let variants =
+    [
+      ("no detours", { Flowsim.Allocation.default_inrp with max_detour = 0 });
+      ("1-hop only",
+       { Flowsim.Allocation.default_inrp with max_detour = 1; allow_further = false });
+      ("1-hop + recursion (paper)", Flowsim.Allocation.default_inrp);
+    ]
+  in
+  let sp =
+    Flowsim.Snapshot.ensemble ~endpoints:fig4_endpoints
+      ~strategy:Flowsim.Routing.sp ~demand:fig4_demand ~nflows
+      ~seeds:fig4_seeds g
+  in
+  let rows =
+    (("SP baseline", sp)
+    :: List.map
+         (fun (label, opts) ->
+           ( label,
+             Flowsim.Snapshot.ensemble ~endpoints:fig4_endpoints
+               ~strategy:(Flowsim.Routing.Inrp opts) ~demand:fig4_demand
+               ~nflows ~seeds:fig4_seeds g ))
+         variants)
+    |> List.map (fun (label, r) ->
+           [
+             label;
+             Printf.sprintf "%.3f" r.Flowsim.Snapshot.throughput;
+             Metrics.Report.percent r.Flowsim.Snapshot.detoured_fraction;
+             Printf.sprintf "%.3f" r.Flowsim.Snapshot.mean_stretch;
+           ])
+  in
+  Metrics.Report.table ~header:[ "variant"; "throughput"; "detoured"; "stretch" ]
+    rows Format.std_formatter ()
+
+let ablation_ac () =
+  section "Ablation — anticipated-data window Ac (chunk level, fig3)";
+  let g = Topology.Builders.fig3 () in
+  let rows =
+    List.map
+      (fun ac ->
+        let cfg = { Inrpp.Config.default with Inrpp.Config.anticipation = ac } in
+        let r =
+          Inrpp.Protocol.run ~cfg g [ Inrpp.Protocol.flow_spec ~src:0 ~dst:3 300 ]
+        in
+        [
+          string_of_int ac;
+          (match r.Inrpp.Protocol.flows.(0).Inrpp.Protocol.fct with
+          | Some f -> Printf.sprintf "%.2fs" f
+          | None -> "-");
+          string_of_int r.Inrpp.Protocol.detoured;
+          Format.asprintf "%a" Sim.Units.pp_size r.Inrpp.Protocol.peak_custody_bits;
+          string_of_int r.Inrpp.Protocol.total_drops;
+        ])
+      [ 2; 8; 32; 128; 512 ]
+  in
+  Metrics.Report.table
+    ~header:[ "Ac"; "fct"; "detoured"; "peak custody"; "drops" ]
+    rows Format.std_formatter ();
+  Format.printf
+    "@.(a small Ac self-clocks at the bottleneck rate; a large Ac lets the \
+     open loop fill the detour path too — 24 Mbit over 2 Mbps alone is 12 s)@."
+
+let ablation_sched () =
+  section "Ablation — FIFO vs round-robin interface scheduling";
+  Format.printf
+    "(§3.3: routers multiplex flows round-robin; two flows share the fig3      network, flow B being a short-path burst source)@.@.";
+  let g = Topology.Builders.fig3 () in
+  let specs =
+    [
+      Inrpp.Protocol.flow_spec ~src:0 ~dst:3 200;
+      Inrpp.Protocol.flow_spec ~src:0 ~dst:1 400;
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, drr) ->
+        let cfg = { bulk with Inrpp.Config.drr_scheduler = drr } in
+        let r = Inrpp.Protocol.run ~cfg g specs in
+        let rates =
+          Array.map
+            (fun fr ->
+              match fr.Inrpp.Protocol.fct with
+              | Some fct ->
+                float_of_int fr.Inrpp.Protocol.chunks_received
+                *. cfg.Inrpp.Config.chunk_bits /. fct
+              | None -> 0.)
+            r.Inrpp.Protocol.flows
+        in
+        let fct i =
+          match r.Inrpp.Protocol.flows.(i).Inrpp.Protocol.fct with
+          | Some f -> Printf.sprintf "%.2fs" f
+          | None -> "-"
+        in
+        [
+          label;
+          fct 0;
+          fct 1;
+          Printf.sprintf "%.3f" (Metrics.Fairness.jain rates);
+          string_of_int r.Inrpp.Protocol.total_drops;
+        ])
+      [ ("FIFO", false); ("DRR (paper)", true) ]
+  in
+  Metrics.Report.table
+    ~header:[ "scheduler"; "fct A"; "fct B"; "jain(rate)"; "drops" ]
+    rows Format.std_formatter ()
+
+let fct () =
+  section "Extension — flow completion time under churn (DES)";
+  Format.printf
+    "(the paper expects the Fig. 4a utilisation gain \"to translate to \
+     faster flow completion time by the same proportion\"; Poisson \
+     arrivals between VSNL PoP routers, exponential 500 Mbit flows)@.@.";
+  let g = Topology.Isp_zoo.graph Topology.Isp_zoo.Vsnl in
+  let eps =
+    Flowsim.Workload.Role_pairs [ Topology.Node.Core; Topology.Node.Aggregation ]
+  in
+  let results =
+    List.map
+      (fun strategy ->
+        let cfg =
+          Flowsim.Simulator.config ~strategy ~arrival_rate:100. ~endpoints:eps
+            ~size:(Flowsim.Workload.Exponential 500e6) ~warmup:1. ~duration:5.
+            ~seed:5L ~max_active:500 ()
+        in
+        Flowsim.Simulator.run g cfg)
+      [ Flowsim.Routing.sp; Flowsim.Routing.ecmp; Flowsim.Routing.inrp ]
+  in
+  List.iter
+    (fun (r : Flowsim.Results.t) ->
+      sidecar_emit ~experiment:"fct"
+        [
+          ("strategy", Obs.Json.Str r.Flowsim.Results.strategy);
+          ("arrivals", Obs.Json.Num (float_of_int r.Flowsim.Results.arrivals));
+          ( "completions",
+            Obs.Json.Num (float_of_int r.Flowsim.Results.completions) );
+          ("throughput", Obs.Json.Num r.Flowsim.Results.throughput);
+          ("mean_fct", Obs.Json.Num r.Flowsim.Results.mean_fct);
+          ("p95_fct", Obs.Json.Num r.Flowsim.Results.p95_fct);
+          ("mean_active", Obs.Json.Num r.Flowsim.Results.mean_active);
+          ("mean_stretch", Obs.Json.Num r.Flowsim.Results.mean_stretch);
+        ])
+    results;
+  Flowsim.Results.pp_table Format.std_formatter results;
+  match results with
+  | [ sp; _; inrp ] when sp.Flowsim.Results.mean_fct > 0. ->
+    Format.printf "@.INRP mean FCT is %.1f%% lower than SP@."
+      (100.
+      *. (1. -. (inrp.Flowsim.Results.mean_fct /. sp.Flowsim.Results.mean_fct)))
+  | _ -> ()
+
+let loss () =
+  section "Extension — failure injection: recovery under random wire loss";
+  Format.printf
+    "(the paper handles loss with explicit timers/NACKs instead of      treating it as congestion; 200-chunk transfer over a 3-hop line)@.@.";
+  let g = Topology.Builders.line ~capacity:10e6 ~delay:2e-3 4 in
+  let rows =
+    List.map
+      (fun rate ->
+        let r =
+          Inrpp.Protocol.run ~cfg:bulk ~loss_rate:rate ~horizon:120. g
+            [ Inrpp.Protocol.flow_spec ~src:0 ~dst:3 200 ]
+        in
+        let fr = r.Inrpp.Protocol.flows.(0) in
+        [
+          Metrics.Report.percent rate;
+          (match fr.Inrpp.Protocol.fct with
+          | Some f -> Printf.sprintf "%.2fs" f
+          | None -> "incomplete");
+          string_of_int fr.Inrpp.Protocol.chunks_received;
+          string_of_int fr.Inrpp.Protocol.duplicates;
+          string_of_int fr.Inrpp.Protocol.requests_sent;
+        ])
+      [ 0.; 0.005; 0.02; 0.05 ]
+  in
+  Metrics.Report.table
+    ~header:[ "wire loss"; "fct"; "received"; "dup"; "requests" ]
+    rows Format.std_formatter ();
+  Format.printf
+    "@.(every transfer completes: the receiver's request timeout re-asks      for the lowest missing chunk and the sender retransmits on repeated Nc)@."
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks *)
+
+let micro () =
+  section "Micro-benchmarks (Bechamel, OLS ns/op)";
+  let open Bechamel in
+  let g = Topology.Isp_zoo.graph Topology.Isp_zoo.Ebone in
+  let small = Topology.Builders.grid 6 6 in
+  let table = Flowsim.Allocation.Detour_table.create g in
+  let router = Flowsim.Routing.create g Flowsim.Routing.sp in
+  let demands =
+    let paths =
+      List.filter_map
+        (fun i ->
+          Flowsim.Routing.route router ~flow_id:i (i mod 20) (20 + (i mod 30)))
+        (List.init 40 Fun.id)
+    in
+    Array.of_list (List.map (fun p -> (p, infinity)) paths)
+  in
+  let rng = Sim.Rng.create 7L in
+  let tests =
+    Test.make_grouped ~name:"inrpp" ~fmt:"%s %s"
+      [
+        Test.make ~name:"dijkstra (ebone)"
+          (Staged.stage (fun () ->
+               ignore (Topology.Dijkstra.run g 0)));
+        Test.make ~name:"yen k=4 (grid)"
+          (Staged.stage (fun () ->
+               ignore (Topology.Yen.k_shortest small ~k:4 0 35)));
+        Test.make ~name:"detour classify one link"
+          (Staged.stage (fun () ->
+               ignore (Topology.Detour.classify_link g (Topology.Graph.link g 0))));
+        Test.make ~name:"max-min 40 flows"
+          (Staged.stage (fun () -> ignore (Flowsim.Allocation.max_min g demands)));
+        Test.make ~name:"inrp alloc 40 flows"
+          (Staged.stage (fun () ->
+               ignore
+                 (Flowsim.Allocation.inrp
+                    ~detours:(Flowsim.Allocation.Detour_table.find table)
+                    g demands)));
+        Test.make ~name:"event queue push+pop"
+          (Staged.stage (fun () ->
+               let q = Sim.Event_queue.create () in
+               for i = 0 to 63 do
+                 ignore (Sim.Event_queue.push q ~time:(float_of_int (i * 7 mod 64)) ())
+               done;
+               while Sim.Event_queue.pop q <> None do () done));
+        Test.make ~name:"rng exponential"
+          (Staged.stage (fun () -> ignore (Sim.Rng.exponential rng ~mean:1.)));
+        Test.make ~name:"cache custody put+take"
+          (Staged.stage (fun () ->
+               let c = Chunksim.Cache.create ~capacity:1e6 () in
+               for i = 0 to 15 do
+                 ignore (Chunksim.Cache.put_custody c ~flow:0 ~idx:i ~bits:100.)
+               done;
+               for _ = 0 to 15 do
+                 ignore (Chunksim.Cache.take_custody c ~flow:0)
+               done));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ e ] -> Printf.sprintf "%.0f ns" e
+        | _ -> "?"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  Metrics.Report.table ~header:[ "operation"; "time/op" ]
+    (List.sort compare !rows)
+    Format.std_formatter ()
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    ("table1", table1);
+    ("fig3", fig3);
+    ("fig4a", fig4a);
+    ("fig4b", fig4b);
+    ("fig4-all", fig4_all);
+    ("custody", custody);
+    ("phases", phases);
+    ("backpressure", backpressure);
+    ("protocols", protocols);
+    ("icn-cache", icn_cache);
+    ("fct", fct);
+    ("loss", loss);
+    ("ablation-detour", ablation_detour);
+    ("ablation-sched", ablation_sched);
+    ("ablation-ac", ablation_ac);
+    ("micro", micro);
+  ]
+
+let find name = List.assoc_opt name all
+
+(* Run [f] with stdout redirected into a temp file and return what it
+   wrote.  Used to digest artefact output in-process: the bytes are
+   exactly what `bench/main.exe <id>` prints, as both go through the
+   same fd after the same [Format] flush discipline. *)
+let capture f =
+  let tmp = Filename.temp_file "inrpp_artefact" ".txt" in
+  Format.pp_print_flush Format.std_formatter ();
+  flush stdout;
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let saved = Unix.dup Unix.stdout in
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  let restore () =
+    Format.pp_print_flush Format.std_formatter ();
+    flush stdout;
+    Unix.dup2 saved Unix.stdout;
+    Unix.close saved
+  in
+  (try f ()
+   with e ->
+     restore ();
+     Sys.remove tmp;
+     raise e);
+  restore ();
+  let ic = open_in_bin tmp in
+  let n = in_channel_length ic in
+  let out = really_input_string ic n in
+  close_in ic;
+  Sys.remove tmp;
+  out

@@ -1,0 +1,27 @@
+(** Paper-artefact experiment implementations.
+
+    Each entry regenerates one table/figure of the paper (or a
+    repository ablation) on stdout.  `bench/main.exe` is the CLI; the
+    golden-artefact regression test runs the same closures in-process
+    via {!capture} and pins the output bytes by SHA-256
+    (test/golden/artefacts.sha256). *)
+
+val all : (string * (unit -> unit)) list
+(** Experiment id -> runner, in canonical order. *)
+
+val find : string -> (unit -> unit) option
+
+val set_sidecar : out_channel -> unit
+(** Route machine-readable NDJSON rows (one per measured row, tagged
+    with the experiment id) to the channel until {!close_sidecar}. *)
+
+val close_sidecar : unit -> unit
+(** Close and detach the sidecar channel; no-op when none is set. *)
+
+val sidecar_emit : experiment:string -> (string * Obs.Json.t) list -> unit
+(** Emit one sidecar row (no-op without a sidecar channel). *)
+
+val capture : (unit -> unit) -> string
+(** Run with stdout redirected to a temp file; return the bytes
+    written.  [Format.std_formatter] is flushed around the redirect so
+    the result matches `bench/main.exe <id>` byte for byte. *)

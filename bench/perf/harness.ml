@@ -1,0 +1,39 @@
+type outcome = {
+  name : string;
+  events : int;
+  wall_s : float;
+  chunks : int;
+  minor_words : float;
+}
+
+let measure ?(repeat = 1) name f =
+  let one () =
+    Gc.compact ();
+    let minor0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let events, chunks = f () in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let minor_words = Gc.minor_words () -. minor0 in
+    { name; events; wall_s; chunks; minor_words }
+  in
+  (* best-of-n: the minimum wall time is the least noisy estimate *)
+  let best a b = if a.wall_s <= b.wall_s then a else b in
+  let r = ref (one ()) in
+  for _ = 2 to repeat do
+    r := best !r (one ())
+  done;
+  !r
+
+let outcome_json o =
+  let per_event x = if o.events > 0 then x /. float_of_int o.events else 0. in
+  let per_sec x = if o.wall_s > 0. then x /. o.wall_s else 0. in
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.Str o.name);
+      ("events", Obs.Json.Num (float_of_int o.events));
+      ("wall_s", Obs.Json.Num o.wall_s);
+      ("events_per_sec", Obs.Json.Num (per_sec (float_of_int o.events)));
+      ("chunks_delivered", Obs.Json.Num (float_of_int o.chunks));
+      ("chunks_per_sec", Obs.Json.Num (per_sec (float_of_int o.chunks)));
+      ("minor_words_per_event", Obs.Json.Num (per_event o.minor_words));
+    ]

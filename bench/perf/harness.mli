@@ -1,0 +1,20 @@
+(** Measurement harness shared by the perf runner and the RUN_SOAK
+    scale test: wall time, engine event count, delivered chunks and
+    minor-heap allocation for one scenario closure. *)
+
+type outcome = {
+  name : string;
+  events : int;
+  wall_s : float;
+  chunks : int;
+  minor_words : float;
+}
+
+val measure : ?repeat:int -> string -> (unit -> int * int) -> outcome
+(** [measure name f] runs [f () = (events, chunks)] after a compaction
+    and reports the best (minimum wall time) of [repeat] runs
+    (default 1). *)
+
+val outcome_json : outcome -> Obs.Json.t
+(** The BENCH_core.json per-benchmark object (derived rates
+    included). *)

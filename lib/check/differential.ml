@@ -1,0 +1,96 @@
+type verdict = { equal : bool; detail : string }
+
+let fast_vs_legacy ~seed =
+  let fast = Scenario.run ~seed () in
+  let legacy = Scenario.run ~legacy:true ~seed () in
+  if Scenario.equal_outcome fast legacy then
+    {
+      equal = true;
+      detail =
+        Printf.sprintf
+          "seed %d: %d deliveries, %d drops, %.0f bits — fast = legacy" seed
+          (List.length fast.Scenario.deliveries)
+          fast.Scenario.drops fast.Scenario.tx_bits;
+    }
+  else
+    {
+      equal = false;
+      detail =
+        Printf.sprintf "seed %d: %s" seed (Scenario.diff_outcomes fast legacy);
+    }
+
+(* Eager vs lazy scheduling through the five-level tie order
+   (time, epoch, parent, stamp, seq).  An eager scheduler pushes
+   events the moment they become known, receiving consecutive default
+   stamps; a lazy scheduler pushes the same events later and out of
+   order, but carries the stamp each event {e would} have received
+   (captured via [next_stamp] in real code).  With the keys fixed, the
+   pop order must be identical — this is the contract the loss-free
+   interface fast path depends on. *)
+let queue_tie_order ~seed =
+  let rng = Sim.Rng.create (Int64.of_int (0x71E00 + seed)) in
+  let k = 150 + Sim.Rng.int rng 101 in
+  (* coarse key grids force heavy collisions at every tie level *)
+  let events =
+    Array.init k (fun i ->
+        let time = float_of_int (Sim.Rng.int rng 6) *. 0.25 in
+        let epoch = float_of_int (Sim.Rng.int rng 3) *. 0.25 in
+        let parent = float_of_int (Sim.Rng.int rng 3) *. 0.25 in
+        (time, epoch, parent, i))
+  in
+  let drain q =
+    let rec go acc =
+      match Sim.Event_queue.pop q with
+      | Some (_, v) -> go (v :: acc)
+      | None -> List.rev acc
+    in
+    go []
+  in
+  let eager = Sim.Event_queue.create () in
+  Array.iter
+    (fun (time, epoch, parent, i) ->
+      Sim.Event_queue.push_fixed ~epoch ~parent eager ~time i)
+    events;
+  let lazy_q = Sim.Event_queue.create () in
+  let order = Array.init k Fun.id in
+  Sim.Rng.shuffle rng order;
+  Array.iter
+    (fun j ->
+      let time, epoch, parent, i = events.(j) in
+      Sim.Event_queue.push_fixed ~epoch ~parent ~stamp:j lazy_q ~time i)
+    order;
+  let a = drain eager and b = drain lazy_q in
+  if a = b then
+    {
+      equal = true;
+      detail = Printf.sprintf "seed %d: %d events, eager = lazy" seed k;
+    }
+  else
+    let rec first i xs ys =
+      match (xs, ys) with
+      | x :: xs, y :: ys ->
+        if x = y then first (i + 1) xs ys
+        else Printf.sprintf "position %d: eager pops %d, lazy pops %d" i x y
+      | _ -> "lengths differ"
+    in
+    {
+      equal = false;
+      detail = Printf.sprintf "seed %d: %s" seed (first 0 a b);
+    }
+
+let sweep ~seeds f =
+  let failures =
+    List.filter_map
+      (fun seed ->
+        let v = f ~seed in
+        if v.equal then None else Some v.detail)
+      seeds
+  in
+  match failures with
+  | [] -> { equal = true; detail = Printf.sprintf "%d seeds equal" (List.length seeds) }
+  | d :: _ ->
+    {
+      equal = false;
+      detail = Printf.sprintf "%d/%d seeds diverged; first: %s"
+          (List.length failures) (List.length seeds) d;
+    }

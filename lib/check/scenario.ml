@@ -1,0 +1,152 @@
+module Graph = Topology.Graph
+module Builders = Topology.Builders
+module Net = Chunksim.Net
+module Packet = Chunksim.Packet
+
+let chunk_bits = 80_000. (* 10 kB data chunk *)
+
+type delivery = { time : float; node : int; flow : int; idx : int }
+
+type outcome = {
+  deliveries : delivery list;
+  drops : int;
+  wire_losses : int;
+  tx_bits : float;
+  events : int;
+}
+
+(* Outcome equality deliberately ignores [events]: the loss-free fast
+   path schedules one engine event per transmitted packet where the
+   legacy path schedules two, so event counts legitimately differ
+   while every observable outcome must not. *)
+let equal_outcome a b =
+  a.deliveries = b.deliveries
+  && a.drops = b.drops
+  && a.wire_losses = b.wire_losses
+  && Float.equal a.tx_bits b.tx_bits
+
+let pp_delivery ppf d =
+  Format.fprintf ppf "t=%.9f node=%d flow=%d idx=%d" d.time d.node d.flow d.idx
+
+let diff_outcomes a b =
+  if a.drops <> b.drops then
+    Printf.sprintf "drops differ: %d vs %d" a.drops b.drops
+  else if a.wire_losses <> b.wire_losses then
+    Printf.sprintf "wire losses differ: %d vs %d" a.wire_losses b.wire_losses
+  else if not (Float.equal a.tx_bits b.tx_bits) then
+    Printf.sprintf "tx bits differ: %.17g vs %.17g" a.tx_bits b.tx_bits
+  else
+    let rec first i xs ys =
+      match (xs, ys) with
+      | [], [] -> "outcomes equal"
+      | x :: xs, y :: ys when x = y -> first (i + 1) xs ys
+      | x :: _, y :: _ ->
+        Format.asprintf "delivery %d differs: %a vs %a" i pp_delivery x
+          pp_delivery y
+      | _ ->
+        Printf.sprintf "delivery counts differ: %d vs %d"
+          (List.length a.deliveries) (List.length b.deliveries)
+    in
+    first 0 a.deliveries b.deliveries
+
+(* Seeded random scenario: a connected random graph, a handful of
+   (src, dst) pairs routed on shortest paths via static per-flow
+   next-hop tables, and a burst of data packets injected at random
+   times.  Queues are sized small enough that some runs exercise the
+   queue-full drop path.  Everything is derived from [seed] before the
+   [legacy] flag is consulted, so both variants replay the identical
+   scenario. *)
+let run ?(legacy = false) ~seed () =
+  let rng = Sim.Rng.create (Int64.of_int (0x5EED0 + seed)) in
+  let n = 5 + Sim.Rng.int rng 8 in
+  let rec pick_graph attempt =
+    if attempt >= 10 then Builders.ring ~capacity:10e6 n
+    else
+      let g =
+        Builders.erdos_renyi ~capacity:10e6
+          ~seed:(Int64.of_int ((seed * 97) + attempt))
+          ~p:0.4 n
+      in
+      if Graph.is_connected g then g else pick_graph (attempt + 1)
+  in
+  let g = pick_graph 0 in
+  let nflows = 3 + Sim.Rng.int rng 4 in
+  (* per-flow next-hop tables; the last path node records delivery *)
+  let next_hop : (int * int, Topology.Link.t option) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let flows =
+    Array.init nflows (fun f ->
+        let rec pick tries =
+          let src = Sim.Rng.int rng n and dst = Sim.Rng.int rng n in
+          if src <> dst then (src, dst)
+          else if tries > 100 then (0, n - 1)
+          else pick (tries + 1)
+        in
+        let src, dst = pick 0 in
+        let path =
+          Option.get (Topology.Dijkstra.shortest_path g src dst)
+        in
+        let nodes = Array.of_list path.Topology.Path.nodes in
+        let links = Array.of_list path.Topology.Path.links in
+        Array.iteri
+          (fun k node ->
+            let hop =
+              if k < Array.length links then Some links.(k) else None
+            in
+            Hashtbl.replace next_hop (node, f) hop)
+          nodes;
+        src)
+  in
+  (* injection schedule: (time, flow, idx), generated before the
+     engine exists so the rng draw order is scenario-only *)
+  let injections =
+    Array.init nflows (fun f ->
+        let count = 20 + Sim.Rng.int rng 41 in
+        let start = Sim.Rng.uniform rng ~lo:0. ~hi:0.3 in
+        Array.init count (fun idx ->
+            (start +. (float_of_int idx *. Sim.Rng.uniform rng ~lo:0.5e-3 ~hi:8e-3),
+             f, idx)))
+  in
+  let eng = Sim.Engine.create () in
+  let queue_bits = 8. *. chunk_bits in
+  let net =
+    Net.create ~queue_bits
+      ?loss_rate:(if legacy then Some 0. else None)
+      ~loss_seed:(Int64.of_int (seed + 11))
+      eng g
+  in
+  let acc = ref [] in
+  for node = 0 to n - 1 do
+    Net.set_handler net node (fun ~from:_ p ->
+        let f = Packet.flow p in
+        match Hashtbl.find_opt next_hop (node, f) with
+        | Some (Some l) -> ignore (Net.send net ~via:l p)
+        | Some None ->
+          let idx =
+            match p.Packet.header with
+            | Packet.Data { idx; _ } -> idx
+            | _ -> -1
+          in
+          acc :=
+            { time = Sim.Engine.now eng; node; flow = f; idx } :: !acc
+        | None -> ())
+  done;
+  Array.iter
+    (fun per_flow ->
+      Array.iter
+        (fun (time, f, idx) ->
+          ignore
+            (Sim.Engine.schedule_at eng ~time (fun () ->
+                 let p = Packet.data ~flow:f ~idx ~born:time chunk_bits in
+                 Net.inject net ~at:flows.(f) p)))
+        per_flow)
+    injections;
+  Sim.Engine.run eng;
+  {
+    deliveries = List.rev !acc;
+    drops = Net.total_drops net;
+    wire_losses = Net.total_wire_losses net;
+    tx_bits = Net.total_tx_bits net;
+    events = Sim.Engine.events_handled eng;
+  }

@@ -1,0 +1,30 @@
+(** Seeded random chunk-level scenarios for the differential harness.
+
+    Each seed fully determines a connected random graph, a set of
+    shortest-path flows and a burst of timed data injections; the run
+    replays them through the {!Chunksim} forwarding plane with static
+    per-flow next-hop tables and records every delivery in arrival
+    order.  [legacy] steers the interfaces onto the pre-overhaul
+    two-event transmit path (zero-probability loss injection) without
+    changing the scenario, which is derived from the seed before the
+    flag is consulted. *)
+
+type delivery = { time : float; node : int; flow : int; idx : int }
+
+type outcome = {
+  deliveries : delivery list;  (** arrival order *)
+  drops : int;                 (** queue-full refusals *)
+  wire_losses : int;
+  tx_bits : float;
+  events : int;                (** engine events — excluded from equality *)
+}
+
+val run : ?legacy:bool -> seed:int -> unit -> outcome
+
+val equal_outcome : outcome -> outcome -> bool
+(** Structural equality of everything observable; [events] is ignored
+    (the fast path schedules one event per packet, the legacy path
+    two). *)
+
+val diff_outcomes : outcome -> outcome -> string
+(** Human-readable first divergence, for failure messages. *)

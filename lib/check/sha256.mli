@@ -1,0 +1,11 @@
+(** SHA-256 (FIPS 180-4), dependency-free.
+
+    Used by the golden-artefact regression tests to pin the exact
+    bytes of every `bench/main.exe` paper-artefact table.  Small and
+    slow by design — inputs are kilobytes, not gigabytes. *)
+
+val digest : string -> string
+(** Raw 32-byte digest. *)
+
+val hex_digest : string -> string
+(** Lowercase hex, 64 characters. *)

@@ -14,10 +14,14 @@ let silent ~from:_ (_ : Packet.t) = ()
 
 let create ?queue_bits ?speed_factor ?discipline ?loss_rate
     ?(loss_seed = 0xbadL) eng g =
+  (* an explicit rate — even 0 — selects the legacy two-event transmit
+     path; probability 0 never actually loses, which is exactly what
+     the differential harness uses to pit the loss-free fast path
+     against the legacy scheme on identical traffic *)
   let loss =
     match loss_rate with
-    | Some p when p > 0. -> Some (p, Sim.Rng.create loss_seed)
-    | Some _ | None -> None
+    | Some p -> Some (p, Sim.Rng.create loss_seed)
+    | None -> None
   in
   let handlers = Array.make (Graph.node_count g) silent in
   let t =

@@ -18,7 +18,10 @@ val create :
   Sim.Engine.t -> Topology.Graph.t -> t
 (** Interface parameters are uniform; see {!Iface.create}.
     [loss_rate]/[loss_seed] inject seeded random wire loss on every
-    link (default none). *)
+    link (default none).  Passing an explicit rate — even [0.] —
+    selects the interfaces' legacy two-event transmit path; rate 0
+    never actually loses, which the differential harness exploits to
+    compare the loss-free fast path against the legacy scheme. *)
 
 val graph : t -> Topology.Graph.t
 val engine : t -> Sim.Engine.t

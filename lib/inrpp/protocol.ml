@@ -57,7 +57,7 @@ let phase_value = function
 let phase_names = [| "push"; "detour"; "backpressure" |]
 
 let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
-    ?loss_rate ?obs g specs =
+    ?loss_rate ?obs ?check g specs =
   (match Config.validate cfg with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("Protocol.run: " ^ msg));
@@ -74,7 +74,8 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
       ~speed_factor:cfg.Config.speed_factor ~discipline ?loss_rate eng g
   in
   let trace =
-    if collect_trace || Option.is_some obs then Some (Trace.create ())
+    if collect_trace || Option.is_some obs || Option.is_some check then
+      Some (Trace.create ())
     else None
   in
   (match (obs, trace) with
@@ -86,6 +87,35 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
   let routers =
     Array.init (Graph.node_count g) (fun node ->
         Router.create ~cfg ~net ~node ~detours ?trace ())
+  in
+  (* invariant checkers: streaming checkers tap the trace, the custody
+     ledger rides the estimator-tick probe (no extra engine events),
+     and conservation is fed from the sender/consumer wrappers below *)
+  let conservation =
+    match (check, trace) with
+    | Some chk, Some tr ->
+      Check.Invariant.attach tr (Check.Invariant.phase_legality chk);
+      Check.Invariant.attach tr (Check.Invariant.bp_ordering chk);
+      let lossy = match loss_rate with Some r -> r > 0. | None -> false in
+      let cons = Check.Invariant.Conservation.create ~lossy chk in
+      Check.Invariant.attach tr (Check.Invariant.Conservation.handler cons);
+      Array.iter
+        (fun r ->
+          Check.Invariant.custody_ledger chk
+            ~name:(Printf.sprintf "node %d" (Router.node r))
+            (fun () ->
+              let cache = Router.cache r in
+              let backlog =
+                List.fold_left
+                  (fun acc f ->
+                    acc + Chunksim.Cache.custody_backlog cache ~flow:f)
+                  0
+                  (Chunksim.Cache.flows_in_custody cache)
+              in
+              (Router.custody_packet_count r, backlog)))
+        routers;
+      Some cons
+    | _ -> None
   in
   (* per-node endpoint dispatch: several flows may start or end at the
      same node *)
@@ -180,9 +210,21 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
           /. float_of_int (max 1 sharers)
         | [] -> cfg.Config.chunk_bits (* unreachable: src <> dst *)
       in
+      let transmit =
+        let base = Router.originate_data routers.(spec.src) in
+        match conservation with
+        | None -> base
+        | Some cons ->
+          fun p ->
+            (match p.Packet.header with
+            | Packet.Data { flow; idx; _ } ->
+              Check.Invariant.Conservation.note_push cons ~flow ~idx
+            | _ -> ());
+            base p
+      in
       let sender =
         Sender.create ~cfg ~eng ~flow:flow_id ~total_chunks:spec.chunks
-          ~pace_rate ~transmit:(Router.originate_data routers.(spec.src))
+          ~pace_rate ~transmit
       in
       Hashtbl.replace (endpoint_table producers spec.src) flow_id sender;
       let receiver =
@@ -229,6 +271,14 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
       in
       Router.set_local_consumer router (fun p ->
           observe_data p;
+          (match conservation with
+          | Some cons -> (
+            match p.Packet.header with
+            | Packet.Data { flow; idx; _ } ->
+              Check.Invariant.Conservation.note_delivery cons
+                ~time:(Sim.Engine.now eng) ~flow ~idx
+            | _ -> ())
+          | None -> ());
           match Hashtbl.find_opt recvs (Packet.flow p) with
           | Some r -> Receiver.handle_data r p
           | None -> ())
@@ -376,6 +426,9 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
           let occ = Chunksim.Cache.custody_occupancy (Router.cache r) in
           if occ > !peak_custody then peak_custody := occ)
         routers;
+      (match check with
+      | Some chk -> Check.Invariant.probe chk ~time:(Sim.Engine.now eng)
+      | None -> ());
       not (all_done ()));
   ignore
   @@ Sim.Engine.schedule_periodic eng ~interval:(cfg.Config.ti /. 4.)
@@ -392,6 +445,25 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
              | None -> ())))
     specs;
   Sim.Engine.run ~until:horizon eng;
+  (match check with
+  | Some chk -> Check.Invariant.probe chk ~time:(Sim.Engine.now eng)
+  | None -> ());
+  (match conservation with
+  | Some cons ->
+    let in_custody =
+      Array.fold_left
+        (fun acc r -> acc + Router.custody_packet_count r)
+        0 routers
+    in
+    let drops =
+      Array.fold_left
+        (fun acc r -> acc + (Router.counters r).Router.dropped)
+        0 routers
+    in
+    Check.Invariant.Conservation.finish cons ~time:(Sim.Engine.now eng)
+      ~quiescent:(all_done ()) ~in_custody ~drops
+      ~wire_losses:(Net.total_wire_losses net)
+  | None -> ());
   let sim_time =
     match !finished_at with
     | Some t -> t

@@ -53,8 +53,8 @@ type result = {
 
 val run :
   ?cfg:Config.t -> ?horizon:float -> ?collect_trace:bool ->
-  ?loss_rate:float -> ?obs:Obs.Observer.t -> Topology.Graph.t ->
-  flow_spec list -> result
+  ?loss_rate:float -> ?obs:Obs.Observer.t -> ?check:Check.Invariant.t ->
+  Topology.Graph.t -> flow_spec list -> result
 (** [horizon] (default 60 s) bounds the run; the engine also stops as
     soon as every flow completes.  [loss_rate] injects seeded random
     wire loss on every link (failure-injection testing; default none —
@@ -71,6 +71,12 @@ val run :
     plus per-node [custody_bits], [bp_active_flows] and
     [detoured_total] at interval [cfg.ti] (or the observer's
     override).
+
+    [check] enforces runtime invariants throughout the run (implies
+    trace collection): phase-transition legality, back-pressure
+    ordering and chunk conservation stream off the trace taps, and the
+    custody-ledger probe rides the estimator tick.  Inspect the
+    collector with [Check.Invariant.ok]/[report] after the run.
     @raise Invalid_argument on an invalid config, an empty flow list,
     or an unroutable flow. *)
 

@@ -161,6 +161,23 @@ let custody t entry flow (p : Packet.t) =
         signal_upstream t entry ~flow ~engage:true
       end
     in
+    if Hashtbl.mem t.custody_packets (flow, idx) then begin
+      (* duplicate copy (a retransmit racing the custodied original):
+         admitting it would put a second entry in the store's custody
+         queue while the packet table holds one payload per (flow,
+         idx), so the duplicate could never drain — it would leak
+         store space until the end of the run.  Drop it; the
+         custodied copy is already scheduled to move on. *)
+      t.c.dropped <- t.c.dropped + 1;
+      record t
+        (Trace.Dropped
+           {
+             node = t.node_id;
+             link = -1;
+             packet = Format.asprintf "%a" Packet.pp p;
+           })
+    end
+    else
     match
       Cache.put_custody t.store ~flow ~idx ~bits:p.Packet.size
     with
@@ -501,6 +518,7 @@ let bp_active_flows t =
 let cache t = t.store
 let counters t = t.c
 let node t = t.node_id
+let custody_packet_count t = Hashtbl.length t.custody_packets
 
 let phase_transitions t =
   Hashtbl.fold (fun _ p acc -> acc + Phase.transitions p) t.phases 0

@@ -81,5 +81,10 @@ val bp_active_flows : t -> int
 val cache : t -> Chunksim.Cache.t
 val counters : t -> counters
 val node : t -> Topology.Node.id
+
+val custody_packet_count : t -> int
+(** Chunks in the custody packet table right now — must equal the
+    cache's custody-region chunk count ([Check]'s ledger invariant). *)
+
 val phase_transitions : t -> int
 (** Summed across interfaces. *)

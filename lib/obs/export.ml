@@ -54,6 +54,13 @@ let req j key conv what =
   | Some v -> Ok v
   | None -> Error ("missing or malformed " ^ what ^ " field '" ^ key ^ "'")
 
+(* NaN prints as null (JSON has no NaN literal), so any float field may
+   legitimately come back as null — e.g. a NaN gauge callback *)
+let req_float j key what =
+  match Json.member key j with
+  | Some Json.Null -> Ok Float.nan
+  | _ -> req j key Json.to_float what
+
 let sample_of_json j =
   let* name = req j "name" Json.to_str "metric" in
   let* labels =
@@ -68,14 +75,14 @@ let sample_of_json j =
       let* n = req j "value" Json.to_int "counter" in
       Ok (Metric.Counter_v n)
     | "gauge" ->
-      let* v = req j "value" Json.to_float "gauge" in
+      let* v = req_float j "value" "gauge" in
       Ok (Metric.Gauge_v v)
     | "histogram" ->
       let* count = req j "count" Json.to_int "histogram" in
-      let* sum = req j "sum" Json.to_float "histogram" in
-      let* mean = req j "mean" Json.to_float "histogram" in
-      let* min_v = req j "min" Json.to_float "histogram" in
-      let* max_v = req j "max" Json.to_float "histogram" in
+      let* sum = req_float j "sum" "histogram" in
+      let* mean = req_float j "mean" "histogram" in
+      let* min_v = req_float j "min" "histogram" in
+      let* max_v = req_float j "max" "histogram" in
       let* buckets =
         match Json.member "buckets" j with
         | Some (Json.List bs) ->
@@ -115,7 +122,7 @@ let point_of_json j =
     | None -> Ok []
   in
   let* time = req j "t" Json.to_float "sample" in
-  let* v = req j "v" Json.to_float "sample" in
+  let* v = req_float j "v" "sample" in
   Ok (series, labels, time, v)
 
 let add_line buf j =

@@ -14,11 +14,16 @@
 
 val sample_to_json : Metric.sample -> Json.t
 val sample_of_json : Json.t -> (Metric.sample, string) result
+(** Float fields accept [null] as NaN — the printer writes NaN as
+    [null] (JSON has no NaN literal), so e.g. a NaN gauge callback
+    round-trips. *)
 
 val point_to_json : Series.t -> time:float -> float -> Json.t
 val point_of_json :
   Json.t -> (string * Metric.labels * float * float, string) result
-(** [(series, labels, time, value)]. *)
+(** [(series, labels, time, value)].  A [null] value parses as NaN —
+    the printer writes NaN as [null] (JSON has no NaN literal), so the
+    pair round-trips. *)
 
 val snapshot_to_ndjson : Buffer.t -> Metric.sample list -> unit
 val series_to_ndjson : Buffer.t -> Series.t list -> unit

@@ -1,0 +1,180 @@
+(* RUN_SOAK=1 large-topology soak: hundreds of INRPP flows across the
+   EBONE ISP-zoo graph with every runtime invariant checker attached,
+   plus a cross-scale assertion that Obs.Sampler overhead stays
+   sub-linear in engine event count.
+
+     RUN_SOAK=1 dune runtest test/soak
+     RUN_SOAK=1 SOAK_NDJSON=/tmp/soak.ndjson dune runtest test/soak
+
+   With SOAK_NDJSON set, the large run's sampled series, metric
+   snapshot and per-scale measurement outcomes are written there as
+   NDJSON (the nightly CI job uploads it as an artifact).  Without
+   RUN_SOAK=1 the test prints a skip notice and exits 0. *)
+
+let chunks_per_flow = 120
+
+(* keep the request timeout far above any soak-scale queueing delay:
+   spurious retransmissions would show up as duplicate pushes and turn
+   the conservation equality into noise *)
+let cfg =
+  {
+    Inrpp.Config.default with
+    Inrpp.Config.anticipation = 512;
+    request_timeout = 10.;
+    (* small stores: hotspot custody fills them and forces the
+       backpressure phase, so the soak covers all three phases *)
+    cache_bits = 40. *. Inrpp.Config.default.Inrpp.Config.chunk_bits;
+  }
+
+let make_specs g ~nflows ~seed =
+  let n = Topology.Graph.node_count g in
+  let rng = Sim.Rng.create (Int64.of_int seed) in
+  (* half the flows converge on a handful of hotspot destinations so
+     the soak actually drives stores into custody and back pressure;
+     the rest spread uniformly *)
+  let hotspots = Array.init 4 (fun _ -> Sim.Rng.int rng n) in
+  let specs = ref [] and made = ref 0 and attempts = ref 0 in
+  while !made < nflows && !attempts < nflows * 100 do
+    incr attempts;
+    let s = Sim.Rng.int rng n in
+    let d =
+      if !made mod 2 = 0 then hotspots.(!made mod Array.length hotspots)
+      else Sim.Rng.int rng n
+    in
+    if s <> d && Option.is_some (Topology.Dijkstra.shortest_path g s d)
+    then begin
+      let start = Sim.Rng.float rng 2. in
+      specs :=
+        Inrpp.Protocol.flow_spec ~start ~src:s ~dst:d chunks_per_flow
+        :: !specs;
+      incr made
+    end
+  done;
+  if !made < nflows then
+    failwith
+      (Printf.sprintf "only %d of %d flows routable on the soak graph" !made
+         nflows);
+  List.rev !specs
+
+type scale_result = {
+  outcome : Harness.outcome;
+  sampler_ticks : int;
+  result : Inrpp.Protocol.result;
+  check : Check.Invariant.t;
+  obs : Obs.Observer.t;
+}
+
+let run_scale ~label ~nflows ~sinks =
+  let g = Topology.Isp_zoo.graph Topology.Isp_zoo.Ebone in
+  let specs = make_specs g ~nflows ~seed:97 in
+  let chk = Check.Invariant.create () in
+  let obs = Obs.Observer.create ~sinks () in
+  let result = ref None in
+  let outcome =
+    Harness.measure label (fun () ->
+        let r =
+          Inrpp.Protocol.run ~cfg ~horizon:600. ~obs ~check:chk g specs
+        in
+        result := Some r;
+        let received =
+          Array.fold_left
+            (fun acc (f : Inrpp.Protocol.flow_result) ->
+              acc + f.Inrpp.Protocol.chunks_received)
+            0 r.Inrpp.Protocol.flows
+        in
+        (r.Inrpp.Protocol.engine_events, received))
+  in
+  let r = Option.get !result in
+  (* one sampler tick appends one point to every tracked series *)
+  let sampler_ticks =
+    List.fold_left
+      (fun acc s -> max acc (Obs.Series.length s))
+      0 (Obs.Observer.series obs)
+  in
+  if r.Inrpp.Protocol.completed <> nflows then
+    failwith
+      (Printf.sprintf "%s: %d of %d flows completed by the horizon" label
+         r.Inrpp.Protocol.completed nflows);
+  if not (Check.Invariant.ok chk) then
+    failwith
+      (Printf.sprintf "%s: invariant violations\n%s" label
+         (Check.Invariant.report chk));
+  Printf.printf
+    "%-6s %4d flows  %9d events  %7.3fs wall  %6d ticks  sim %.2fs  \
+     custody %d  bp %d/%d  drops %d\n%!"
+    label nflows outcome.Harness.events outcome.Harness.wall_s sampler_ticks
+    r.Inrpp.Protocol.sim_time r.Inrpp.Protocol.custody_stored
+    r.Inrpp.Protocol.bp_engages r.Inrpp.Protocol.bp_releases
+    r.Inrpp.Protocol.total_drops;
+  { outcome; sampler_ticks; result = r; check = chk; obs }
+
+(* the full sampled series set for an ISP-zoo soak runs to gigabytes
+   of NDJSON (every interface times every phase times ~7k ticks), so
+   the artifact keeps the per-node aggregates, each thinned to at most
+   [max_points] points *)
+let artifact_series = [ "custody_bits"; "bp_active_flows"; "detoured_total" ]
+let max_points = 200
+
+let write_ndjson path small large =
+  let oc = open_out path in
+  let buf = Buffer.create 65536 in
+  let line j =
+    Obs.Json.to_buffer buf j;
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun s -> line (Harness.outcome_json s.outcome))
+    [ small; large ];
+  Obs.Export.snapshot_to_ndjson buf (Obs.Observer.snapshot large.obs);
+  List.iter
+    (fun s ->
+      if List.mem (Obs.Series.name s) artifact_series then begin
+        let len = Obs.Series.length s in
+        let stride = max 1 (len / max_points) in
+        let i = ref 0 in
+        while !i < len do
+          let time, v = Obs.Series.get s !i in
+          line (Obs.Export.point_to_json s ~time v);
+          i := !i + stride
+        done
+      end)
+    (Obs.Observer.series large.obs);
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "soak NDJSON written to %s\n%!" path
+
+let soak () =
+  let small = run_scale ~label:"small" ~nflows:120 ~sinks:[] in
+  let large = run_scale ~label:"large" ~nflows:360 ~sinks:[] in
+  (* a soak that never leaves push-data is not soaking anything *)
+  if
+    large.result.Inrpp.Protocol.custody_stored = 0
+    || large.result.Inrpp.Protocol.bp_engages = 0
+  then failwith "large run exercised neither custody nor back pressure";
+  (* Sampler work is periodic — proportional to simulated time over
+     the sampling interval, not to traffic.  Tripling the flow count
+     multiplies the event count far faster than the run lengthens, so
+     the tick growth must stay well under the event growth. *)
+  let ratio a b = float_of_int a /. float_of_int b in
+  let event_ratio =
+    ratio large.outcome.Harness.events small.outcome.Harness.events
+  in
+  let tick_ratio = ratio large.sampler_ticks small.sampler_ticks in
+  Printf.printf "event ratio %.2f, sampler tick ratio %.2f\n%!" event_ratio
+    tick_ratio;
+  if tick_ratio > 0.5 *. event_ratio then
+    failwith
+      (Printf.sprintf
+         "sampler overhead not sub-linear: ticks grew %.2fx vs events %.2fx"
+         tick_ratio event_ratio);
+  (match Sys.getenv_opt "SOAK_NDJSON" with
+  | Some path when path <> "" -> write_ndjson path small large
+  | _ -> ());
+  Obs.Observer.close small.obs;
+  Obs.Observer.close large.obs;
+  print_endline "soak passed"
+
+let () =
+  match Sys.getenv_opt "RUN_SOAK" with
+  | Some "1" -> soak ()
+  | _ -> print_endline "soak skipped (set RUN_SOAK=1 to run)"

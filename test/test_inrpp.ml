@@ -625,6 +625,64 @@ let prop_protocol_completes_on_random_lines =
       in
       r.Inrpp.Protocol.completed = 1 && r.Inrpp.Protocol.total_drops = 0)
 
+let prop_shares_are_a_distribution =
+  (* eq. 1: the y_{i->j} request shares of every from-interface form a
+     probability distribution over the router's outgoing interfaces *)
+  QCheck.Test.make ~name:"request shares y are a distribution (eq. 1)"
+    ~count:200
+    QCheck.(
+      pair (int_range 2 6) (small_list (pair small_nat small_nat)))
+    (fun (ifaces, mix) ->
+      let s = Inrpp.Rate_estimator.Shares.create ~ifaces in
+      List.iter
+        (fun (f, t) ->
+          Inrpp.Rate_estimator.Shares.note s ~from_iface:(f mod ifaces)
+            ~to_iface:(t mod ifaces))
+        mix;
+      let forwarded = Array.make ifaces 0 in
+      List.iter
+        (fun (f, _) ->
+          let f = f mod ifaces in
+          forwarded.(f) <- forwarded.(f) + 1)
+        mix;
+      let ok_from f =
+        let row =
+          List.init ifaces (fun t ->
+              Inrpp.Rate_estimator.Shares.y s ~from_iface:f ~to_iface:t)
+        in
+        List.for_all (fun y -> y >= 0. && y <= 1.) row
+        &&
+        let sum = List.fold_left ( +. ) 0. row in
+        if forwarded.(f) = 0 then sum = 0.
+        else Float.abs (sum -. 1.) <= 1e-9
+      in
+      List.for_all ok_from (List.init ifaces Fun.id))
+
+let prop_estimator_converges_under_stationary_mix =
+  (* constant per-interval demand: the EWMA follows the closed form
+     ra_k = inst * (1 - (1-alpha)^k), stays below the instantaneous
+     rate and converges to it *)
+  QCheck.Test.make ~name:"estimator converges under a stationary mix"
+    ~count:200
+    QCheck.(triple (int_range 1 20) (int_range 1 1000) (int_range 1 120))
+    (fun (a20, kbits, ticks) ->
+      let alpha = float_of_int a20 /. 20. in
+      let bits = float_of_int kbits *. 1000. in
+      let ti = 0.04 in
+      let est = Inrpp.Rate_estimator.create ~ti ~alpha ~capacity:10e6 in
+      for _ = 1 to ticks do
+        Inrpp.Rate_estimator.note_request est ~expected_bits:bits;
+        Inrpp.Rate_estimator.tick est
+      done;
+      let inst = bits /. ti in
+      let ra = Inrpp.Rate_estimator.anticipated_rate est in
+      let closed = inst *. (1. -. ((1. -. alpha) ** float_of_int ticks)) in
+      Inrpp.Rate_estimator.intervals est = ticks
+      && Float.abs (ra -. closed) <= 1e-6 *. inst
+      && ra <= inst *. (1. +. 1e-12)
+      && (* convergence: (1-alpha)^k <= 3e-8 for alpha >= 1/4, k >= 60 *)
+      (alpha < 0.25 || ticks < 60 || Float.abs (ra -. inst) <= 1e-5 *. inst))
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "inrpp"
@@ -694,5 +752,7 @@ let () =
             prop_phase_never_skips_validation;
             prop_session_any_permutation_completes;
             prop_protocol_completes_on_random_lines;
+            prop_shares_are_a_distribution;
+            prop_estimator_converges_under_stationary_mix;
           ] );
     ]

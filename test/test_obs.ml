@@ -186,6 +186,25 @@ let test_json_accessors () =
     | None -> Alcotest.fail "float member");
     Alcotest.(check bool) "missing member" true (J.member "zz" v = None)
 
+let test_json_nonfinite () =
+  (* JSON has no literals for NaN or the infinities: NaN prints as
+     null (and parses back as Null — the Export layer restores NaN);
+     the infinities print as the overflow literal 1e999, which parses
+     straight back to an infinite float *)
+  Alcotest.(check string) "nan prints as null" "null"
+    (J.to_string (J.Num Float.nan));
+  Alcotest.(check string) "inf" "1e999" (J.to_string (J.Num infinity));
+  Alcotest.(check string) "-inf" "-1e999" (J.to_string (J.Num neg_infinity));
+  let printed =
+    J.to_string (J.List [ J.Num Float.nan; J.Num infinity; J.Num neg_infinity ])
+  in
+  match J.parse printed with
+  | Ok (J.List [ J.Null; J.Num pos; J.Num neg ]) ->
+    Alcotest.(check bool) "1e999 parses to inf" true (pos = infinity);
+    Alcotest.(check bool) "-1e999 parses to -inf" true (neg = neg_infinity)
+  | Ok j -> Alcotest.failf "unexpected reparse %s" (J.to_string j)
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
 (* ------------------------------------------------------------------ *)
 (* Export round-trips *)
 
@@ -265,6 +284,73 @@ let test_export_ndjson_and_csv () =
   Alcotest.(check string) "labels cell" "a=1;b=2"
     (Obs.Export.labels_to_string [ ("a", "1"); ("b", "2") ])
 
+let reparse_sample s =
+  (* full text path: print, reparse, decode *)
+  match
+    Result.bind
+      (J.parse (J.to_string (Obs.Export.sample_to_json s)))
+      Obs.Export.sample_of_json
+  with
+  | Ok s' -> s'
+  | Error e -> Alcotest.failf "sample %s: %s" s.M.name e
+
+let test_export_nonfinite_round_trip () =
+  (* a NaN gauge (e.g. a 0/0 ratio callback) survives the text path *)
+  let g = { M.name = "g"; labels = []; value = M.Gauge_v Float.nan } in
+  (match reparse_sample g with
+  | { M.value = M.Gauge_v v; _ } ->
+    Alcotest.(check bool) "NaN gauge round-trips" true (Float.is_nan v)
+  | _ -> Alcotest.fail "gauge decoded to a different kind");
+  (* an empty histogram summary carries min = +inf, max = -inf *)
+  let h =
+    {
+      M.name = "h";
+      labels = [];
+      value =
+        M.Histogram_v
+          {
+            M.count = 0;
+            sum = 0.;
+            mean = 0.;
+            min_v = infinity;
+            max_v = neg_infinity;
+            buckets = [ (0., 1., 0) ];
+          };
+    }
+  in
+  if reparse_sample h <> h then
+    Alcotest.fail "empty histogram changed in round trip";
+  (* sampled points: NaN and the infinities through point_of_json *)
+  let s = Obs.Series.create "raw" in
+  Obs.Series.add s ~time:0. Float.nan;
+  Obs.Series.add s ~time:1. infinity;
+  Obs.Series.add s ~time:2. neg_infinity;
+  let buf = Buffer.create 256 in
+  Obs.Export.series_to_ndjson buf [ s ];
+  let vs =
+    String.split_on_char '\n' (String.trim (Buffer.contents buf))
+    |> List.map (fun line ->
+           match Result.bind (J.parse line) Obs.Export.point_of_json with
+           | Ok (_, _, _, v) -> v
+           | Error e -> Alcotest.failf "point %S: %s" line e)
+  in
+  match vs with
+  | [ a; b; c ] ->
+    Alcotest.(check bool) "NaN point" true (Float.is_nan a);
+    Alcotest.(check bool) "inf point" true (b = infinity);
+    Alcotest.(check bool) "-inf point" true (c = neg_infinity)
+  | _ -> Alcotest.failf "expected 3 points, got %d" (List.length vs)
+
+let test_export_empty_series () =
+  let s = Obs.Series.create ~labels:[ ("k", "v") ] "nothing" in
+  Alcotest.(check int) "no points" 0 (Obs.Series.length s);
+  Alcotest.(check bool) "no last" true (Obs.Series.last s = None);
+  let buf = Buffer.create 16 in
+  Obs.Export.series_to_ndjson buf [ s ];
+  Alcotest.(check string) "no ndjson lines" "" (Buffer.contents buf);
+  Obs.Export.series_to_csv buf [ s ];
+  Alcotest.(check string) "no csv rows" "" (Buffer.contents buf)
+
 (* ------------------------------------------------------------------ *)
 (* Sinks *)
 
@@ -340,6 +426,31 @@ let test_sink_ndjson_stream () =
           (Option.bind (J.member "type" j) J.to_str)
       | Error e -> Alcotest.failf "bad NDJSON line %S: %s" line e)
     lines
+
+let test_sink_ndjson_long_line () =
+  (* one NDJSON line well past the 64 KiB the probe CLI sizes its
+     buffer for must survive the write + read-back path intact *)
+  let big = String.make 100_000 'p' in
+  let file = Filename.temp_file "obs_test" ".ndjson" in
+  let oc = open_out file in
+  let sink = Obs.Sink.ndjson oc in
+  let tr = Chunksim.Trace.create () in
+  Obs.Sink.attach sink tr;
+  Chunksim.Trace.record tr ~time:0.5
+    (Chunksim.Trace.Sent { node = 1; link = 2; packet = big });
+  Obs.Sink.close sink;
+  close_out oc;
+  let ic = open_in file in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove file;
+  Alcotest.(check bool) "line longer than the buffer" true
+    (String.length line > 100_000);
+  match J.parse line with
+  | Ok j ->
+    Alcotest.(check (option string)) "payload intact" (Some big)
+      (Option.bind (J.member "packet" j) J.to_str)
+  | Error e -> Alcotest.failf "long line failed to parse: %s" e
 
 (* ------------------------------------------------------------------ *)
 (* Observer + instrumented protocol run *)
@@ -446,18 +557,24 @@ let () =
         [
           Alcotest.test_case "round trip" `Quick test_json_round_trip;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite;
         ] );
       ( "export",
         [
           Alcotest.test_case "sample round trip" `Quick
             test_export_sample_round_trip;
           Alcotest.test_case "ndjson and csv" `Quick test_export_ndjson_and_csv;
+          Alcotest.test_case "non-finite round trip" `Quick
+            test_export_nonfinite_round_trip;
+          Alcotest.test_case "empty series" `Quick test_export_empty_series;
         ] );
       ( "sink",
         [
           Alcotest.test_case "counter tap + filter + fan out" `Quick
             test_sink_counter_tap_and_filter;
           Alcotest.test_case "ndjson stream" `Quick test_sink_ndjson_stream;
+          Alcotest.test_case "ndjson long line" `Quick
+            test_sink_ndjson_long_line;
         ] );
       ( "observer",
         [

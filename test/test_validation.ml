@@ -1,0 +1,378 @@
+(* Validation subsystem tests: the SHA-256 primitive behind the golden
+   artefacts, the runtime invariant checkers (fed synthetic violating
+   traces so we know they actually fire), the differential equivalence
+   harness swept over many seeds, and end-to-end protocol runs under
+   [?check]. *)
+
+module Inv = Check.Invariant
+module Trace = Chunksim.Trace
+
+(* ------------------------------------------------------------------ *)
+(* SHA-256 *)
+
+let test_sha256_vectors () =
+  let check_vec msg expect =
+    Alcotest.(check string) ("sha256 " ^ string_of_int (String.length msg))
+      expect
+      (Check.Sha256.hex_digest msg)
+  in
+  check_vec ""
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855";
+  check_vec "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+  check_vec (String.make 1000 'a')
+    "41edece42d63e8d9bf515a9ba6932e1c20cbc9f5a5d134645adb5db1b9737ea3"
+
+(* ------------------------------------------------------------------ *)
+(* Collector basics *)
+
+let test_collector_basics () =
+  let c = Inv.create ~limit:2 () in
+  Alcotest.(check bool) "fresh collector ok" true (Inv.ok c);
+  Inv.violate c ~time:1. ~checker:"a" "first";
+  Inv.violate c ~time:2. ~checker:"b" "second";
+  Inv.violate c ~time:3. ~checker:"c" "third";
+  Alcotest.(check bool) "violations mean not ok" false (Inv.ok c);
+  Alcotest.(check int) "total counts past the limit" 3 (Inv.total c);
+  let kept = Inv.violations c in
+  Alcotest.(check int) "retention bounded by limit" 2 (List.length kept);
+  (match kept with
+  | [ a; b ] ->
+    Alcotest.(check bool) "oldest-first order" true
+      (a.Inv.time < b.Inv.time)
+  | _ -> Alcotest.fail "expected two retained violations");
+  Alcotest.(check bool) "report names a checker" true
+    (let r = Inv.report c in
+     String.length r > 0)
+
+let test_probes_run () =
+  let c = Inv.create () in
+  let hits = ref [] in
+  Inv.add_probe c (fun t -> hits := t :: !hits);
+  Inv.probe c ~time:0.5;
+  Inv.probe c ~time:1.5;
+  Alcotest.(check (list (float 0.))) "probe times" [ 1.5; 0.5 ] !hits
+
+(* ------------------------------------------------------------------ *)
+(* Phase legality *)
+
+let phase ~node ~link p = Trace.Phase_change { node; link; phase = p }
+
+let test_phase_legality_clean () =
+  let c = Inv.create () in
+  let h = Inv.phase_legality c in
+  (* full legal tour from the implicit initial push-data state,
+     including the custody-drained backpressure -> detour edge *)
+  h 0.1 (phase ~node:1 ~link:0 "detour");
+  h 0.2 (phase ~node:1 ~link:0 "backpressure");
+  h 0.3 (phase ~node:1 ~link:0 "detour");
+  h 0.4 (phase ~node:1 ~link:0 "push-data");
+  h 0.5 (phase ~node:1 ~link:0 "backpressure");
+  h 0.6 (phase ~node:1 ~link:0 "push-data");
+  (* independent interface state per (node, link) *)
+  h 0.7 (phase ~node:1 ~link:1 "backpressure");
+  h 0.8 (phase ~node:2 ~link:0 "detour");
+  Alcotest.(check bool) "legal tour is clean" true (Inv.ok c)
+
+let test_phase_legality_self_transition () =
+  let c = Inv.create () in
+  let h = Inv.phase_legality c in
+  h 0.1 (phase ~node:0 ~link:0 "detour");
+  h 0.2 (phase ~node:0 ~link:0 "detour");
+  Alcotest.(check int) "self-transition flagged" 1 (Inv.total c)
+
+let test_phase_legality_unknown_phase () =
+  let c = Inv.create () in
+  let h = Inv.phase_legality c in
+  h 0.1 (phase ~node:0 ~link:0 "warp-drive");
+  Alcotest.(check bool) "unknown phase flagged" false (Inv.ok c)
+
+let test_phase_legality_initial_state () =
+  let c = Inv.create () in
+  let h = Inv.phase_legality c in
+  (* recording "push-data" first is a self-transition out of the
+     implicit initial state and must be flagged *)
+  h 0.1 (phase ~node:3 ~link:2 "push-data");
+  Alcotest.(check int) "initial state is push-data" 1 (Inv.total c)
+
+(* ------------------------------------------------------------------ *)
+(* Back-pressure ordering *)
+
+let bp ~node ~flow engage = Trace.Bp_signal { node; flow; engage }
+
+let test_bp_ordering_clean () =
+  let c = Inv.create () in
+  let h = Inv.bp_ordering c in
+  (* local engage + relayed engage, then both released *)
+  h 0.1 (bp ~node:1 ~flow:0 true);
+  h 0.2 (bp ~node:1 ~flow:0 true);
+  h 0.3 (bp ~node:1 ~flow:0 false);
+  h 0.4 (bp ~node:1 ~flow:0 false);
+  (* a different flow on the same node is tracked separately *)
+  h 0.5 (bp ~node:1 ~flow:1 true);
+  h 0.6 (bp ~node:1 ~flow:1 false);
+  Alcotest.(check bool) "balanced signals are clean" true (Inv.ok c)
+
+let test_bp_ordering_triple_engage () =
+  let c = Inv.create () in
+  let h = Inv.bp_ordering c in
+  h 0.1 (bp ~node:1 ~flow:0 true);
+  h 0.2 (bp ~node:1 ~flow:0 true);
+  h 0.3 (bp ~node:1 ~flow:0 true);
+  Alcotest.(check int) "third engage flagged" 1 (Inv.total c)
+
+let test_bp_ordering_spurious_release () =
+  let c = Inv.create () in
+  let h = Inv.bp_ordering c in
+  h 0.1 (bp ~node:2 ~flow:5 false);
+  Alcotest.(check int) "release before engage flagged" 1 (Inv.total c)
+
+(* ------------------------------------------------------------------ *)
+(* Chunk conservation *)
+
+let test_conservation_clean () =
+  let c = Inv.create () in
+  let cons = Inv.Conservation.create c in
+  Inv.Conservation.note_push cons ~flow:0 ~idx:0;
+  Inv.Conservation.note_push cons ~flow:0 ~idx:1;
+  Inv.Conservation.note_delivery cons ~time:0.2 ~flow:0 ~idx:0;
+  Inv.Conservation.note_delivery cons ~time:0.3 ~flow:0 ~idx:1;
+  Inv.Conservation.finish cons ~time:1. ~quiescent:true ~in_custody:0
+    ~drops:0 ~wire_losses:0;
+  Alcotest.(check int) "pushes" 2 (Inv.Conservation.pushes cons);
+  Alcotest.(check int) "deliveries" 2 (Inv.Conservation.deliveries cons);
+  Alcotest.(check bool) "balanced run is clean" true (Inv.ok c)
+
+let test_conservation_duplicate_delivery () =
+  let c = Inv.create () in
+  let cons = Inv.Conservation.create c in
+  Inv.Conservation.note_push cons ~flow:0 ~idx:0;
+  Inv.Conservation.note_delivery cons ~time:0.2 ~flow:0 ~idx:0;
+  Inv.Conservation.note_delivery cons ~time:0.3 ~flow:0 ~idx:0;
+  Alcotest.(check bool) "duplicate delivery flagged" false (Inv.ok c)
+
+let test_conservation_conjured_chunk () =
+  let c = Inv.create () in
+  let cons = Inv.Conservation.create c in
+  Inv.Conservation.note_delivery cons ~time:0.1 ~flow:7 ~idx:3;
+  Alcotest.(check bool) "unsent delivery flagged" false (Inv.ok c)
+
+let test_conservation_missing_chunks () =
+  let c = Inv.create () in
+  let cons = Inv.Conservation.create c in
+  Inv.Conservation.note_push cons ~flow:0 ~idx:0;
+  Inv.Conservation.note_push cons ~flow:0 ~idx:1;
+  Inv.Conservation.note_delivery cons ~time:0.2 ~flow:0 ~idx:0;
+  (* chunk 1 vanished: not delivered, not in custody, no drops *)
+  Inv.Conservation.finish cons ~time:1. ~quiescent:true ~in_custody:0
+    ~drops:0 ~wire_losses:0;
+  Alcotest.(check bool) "vanished chunk flagged" false (Inv.ok c)
+
+let test_conservation_cache_hit_is_push () =
+  let c = Inv.create () in
+  let cons = Inv.Conservation.create c in
+  let h = Inv.Conservation.handler cons in
+  Inv.Conservation.note_push cons ~flow:0 ~idx:0;
+  Inv.Conservation.note_delivery cons ~time:0.2 ~flow:0 ~idx:0;
+  (* a cache hit conjures a fresh copy, so a second delivery of the
+     same chunk id is legitimate *)
+  h 0.3 (Trace.Cache_hit { node = 1; flow = 0; idx = 0 });
+  Inv.Conservation.note_delivery cons ~time:0.4 ~flow:0 ~idx:0;
+  Inv.Conservation.finish cons ~time:1. ~quiescent:true ~in_custody:0
+    ~drops:0 ~wire_losses:0;
+  Alcotest.(check bool) "cache-hit copy accounted" true (Inv.ok c)
+
+let test_custody_ledger_probe () =
+  let c = Inv.create () in
+  let counts = ref (0, 0) in
+  Inv.custody_ledger c ~name:"router-9" (fun () -> !counts);
+  Inv.probe c ~time:0.1;
+  Alcotest.(check bool) "agreeing ledgers clean" true (Inv.ok c);
+  counts := (2, 3);
+  Inv.probe c ~time:0.2;
+  Alcotest.(check int) "desynced ledgers flagged" 1 (Inv.total c)
+
+(* ------------------------------------------------------------------ *)
+(* Differential harness *)
+
+let seeds n = List.init n (fun i -> i)
+
+let check_sweep name differential =
+  let v = Check.Differential.sweep ~seeds:(seeds 50) differential in
+  if not v.Check.Differential.equal then
+    Alcotest.failf "%s diverged: %s" name v.Check.Differential.detail
+
+let test_differential_fast_vs_legacy () =
+  check_sweep "fast vs legacy" Check.Differential.fast_vs_legacy
+
+let test_differential_queue_tie_order () =
+  check_sweep "eager vs lazy tie order" Check.Differential.queue_tie_order
+
+let test_scenarios_exercise_contention () =
+  (* the differential is vacuous if no scenario ever stresses the
+     queues; check the seed family produces drops somewhere *)
+  let total_drops =
+    List.fold_left
+      (fun acc seed -> acc + (Check.Scenario.run ~seed ()).Check.Scenario.drops)
+      0 (seeds 10)
+  in
+  Alcotest.(check bool) "some scenario drops" true (total_drops > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol-level differential and [?check] integration *)
+
+let bulk = { Inrpp.Config.default with Inrpp.Config.anticipation = 512 }
+
+let check_flow_equal i (a : Inrpp.Protocol.flow_result)
+    (b : Inrpp.Protocol.flow_result) =
+  Alcotest.(check (option (float 0.)))
+    (Printf.sprintf "flow %d fct" i)
+    a.Inrpp.Protocol.fct b.Inrpp.Protocol.fct;
+  Alcotest.(check int)
+    (Printf.sprintf "flow %d chunks" i)
+    a.Inrpp.Protocol.chunks_received b.Inrpp.Protocol.chunks_received;
+  Alcotest.(check int)
+    (Printf.sprintf "flow %d requests" i)
+    a.Inrpp.Protocol.requests_sent b.Inrpp.Protocol.requests_sent
+
+let test_protocol_fast_vs_legacy () =
+  (* same protocol run through the loss-free fast path and through the
+     legacy transmit path (loss injection with probability zero); all
+     protocol observables must agree.  engine_events legitimately
+     differs (1 vs 2 events per packet) and is not compared. *)
+  let run loss_rate =
+    let g = Topology.Builders.fig3 () in
+    Inrpp.Protocol.run ~cfg:bulk ?loss_rate g
+      [
+        Inrpp.Protocol.flow_spec ~src:0 ~dst:3 150;
+        Inrpp.Protocol.flow_spec ~src:0 ~dst:3 ~start:0.2 100;
+      ]
+  in
+  let fast = run None and legacy = run (Some 0.) in
+  let i field f =
+    Alcotest.(check int) field (f fast) (f legacy)
+  in
+  Array.iteri
+    (fun idx a ->
+      check_flow_equal idx a legacy.Inrpp.Protocol.flows.(idx))
+    fast.Inrpp.Protocol.flows;
+  i "completed" (fun r -> r.Inrpp.Protocol.completed);
+  i "drops" (fun r -> r.Inrpp.Protocol.total_drops);
+  i "forwarded" (fun r -> r.Inrpp.Protocol.forwarded_data);
+  i "detoured" (fun r -> r.Inrpp.Protocol.detoured);
+  i "custody stored" (fun r -> r.Inrpp.Protocol.custody_stored);
+  i "custody released" (fun r -> r.Inrpp.Protocol.custody_released);
+  i "bp engages" (fun r -> r.Inrpp.Protocol.bp_engages);
+  i "bp releases" (fun r -> r.Inrpp.Protocol.bp_releases);
+  i "cache hits" (fun r -> r.Inrpp.Protocol.cache_hits);
+  i "phase transitions" (fun r -> r.Inrpp.Protocol.phase_transitions);
+  Alcotest.(check (float 0.))
+    "goodput" fast.Inrpp.Protocol.goodput legacy.Inrpp.Protocol.goodput;
+  Alcotest.(check bool) "event counts differ across paths" true
+    (fast.Inrpp.Protocol.engine_events
+    < legacy.Inrpp.Protocol.engine_events)
+
+let checked_run ?cfg ?loss_rate g specs =
+  let chk = Inv.create () in
+  let r = Inrpp.Protocol.run ?cfg ?loss_rate ~check:chk g specs in
+  (r, chk)
+
+let test_check_clean_fig3 () =
+  let g = Topology.Builders.fig3 () in
+  let r, chk =
+    checked_run ~cfg:bulk g [ Inrpp.Protocol.flow_spec ~src:0 ~dst:3 300 ]
+  in
+  Alcotest.(check int) "completes" 1 r.Inrpp.Protocol.completed;
+  if not (Inv.ok chk) then Alcotest.fail (Inv.report chk)
+
+let test_check_clean_backpressure () =
+  (* dumbbell with aggressive senders: exercises custody, back
+     pressure and phase changes under the checkers *)
+  let g =
+    Topology.Builders.dumbbell ~access_capacity:10e6
+      ~bottleneck_capacity:2e6 3
+  in
+  let specs =
+    List.init 3 (fun i ->
+        Inrpp.Protocol.flow_spec ~src:(2 + i) ~dst:(5 + i) 120)
+  in
+  let r, chk = checked_run ~cfg:bulk g specs in
+  Alcotest.(check int) "completes" 3 r.Inrpp.Protocol.completed;
+  Alcotest.(check bool) "backpressure exercised" true
+    (r.Inrpp.Protocol.bp_engages > 0);
+  if not (Inv.ok chk) then Alcotest.fail (Inv.report chk)
+
+let test_check_clean_lossy () =
+  (* under injected wire loss the aggregate balance degrades to an
+     inequality; the checkers must accept a clean lossy run *)
+  let g = Topology.Builders.line ~capacity:10e6 ~delay:2e-3 3 in
+  let r, chk =
+    checked_run ~cfg:bulk ~loss_rate:0.02 g
+      [ Inrpp.Protocol.flow_spec ~src:0 ~dst:2 100 ]
+  in
+  Alcotest.(check int) "completes despite loss" 1 r.Inrpp.Protocol.completed;
+  if not (Inv.ok chk) then Alcotest.fail (Inv.report chk)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "validation"
+    [
+      ( "sha256",
+        [ Alcotest.test_case "known vectors" `Quick test_sha256_vectors ] );
+      ( "collector",
+        [
+          Alcotest.test_case "basics" `Quick test_collector_basics;
+          Alcotest.test_case "probes" `Quick test_probes_run;
+        ] );
+      ( "phase legality",
+        [
+          Alcotest.test_case "legal tour" `Quick test_phase_legality_clean;
+          Alcotest.test_case "self transition" `Quick
+            test_phase_legality_self_transition;
+          Alcotest.test_case "unknown phase" `Quick
+            test_phase_legality_unknown_phase;
+          Alcotest.test_case "initial state" `Quick
+            test_phase_legality_initial_state;
+        ] );
+      ( "bp ordering",
+        [
+          Alcotest.test_case "balanced" `Quick test_bp_ordering_clean;
+          Alcotest.test_case "triple engage" `Quick
+            test_bp_ordering_triple_engage;
+          Alcotest.test_case "spurious release" `Quick
+            test_bp_ordering_spurious_release;
+        ] );
+      ( "conservation",
+        [
+          Alcotest.test_case "clean" `Quick test_conservation_clean;
+          Alcotest.test_case "duplicate delivery" `Quick
+            test_conservation_duplicate_delivery;
+          Alcotest.test_case "conjured chunk" `Quick
+            test_conservation_conjured_chunk;
+          Alcotest.test_case "missing chunks" `Quick
+            test_conservation_missing_chunks;
+          Alcotest.test_case "cache hit copies" `Quick
+            test_conservation_cache_hit_is_push;
+          Alcotest.test_case "custody ledger probe" `Quick
+            test_custody_ledger_probe;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "fast vs legacy x50" `Quick
+            test_differential_fast_vs_legacy;
+          Alcotest.test_case "queue tie order x50" `Quick
+            test_differential_queue_tie_order;
+          Alcotest.test_case "scenarios drop" `Quick
+            test_scenarios_exercise_contention;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "fast vs legacy" `Quick
+            test_protocol_fast_vs_legacy;
+          Alcotest.test_case "check clean fig3" `Quick test_check_clean_fig3;
+          Alcotest.test_case "check clean backpressure" `Quick
+            test_check_clean_backpressure;
+          Alcotest.test_case "check clean lossy" `Quick test_check_clean_lossy;
+        ] );
+    ]
