@@ -6,8 +6,9 @@
    output by SHA-256.
 
    Experiment ids: table1 fig3 fig4a fig4b custody phases backpressure
-   protocols ablation-detour ablation-ac micro.  See DESIGN.md §5 and
-   EXPERIMENTS.md for the paper-vs-measured record. *)
+   protocols resilience ablation-detour ablation-ac micro.  See
+   DESIGN.md §5 and EXPERIMENTS.md for the paper-vs-measured
+   record. *)
 
 let section title =
   Format.printf "@.=== %s ===@.@." title
@@ -669,6 +670,140 @@ let loss () =
   Format.printf
     "@.(every transfer completes: the receiver's request timeout re-asks      for the lowest missing chunk and the sender retransmits on repeated Nc)@."
 
+let resilience () =
+  section "Extension — resilience: link outages and router crashes";
+  Format.printf
+    "(one fault schedule replays identically against every protocol; INRPP \
+     recovers in-network — detour failover and custody — while the \
+     baselines rely on end-to-end retransmission)@.@.";
+  let chunk_bits = Inrpp.Config.default.Inrpp.Config.chunk_bits in
+  let stores = [ 100.; 400. ] in
+  let levels = [ 0; 2; 4 ] in
+  let horizon = 90. in
+  let isp = Topology.Isp_zoo.Vsnl in
+  let isp_g = Topology.Isp_zoo.graph isp in
+  let isp_specs =
+    (* deterministic routable pairs: outermost node ids pairing inward *)
+    let n = Topology.Graph.node_count isp_g in
+    let rec pick acc count k =
+      if count >= 3 || k >= n / 2 then List.rev acc
+      else
+        let src = k and dst = n - 1 - k in
+        match Topology.Dijkstra.shortest_path isp_g src dst with
+        | Some _ ->
+          pick
+            (Inrpp.Protocol.flow_spec ~src ~dst 2000 :: acc)
+            (count + 1) (k + 1)
+        | None -> pick acc count (k + 1)
+    in
+    pick [] 0 0
+  in
+  (* the schedule window must overlap the transfers, so each scenario
+     names the rough no-fault completion time its faults land inside *)
+  let scenarios =
+    [
+      ( "dumbbell, 4 flows over a shared 5 Mbps bottleneck",
+        Topology.Builders.dumbbell ~access_capacity:10e6
+          ~bottleneck_capacity:5e6 4,
+        List.init 4 (fun i ->
+            Inrpp.Protocol.flow_spec ~src:(2 + i) ~dst:(6 + i) 200),
+        12. );
+      ( Printf.sprintf "%s (synthetic ISP), %d flows"
+          (Topology.Isp_zoo.name isp) (List.length isp_specs),
+        isp_g,
+        isp_specs,
+        1. );
+    ]
+  in
+  List.iter
+    (fun (name, g, specs, sched_horizon) ->
+      Format.printf "%s:@." name;
+      let sched level =
+        if level = 0 then Fault.Schedule.empty
+        else
+          Fault.Schedule.random
+            ~seed:(Int64.of_int (31 + (7 * level)))
+            ~link_outages:level
+            ~crashes:(if level >= 4 then 1 else 0)
+            ~horizon:sched_horizon g
+      in
+      (* each protocol's no-fault mean fct is its inflation denominator *)
+      let base_fct : (string, float) Hashtbl.t = Hashtbl.create 8 in
+      let rows = ref [] in
+      let record key level (r : Baselines.Run_result.t) =
+        let mean = r.Baselines.Run_result.mean_fct in
+        if level = 0 && mean > 0. then Hashtbl.replace base_fct key mean;
+        let inflation =
+          match Hashtbl.find_opt base_fct key with
+          | Some b when mean > 0. && b > 0. -> mean /. b
+          | _ -> Float.nan
+        in
+        sidecar_emit ~experiment:"resilience"
+          [
+            ("scenario", Obs.Json.Str name);
+            ("protocol", Obs.Json.Str key);
+            ("outages", Obs.Json.Num (float_of_int level));
+            ( "completed",
+              Obs.Json.Num (float_of_int r.Baselines.Run_result.completed) );
+            ("flows", Obs.Json.Num (float_of_int r.Baselines.Run_result.flows));
+            ("mean_fct", if mean > 0. then Obs.Json.Num mean else Obs.Json.Null);
+            ( "inflation",
+              if Float.is_nan inflation then Obs.Json.Null
+              else Obs.Json.Num inflation );
+          ];
+        rows :=
+          [
+            key;
+            string_of_int level;
+            Printf.sprintf "%d/%d" r.Baselines.Run_result.completed
+              r.Baselines.Run_result.flows;
+            (if mean > 0. then Printf.sprintf "%.2fs" mean else "-");
+            (if Float.is_nan inflation then "-"
+             else Printf.sprintf "%.2fx" inflation);
+          ]
+          :: !rows
+      in
+      List.iter
+        (fun level ->
+          let faults = sched level in
+          List.iter
+            (fun store ->
+              (* self-clocked Ac (default) rather than [bulk]'s
+                 open-loop push: recovery dynamics, not open-loop
+                 buffering, are what this experiment measures *)
+              let cfg =
+                {
+                  Inrpp.Config.default with
+                  Inrpp.Config.cache_bits = store *. chunk_bits;
+                  timeout_backoff = 2.;
+                }
+              in
+              let r =
+                Baselines.Comparison.run_one ~cfg ~horizon ~faults
+                  Baselines.Comparison.Inrpp_proto g specs
+              in
+              record
+                (Printf.sprintf "INRPP store=%d" (int_of_float store))
+                level r)
+            stores;
+          List.iter
+            (fun p ->
+              let r =
+                Baselines.Comparison.run_one ~horizon ~faults p g specs
+              in
+              record (Baselines.Comparison.name p) level r)
+            [ Baselines.Comparison.Aimd_proto; Baselines.Comparison.Mptcp_proto ])
+        levels;
+      Metrics.Report.table
+        ~header:[ "protocol"; "outages"; "done"; "mean fct"; "inflation" ]
+        (List.rev !rows) Format.std_formatter ();
+      Format.printf "@.")
+    scenarios;
+  Format.printf
+    "(custody holds chunks through an outage and detours route around it, \
+     so INRPP completes where end-to-end recovery must re-probe after \
+     every timeout)@."
+
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks *)
 
@@ -766,6 +901,7 @@ let all =
     ("icn-cache", icn_cache);
     ("fct", fct);
     ("loss", loss);
+    ("resilience", resilience);
     ("ablation-detour", ablation_detour);
     ("ablation-sched", ablation_sched);
     ("ablation-ac", ablation_ac);

@@ -85,9 +85,74 @@ let scenarios =
       build = steady };
   ]
 
-let run list scenario_name fmt out interval horizon no_events =
+(* Named fault schedules, built against the scenario's graph once it
+   is known.  All seeded — the same name replays the same faults.
+   Faults land inside the first tenth of the horizon so they intersect
+   the (short) probe transfers rather than an idle tail. *)
+let fault_schedules =
+  [
+    ( "outage",
+      "one random physical-link outage early in the run",
+      fun g ~horizon ->
+        Fault.Schedule.random ~seed:7L ~link_outages:1
+          ~horizon:(horizon /. 10.) g );
+    ( "flap",
+      "the first physical link flaps down/up three times",
+      fun g ~horizon ->
+        let w = horizon /. 10. in
+        let l =
+          match Topology.Graph.undirected_links g with
+          | l :: _ -> l
+          | [] -> invalid_arg "--fault flap: graph has no links"
+        in
+        let both f =
+          f l.Topology.Link.id
+          @
+          match Topology.Graph.reverse g l with
+          | Some r -> f r.Topology.Link.id
+          | None -> []
+        in
+        let evs =
+          List.concat_map
+            (fun i ->
+              let t0 = w /. 10. *. float_of_int (1 + (3 * i)) in
+              both (fun link ->
+                  [
+                    { Fault.Schedule.at = t0;
+                      event =
+                        Fault.Schedule.Link_down
+                          { link; policy = `Hold_queued } };
+                    { Fault.Schedule.at = t0 +. (w /. 20.);
+                      event = Fault.Schedule.Link_up { link } };
+                  ]))
+            [ 0; 1; 2 ]
+        in
+        Fault.Schedule.of_list ~seed:7L evs );
+    ( "crash",
+      "one random router crash (custody wiped) and restart",
+      fun g ~horizon ->
+        Fault.Schedule.random ~seed:7L ~link_outages:0 ~crashes:1
+          ~horizon:(horizon /. 10.) g );
+    ( "burst",
+      "an 80% control-plane loss burst early in the run",
+      fun _g ~horizon ->
+        let w = horizon /. 10. in
+        Fault.Schedule.of_list ~seed:7L
+          [
+            { Fault.Schedule.at = 0.2 *. w;
+              event =
+                Fault.Schedule.Control_loss_burst
+                  { duration = 0.4 *. w; loss = 0.8 } };
+          ] );
+  ]
+
+let run list scenario_name fmt out interval horizon no_events fault_name =
   if list then begin
     List.iter (fun s -> Printf.printf "%-14s %s\n" s.name s.doc) scenarios;
+    Printf.printf "\nfault schedules (--fault NAME):\n";
+    List.iter
+      (fun (n, doc, _) -> Printf.printf "%-14s %s\n" n doc)
+      fault_schedules;
     exit 0
   end;
   let scen =
@@ -98,6 +163,16 @@ let run list scenario_name fmt out interval horizon no_events =
       exit 1
   in
   let g, cfg, flows = scen.build () in
+  let faults =
+    match fault_name with
+    | None -> None
+    | Some n -> (
+      match List.find_opt (fun (n', _, _) -> n' = n) fault_schedules with
+      | Some (_, _, make) -> Some (make g ~horizon)
+      | None ->
+        Printf.eprintf "unknown fault schedule %S (try --list)\n" n;
+        exit 1)
+  in
   let oc, close_oc =
     match out with
     | "-" -> (stdout, fun () -> flush stdout)
@@ -112,7 +187,7 @@ let run list scenario_name fmt out interval horizon no_events =
   in
   let o = Obs.Observer.create ?sample_interval:interval ~sinks () in
   Obs.Observer.add_sink o (Obs.Sink.counter_tap (Obs.Observer.registry o));
-  let r = Inrpp.Protocol.run ~cfg ~horizon ~obs:o g flows in
+  let r = Inrpp.Protocol.run ~cfg ~horizon ~obs:o ?faults g flows in
   Obs.Observer.close o;
   let buf = Buffer.create 65536 in
   (match fmt with
@@ -127,7 +202,14 @@ let run list scenario_name fmt out interval horizon no_events =
       (Obs.Observer.snapshot o));
   output_string oc (Buffer.contents buf);
   close_oc ();
-  Format.eprintf "%s: %a@." scen.name Inrpp.Protocol.pp_result r
+  Format.eprintf "%s: %a@." scen.name Inrpp.Protocol.pp_result r;
+  if faults <> None then
+    Format.eprintf
+      "faults: %d failovers, %d custody chunks lost, mean recovery %s@."
+      r.Inrpp.Protocol.failovers r.Inrpp.Protocol.chunks_lost_in_custody
+      (match r.Inrpp.Protocol.recovery_time with
+      | Some tr -> Printf.sprintf "%.3fs" tr
+      | None -> "-")
 
 let list_flag =
   Arg.(value & flag & info [ "list" ] ~doc:"List scenarios and exit.")
@@ -161,11 +243,17 @@ let no_events =
        & info [ "no-events" ]
            ~doc:"Suppress the raw trace-event stream (NDJSON only).")
 
+let fault_name =
+  Arg.(value & opt (some string) None
+       & info [ "fault" ] ~docv:"NAME"
+           ~doc:"Replay a named fault schedule against the scenario \
+                 (see --list).")
+
 let cmd =
   Cmd.v
     (Cmd.info "inrpp_probe"
        ~doc:"Run an instrumented INRPP scenario and emit its telemetry")
     Term.(const run $ list_flag $ scenario $ format_ $ out $ interval
-          $ horizon $ no_events)
+          $ horizon $ no_events $ fault_name)
 
 let () = exit (Cmd.eval cmd)

@@ -40,7 +40,8 @@ let () =
   let tr = Option.get r.Inrpp.Protocol.trace in
   let interesting = function
     | Chunksim.Trace.Bp_signal _ | Chunksim.Trace.Phase_change _
-    | Chunksim.Trace.Flow_complete _ ->
+    | Chunksim.Trace.Flow_complete _ | Chunksim.Trace.Link_fault _
+    | Chunksim.Trace.Node_fault _ ->
       true
     | Chunksim.Trace.Cached _ | Chunksim.Trace.Cache_hit _
     | Chunksim.Trace.Custody_released _ | Chunksim.Trace.Detoured _

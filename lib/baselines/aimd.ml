@@ -1,3 +1,3 @@
-let run ?chunk_bits ?queue_bits ?horizon ?obs g specs =
+let run ?chunk_bits ?queue_bits ?horizon ?obs ?faults g specs =
   Harness.run_pull ~protocol:"AIMD" ~coupled:false ~paths_per_flow:1
-    ?chunk_bits ?queue_bits ?horizon ?obs g specs
+    ?chunk_bits ?queue_bits ?horizon ?obs ?faults g specs

@@ -28,20 +28,22 @@ let inrpp_as_run_result ~cfg ~(specs : Inrpp.Protocol.flow_spec list)
          0 r.Inrpp.Protocol.flows)
     ~sim_time:r.Inrpp.Protocol.sim_time
 
-let run_one ?(cfg = Inrpp.Config.default) ?(horizon = 120.) ?obs protocol g
-    specs =
+let run_one ?(cfg = Inrpp.Config.default) ?(horizon = 120.) ?obs ?faults
+    protocol g specs =
   let chunk_bits = cfg.Inrpp.Config.chunk_bits in
   let queue_bits = cfg.Inrpp.Config.queue_bits in
   match protocol with
   | Inrpp_proto ->
     inrpp_as_run_result ~cfg ~specs
-      (Inrpp.Protocol.run ~cfg ~horizon ?obs g specs)
-  | Aimd_proto -> Aimd.run ~chunk_bits ~queue_bits ~horizon ?obs g specs
-  | Mptcp_proto -> Mptcp.run ~chunk_bits ~queue_bits ~horizon ?obs g specs
-  | Rcp_proto -> Rcp.run ~chunk_bits ~queue_bits ~horizon ?obs g specs
-  | Hbh_proto -> Hbh.run ~chunk_bits ~queue_bits ~horizon ?obs g specs
+      (Inrpp.Protocol.run ~cfg ~horizon ?obs ?faults g specs)
+  | Aimd_proto ->
+    Aimd.run ~chunk_bits ~queue_bits ~horizon ?obs ?faults g specs
+  | Mptcp_proto ->
+    Mptcp.run ~chunk_bits ~queue_bits ~horizon ?obs ?faults g specs
+  | Rcp_proto -> Rcp.run ~chunk_bits ~queue_bits ~horizon ?obs ?faults g specs
+  | Hbh_proto -> Hbh.run ~chunk_bits ~queue_bits ~horizon ?obs ?faults g specs
 
-let run_all ?cfg ?horizon ?(protocols = all) ?observe g specs =
+let run_all ?cfg ?horizon ?(protocols = all) ?observe ?faults g specs =
   List.map
     (fun p ->
       let obs =
@@ -49,5 +51,5 @@ let run_all ?cfg ?horizon ?(protocols = all) ?observe g specs =
         | Some f -> f p
         | None -> None
       in
-      run_one ?cfg ?horizon ?obs p g specs)
+      run_one ?cfg ?horizon ?obs ?faults p g specs)
     protocols

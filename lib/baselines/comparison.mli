@@ -15,15 +15,21 @@ val all : protocol list
 val name : protocol -> string
 
 val run_one :
-  ?cfg:Inrpp.Config.t -> ?horizon:float -> ?obs:Obs.Observer.t -> protocol ->
-  Topology.Graph.t -> Inrpp.Protocol.flow_spec list -> Run_result.t
+  ?cfg:Inrpp.Config.t -> ?horizon:float -> ?obs:Obs.Observer.t ->
+  ?faults:Fault.Schedule.t -> protocol -> Topology.Graph.t ->
+  Inrpp.Protocol.flow_spec list -> Run_result.t
 (** The INRPP chunk size, queue size and horizon are taken from / kept
     consistent with [cfg] across all protocols.  [obs] instruments the
-    run (every protocol now accepts an observer). *)
+    run (every protocol now accepts an observer).  [faults] replays
+    the same schedule against whichever protocol runs — a schedule is
+    an immutable value, so passing one to every protocol makes the
+    failures apples-to-apples (INRPP recovers in-network; the
+    baselines fall back on end-to-end loss recovery). *)
 
 val run_all :
   ?cfg:Inrpp.Config.t -> ?horizon:float -> ?protocols:protocol list ->
-  ?observe:(protocol -> Obs.Observer.t option) -> Topology.Graph.t ->
+  ?observe:(protocol -> Obs.Observer.t option) ->
+  ?faults:Fault.Schedule.t -> Topology.Graph.t ->
   Inrpp.Protocol.flow_spec list -> Run_result.t list
 (** [observe] supplies at most one fresh observer per protocol run —
     an observer instruments exactly one run (its sampler installs

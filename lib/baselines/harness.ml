@@ -67,6 +67,16 @@ let prepare ?queue_bits ~paths_per_flow g specs =
     wire_ids = Array.of_list (List.map snd flows);
   }
 
+(* Baselines take fault schedules mechanically: interfaces flip,
+   crashed nodes eat packets, bursts drop control traffic.  There is
+   no recovery layer — no detours, no custody — which is exactly what
+   the resilience comparison measures. *)
+let apply_faults ?faults s =
+  match faults with
+  | Some sched when not (Fault.Schedule.is_empty sched) ->
+    ignore (Fault.Driver.install s.net sched : Fault.Driver.t)
+  | Some _ | None -> ()
+
 (* Shared observability wiring for baseline runs: callback metrics on
    the forwarders and interfaces plus sampled per-interface series
    (the per-protocol interface series of the comparison runs).
@@ -116,8 +126,9 @@ let path_base_delay ~chunk_bits (path : Path.t) =
     0. path.Path.links
 
 let run_pull ~protocol ~coupled ~paths_per_flow ?(chunk_bits = 10e3 *. 8.)
-    ?queue_bits ?(horizon = 120.) ?obs g specs =
+    ?queue_bits ?(horizon = 120.) ?obs ?faults g specs =
   let s = prepare ?queue_bits ~paths_per_flow g specs in
+  apply_faults ?faults s;
   let specs_arr = Array.of_list specs in
   let nflows = Array.length specs_arr in
   let fcts = Array.make nflows None in

@@ -29,6 +29,15 @@ val observe_net :
     start it; returns it with the protocol label so the caller can add
     flow series, then call {!Obs.Sampler.start}. *)
 
+val apply_faults : ?faults:Fault.Schedule.t -> setup -> unit
+(** Install a fault schedule on the prepared network: purely
+    mechanical (interfaces flip, crashed nodes destroy arriving
+    packets, bursts drop Request/Backpressure traffic).  The baselines
+    have no in-network recovery, so their response to faults is
+    whatever their end-to-end loss recovery does — the comparison the
+    resilience experiment draws.  No-op for an empty/absent
+    schedule. *)
+
 val path_base_delay : chunk_bits:float -> Topology.Path.t -> float
 (** Unloaded latency of a path: propagation plus one serialisation
     per hop — the floor receivers subtract when histogramming
@@ -37,7 +46,7 @@ val path_base_delay : chunk_bits:float -> Topology.Path.t -> float
 val run_pull :
   protocol:string -> coupled:bool -> paths_per_flow:int ->
   ?chunk_bits:float -> ?queue_bits:float -> ?horizon:float ->
-  ?obs:Obs.Observer.t -> Topology.Graph.t ->
+  ?obs:Obs.Observer.t -> ?faults:Fault.Schedule.t -> Topology.Graph.t ->
   Inrpp.Protocol.flow_spec list -> Run_result.t
 (** Window-driven pull transport over the prepared network (see
     {!Puller}); the engine of both {!Aimd} and {!Mptcp}.

@@ -16,9 +16,10 @@ type node_state = {
   data_links : (int, Link.t option) Hashtbl.t;  (* flow -> downstream link *)
 }
 
-let run ?(chunk_bits = 10e3 *. 8.) ?queue_bits ?(horizon = 120.) ?obs g specs
-    =
+let run ?(chunk_bits = 10e3 *. 8.) ?queue_bits ?(horizon = 120.) ?obs ?faults
+    g specs =
   let s = Harness.prepare ?queue_bits ~paths_per_flow:1 g specs in
+  Harness.apply_faults ?faults s;
   let eng = s.Harness.eng in
   let specs_arr = Array.of_list specs in
   let nflows = Array.length specs_arr in

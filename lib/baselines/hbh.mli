@@ -15,7 +15,7 @@
 
 val run :
   ?chunk_bits:float -> ?queue_bits:float -> ?horizon:float ->
-  ?obs:Obs.Observer.t -> Topology.Graph.t ->
+  ?obs:Obs.Observer.t -> ?faults:Fault.Schedule.t -> Topology.Graph.t ->
   Inrpp.Protocol.flow_spec list -> Run_result.t
 (** Defaults as in {!Harness.run_pull}.  [obs] adds the shared network
     series (see {!Harness.observe_net}), a sampled per-flow

@@ -1,4 +1,5 @@
-let run ?(subflows = 2) ?chunk_bits ?queue_bits ?horizon ?obs g specs =
+let run ?(subflows = 2) ?chunk_bits ?queue_bits ?horizon ?obs ?faults g specs
+    =
   if subflows < 1 then invalid_arg "Mptcp.run: subflows < 1";
   Harness.run_pull ~protocol:"MPTCP" ~coupled:true ~paths_per_flow:subflows
-    ?chunk_bits ?queue_bits ?horizon ?obs g specs
+    ?chunk_bits ?queue_bits ?horizon ?obs ?faults g specs

@@ -13,7 +13,7 @@
 
 val run :
   ?subflows:int -> ?chunk_bits:float -> ?queue_bits:float ->
-  ?horizon:float -> ?obs:Obs.Observer.t -> Topology.Graph.t ->
+  ?horizon:float -> ?obs:Obs.Observer.t -> ?faults:Fault.Schedule.t -> Topology.Graph.t ->
   Inrpp.Protocol.flow_spec list -> Run_result.t
 (** [subflows] defaults to 2 (fewer when the topology offers fewer
     disjoint paths).  [obs] is forwarded to {!Harness.run_pull}, so an

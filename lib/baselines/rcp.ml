@@ -20,9 +20,10 @@ type flow_state = {
 let max_outstanding = 512
 
 let run ?(chunk_bits = 10e3 *. 8.) ?queue_bits ?(horizon = 120.)
-    ?(update_interval = 0.05) ?obs g specs =
+    ?(update_interval = 0.05) ?obs ?faults g specs =
   if update_interval <= 0. then invalid_arg "Rcp.run: update_interval <= 0";
   let s = Harness.prepare ?queue_bits ~paths_per_flow:1 g specs in
+  Harness.apply_faults ?faults s;
   let specs_arr = Array.of_list specs in
   let nflows = Array.length specs_arr in
   let fcts = Array.make nflows None in

@@ -11,7 +11,7 @@
 
 val run :
   ?chunk_bits:float -> ?queue_bits:float -> ?horizon:float ->
-  ?update_interval:float -> ?obs:Obs.Observer.t -> Topology.Graph.t ->
+  ?update_interval:float -> ?obs:Obs.Observer.t -> ?faults:Fault.Schedule.t -> Topology.Graph.t ->
   Inrpp.Protocol.flow_spec list -> Run_result.t
 (** [update_interval] (default 50 ms) is the rate-feedback period.
     [obs] adds the shared network series (see {!Harness.observe_net}),

@@ -54,10 +54,21 @@ let phase_successors = function
   | "backpressure" -> [ "push-data"; "detour" ]
   | _ -> []
 
+(* a crash wipes a router's control state without emitting transitions
+   or releases, so per-node checker state must be forgotten with it *)
+let forget_node tbl node =
+  let doomed =
+    Hashtbl.fold
+      (fun ((n, _) as k) _ acc -> if n = node then k :: acc else acc)
+      tbl []
+  in
+  List.iter (Hashtbl.remove tbl) doomed
+
 let phase_legality t =
   let state : (int * int, string) Hashtbl.t = Hashtbl.create 64 in
   fun time event ->
     match event with
+    | Chunksim.Trace.Node_fault { node; up = false } -> forget_node state node
     | Chunksim.Trace.Phase_change { node; link; phase } ->
       let prev =
         Option.value ~default:"push-data" (Hashtbl.find_opt state (node, link))
@@ -87,6 +98,7 @@ let bp_ordering t =
   let balance : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
   fun time event ->
     match event with
+    | Chunksim.Trace.Node_fault { node; up = false } -> forget_node balance node
     | Chunksim.Trace.Bp_signal { node; flow; engage } ->
       let b = Option.value ~default:0 (Hashtbl.find_opt balance (node, flow)) in
       let b' = if engage then b + 1 else b - 1 in
@@ -126,8 +138,10 @@ module Conservation = struct
     lossy : bool;
     pushed : (int * int, int) Hashtbl.t;
     delivered : (int * int, int) Hashtbl.t;
+    destroyed : (int * int, int) Hashtbl.t;
     mutable pushes : int;
     mutable deliveries : int;
+    mutable fault_losses : int;
   }
 
   let create ?(lossy = false) coll =
@@ -136,8 +150,10 @@ module Conservation = struct
       lossy;
       pushed = Hashtbl.create 1024;
       delivered = Hashtbl.create 1024;
+      destroyed = Hashtbl.create 64;
       pushes = 0;
       deliveries = 0;
+      fault_losses = 0;
     }
 
   let count tbl key = Option.value ~default:0 (Hashtbl.find_opt tbl key)
@@ -172,18 +188,49 @@ module Conservation = struct
   let pushes t = t.pushes
   let deliveries t = t.deliveries
 
+  (* fault attribution: a destroyed chunk copy must trace back to a
+     distinct push — more copies destroyed+delivered than were ever
+     sent means the fault path conjured or double-counted data *)
+  let note_fault_loss t ~time ~flow ~idx =
+    t.fault_losses <- t.fault_losses + 1;
+    let k = (flow, idx) in
+    let dead = count t.destroyed k + 1 in
+    Hashtbl.replace t.destroyed k dead;
+    let p = count t.pushed k and d = count t.delivered k in
+    if d + dead > p then
+      violate t.coll ~time ~checker:"conservation"
+        (Printf.sprintf
+           "flow %d chunk %d: %d delivered + %d fault-destroyed exceeds %d sent"
+           flow idx d dead p)
+
+  let fault_losses t = t.fault_losses
+
   let finish t ~time ~quiescent ~in_custody ~drops ~wire_losses =
     if quiescent then
-      if drops = 0 && wire_losses = 0 && not t.lossy then begin
+      if drops = 0 && wire_losses = 0 && t.fault_losses = 0 && not t.lossy
+      then begin
         if t.pushes <> t.deliveries + in_custody then
           violate t.coll ~time ~checker:"conservation"
             (Printf.sprintf
                "at quiescence: %d chunks sent <> %d delivered + %d in custody"
                t.pushes t.deliveries in_custody)
       end
-      else if t.deliveries + in_custody > t.pushes then
-        violate t.coll ~time ~checker:"conservation"
-          (Printf.sprintf
-             "at quiescence: %d delivered + %d in custody exceeds %d sent"
-             t.deliveries in_custody t.pushes)
+      else begin
+        if t.deliveries + in_custody > t.pushes then
+          violate t.coll ~time ~checker:"conservation"
+            (Printf.sprintf
+               "at quiescence: %d delivered + %d in custody exceeds %d sent"
+               t.deliveries in_custody t.pushes);
+        (* with faults attributed exactly, the buckets must still fit
+           inside the pushes even before drops are added in *)
+        if
+          (not t.lossy) && wire_losses = 0
+          && t.deliveries + in_custody + t.fault_losses > t.pushes
+        then
+          violate t.coll ~time ~checker:"conservation"
+            (Printf.sprintf
+               "at quiescence: %d delivered + %d in custody + %d \
+                fault-destroyed exceeds %d sent"
+               t.deliveries in_custody t.fault_losses t.pushes)
+      end
 end

@@ -45,12 +45,16 @@ val phase_legality : t -> float -> Chunksim.Trace.event -> unit
 (** Interface phase machine (DESIGN §1): phases are exactly
     push-data / detour / backpressure, every recorded transition moves
     to a {e different} legal successor (self-transitions must not be
-    recorded), and the implicit initial state is push-data. *)
+    recorded), and the implicit initial state is push-data.  A
+    [Node_fault] crash resets the node's interfaces to push-data (a
+    restarted router starts from scratch). *)
 
 val bp_ordering : t -> float -> Chunksim.Trace.event -> unit
 (** Back-pressure propagation ordering: per (node, flow) at most two
     engages outstanding (local + relayed) and never a release without
-    an outstanding engage. *)
+    an outstanding engage.  A [Node_fault] crash clears the node's
+    balances — a crash wipes back-pressure flags without emitting
+    releases. *)
 
 val attach : Chunksim.Trace.t -> (float -> Chunksim.Trace.event -> unit) -> unit
 (** [attach trace h] registers [h] as an [on_record] tap. *)
@@ -89,13 +93,24 @@ module Conservation : sig
       delivered more times than it was sent (duplicate delivery) or
       never sent at all. *)
 
+  val note_fault_loss : t -> time:float -> flow:int -> idx:int -> unit
+  (** A chunk copy was destroyed by a named fault (killed on a downed
+      link, flushed from a queue, wiped from custody, or swallowed by
+      a dead node).  Immediately flags a chunk with more copies
+      delivered + destroyed than were ever sent. *)
+
   val pushes : t -> int
   val deliveries : t -> int
+
+  val fault_losses : t -> int
+  (** Total fault-attributed chunk copies so far. *)
 
   val finish :
     t -> time:float -> quiescent:bool -> in_custody:int -> drops:int ->
     wire_losses:int -> unit
   (** End-of-run aggregate check.  [quiescent] means every flow
       completed (no data in flight); [in_custody] is the chunk count
-      still held across all routers. *)
+      still held across all routers.  With faults recorded the strict
+      equality relaxes to: delivered + in custody + fault-destroyed
+      must not exceed sent. *)
 end

@@ -43,11 +43,18 @@ type t = {
   mutable inflight_pending : bool;
   (* slow path *)
   mutable is_busy : bool;
+  (* fault state: a downed interface refuses admission, stops popping
+     its queue, and destroys whatever was already on the wire *)
+  mutable up : bool;
+  mutable kill_wire : int;       (* in-flight packets to destroy on arrival *)
+  mutable slow_inflight : int;   (* slow path: propagations scheduled, not arrived *)
+  mutable fault_tap : Packet.t -> unit;
   (* statistics *)
   mutable busy_accum : float;    (* total seconds spent transmitting *)
   mutable tx_bits_acc : float;
   mutable tx_packets_acc : int;
   mutable wire_loss_acc : int;
+  mutable fault_drops_acc : int;
 }
 
 let default_queue_bits = 64. *. 10e3 *. 8.
@@ -114,11 +121,14 @@ let completion_due t ~now =
    exactly as the eager transmitter would have at those instants *)
 let rec catch_up t ~now =
   if completion_due t ~now then begin
-    match q_pop t with
-    | Some p ->
-      start_tx t p;
-      catch_up t ~now
-    | None -> settle t ~now
+    if t.up then begin
+      match q_pop t with
+      | Some p ->
+        start_tx t p;
+        catch_up t ~now
+      | None -> settle t ~now
+    end
+    else settle t ~now (* down: never pop, but do accrue past work *)
   end
 
 (* the one pre-allocated continuation: deliver the oldest packet on
@@ -127,7 +137,15 @@ let rec catch_up t ~now =
 let on_arrival t =
   let p = Queue.pop t.wire in
   catch_up t ~now:(Sim.Engine.now t.eng);
-  t.deliver p
+  (* packets that were on the wire when the link went down die at
+     their would-be arrival instant (arrivals are FIFO, so the next
+     [kill_wire] arrivals are exactly those packets) *)
+  if t.kill_wire > 0 then begin
+    t.kill_wire <- t.kill_wire - 1;
+    t.fault_drops_acc <- t.fault_drops_acc + 1;
+    t.fault_tap p
+  end
+  else t.deliver p
 
 let send_fast t p =
   let now = Sim.Engine.now t.eng in
@@ -161,7 +179,7 @@ let send_fast t p =
    scheme, kept verbatim so the loss dice roll at completion time) *)
 
 let rec kick t =
-  if not t.is_busy then begin
+  if (not t.is_busy) && t.up then begin
     match q_pop t with
     | None -> ()
     | Some p ->
@@ -173,18 +191,34 @@ let rec kick t =
              t.busy_accum <- t.busy_accum +. tx_time;
              t.tx_bits_acc <- t.tx_bits_acc +. p.Packet.size;
              t.tx_packets_acc <- t.tx_packets_acc + 1;
-             let lost =
-               match t.loss with
-               | Some (prob, rng) when Sim.Rng.float rng 1. < prob ->
-                 t.wire_loss_acc <- t.wire_loss_acc + 1;
-                 true
-               | Some _ | None -> false
-             in
-             if not lost then
-               ignore
-                 (Sim.Engine.schedule t.eng ~delay:t.prop_delay (fun () ->
-                      t.deliver p));
-             kick t))
+             if not t.up then begin
+               (* link went down mid-serialisation: the frame dies on
+                  the cut wire (no loss dice, no propagation) *)
+               t.fault_drops_acc <- t.fault_drops_acc + 1;
+               t.fault_tap p
+             end
+             else begin
+               let lost =
+                 match t.loss with
+                 | Some (prob, rng) when Sim.Rng.float rng 1. < prob ->
+                   t.wire_loss_acc <- t.wire_loss_acc + 1;
+                   true
+                 | Some _ | None -> false
+               in
+               if not lost then begin
+                 t.slow_inflight <- t.slow_inflight + 1;
+                 ignore
+                   (Sim.Engine.schedule t.eng ~delay:t.prop_delay (fun () ->
+                        t.slow_inflight <- t.slow_inflight - 1;
+                        if t.kill_wire > 0 then begin
+                          t.kill_wire <- t.kill_wire - 1;
+                          t.fault_drops_acc <- t.fault_drops_acc + 1;
+                          t.fault_tap p
+                        end
+                        else t.deliver p))
+               end;
+               kick t
+             end))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -219,25 +253,32 @@ let create ?(queue_bits = default_queue_bits) ?(speed_factor = 1.)
       inflight_bits = 0.;
       inflight_pending = false;
       is_busy = false;
+      up = true;
+      kill_wire = 0;
+      slow_inflight = 0;
+      fault_tap = (fun _ -> ());
       busy_accum = 0.;
       tx_bits_acc = 0.;
       tx_packets_acc = 0;
       wire_loss_acc = 0;
+      fault_drops_acc = 0;
     }
   in
   t.arrive <- (fun () -> on_arrival t);
   t
 
 let send t p =
-  match t.loss with
-  | None -> send_fast t p
-  | Some _ -> begin
-    match q_push t p with
-    | `Dropped -> `Dropped
-    | `Queued ->
-      kick t;
-      `Queued
-  end
+  if not t.up then `Dropped (* admission refusal while down *)
+  else
+    match t.loss with
+    | None -> send_fast t p
+    | Some _ -> begin
+      match q_push t p with
+      | `Dropped -> `Dropped
+      | `Queued ->
+        kick t;
+        `Queued
+    end
 
 (* Reads catch the virtual transmitter up first, so observed queue
    occupancy, busy state and statistics are those of the eager
@@ -284,3 +325,56 @@ let drops t =
   | Q_drr d -> Rr_queue.total_dropped d
 
 let wire_losses t = t.wire_loss_acc
+
+(* ------------------------------------------------------------------ *)
+(* Fault control *)
+
+let is_up t = t.up
+
+let fault_drops t = t.fault_drops_acc
+
+let set_fault_tap t f = t.fault_tap <- f
+
+let set_down ?(policy = `Drop_queued) t =
+  if t.up then begin
+    sync t;
+    t.up <- false;
+    (* everything already on the wire dies at its arrival instant *)
+    t.kill_wire <- t.kill_wire + Queue.length t.wire + t.slow_inflight;
+    match policy with
+    | `Hold_queued -> ()
+    | `Drop_queued ->
+      let rec flush () =
+        match q_pop t with
+        | Some p ->
+          t.fault_drops_acc <- t.fault_drops_acc + 1;
+          t.fault_tap p;
+          flush ()
+        | None -> ()
+      in
+      flush ()
+  end
+
+let set_up t =
+  if not t.up then begin
+    t.up <- true;
+    let now = Sim.Engine.now t.eng in
+    match t.loss with
+    | Some _ -> kick t
+    | None ->
+      (* The virtual transmitter may have gone idle during the outage;
+         restart the busy period for any held packets.  Do not catch up
+         with the stale clock first — pops while down were refused, so
+         popping at [next_free_at] now would schedule arrivals in the
+         past. *)
+      settle t ~now;
+      if t.next_free_at < now || (t.next_free_at = now && not t.inflight_pending)
+      then begin
+        match q_pop t with
+        | Some head ->
+          t.next_free_at <- now;
+          t.chain_stamp <- Sim.Engine.stamp t.eng;
+          start_tx t head
+        | None -> ()
+      end
+  end

@@ -47,3 +47,30 @@ val tx_packets : t -> int
 val drops : t -> int
 val wire_losses : t -> int
 (** Packets discarded by loss injection. *)
+
+(** {1 Fault control}
+
+    An interface starts up.  While down it refuses admission ([send]
+    returns [`Dropped]), pops nothing from its queue, and destroys
+    whatever was on the wire when the outage began — each such packet
+    dies at its would-be arrival instant so fault accounting stays in
+    event order. *)
+
+val is_up : t -> bool
+
+val set_down : ?policy:[ `Drop_queued | `Hold_queued ] -> t -> unit
+(** Take the interface down (idempotent).  [`Drop_queued] (default)
+    also flushes the queue through the fault tap; [`Hold_queued] keeps
+    queued packets for transmission after {!set_up}. *)
+
+val set_up : t -> unit
+(** Bring the interface back up (idempotent) and restart transmission
+    of any held packets. *)
+
+val fault_drops : t -> int
+(** Packets destroyed by outages: killed on the wire plus flushed from
+    the queue. *)
+
+val set_fault_tap : t -> (Packet.t -> unit) -> unit
+(** Called once per fault-destroyed packet, at the instant it dies.
+    Default: ignore. *)

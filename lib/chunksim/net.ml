@@ -8,6 +8,11 @@ type t = {
   eng : Sim.Engine.t;
   ifaces : Iface.t array;
   handlers : handler array;
+  (* fault plumbing: a wire filter can swallow packets before they
+     reach an interface (control-plane loss bursts); the net-level
+     counter also absorbs kills reported by dead-node sinks *)
+  mutable wire_filter : (Link.t -> Packet.t -> bool) option;
+  mutable net_fault_drops : int;
 }
 
 let silent ~from:_ (_ : Packet.t) = ()
@@ -30,6 +35,8 @@ let create ?queue_bits ?speed_factor ?discipline ?loss_rate
       eng;
       ifaces = [||];
       handlers;
+      wire_filter = None;
+      net_fault_drops = 0;
     }
   in
   (* interfaces deliver into the destination node's *current* handler;
@@ -57,7 +64,13 @@ let iter_ifaces t f = Array.iter f t.ifaces
 let out_ifaces t node =
   List.map (fun (l : Link.t) -> t.ifaces.(l.Link.id)) (Graph.out_links t.g node)
 
-let send t ~via p = Iface.send t.ifaces.(via.Link.id) p
+let send t ~via p =
+  match t.wire_filter with
+  | Some f when f via p ->
+    (* swallowed in transit: to the sender it looks like wire loss *)
+    t.net_fault_drops <- t.net_fault_drops + 1;
+    `Queued
+  | Some _ | None -> Iface.send t.ifaces.(via.Link.id) p
 
 let inject t ~at p = t.handlers.(at) ~from:None p
 
@@ -68,6 +81,18 @@ let total_wire_losses t =
 
 let total_tx_bits t =
   Array.fold_left (fun acc i -> acc +. Iface.tx_bits i) 0. t.ifaces
+
+let handler t node = t.handlers.(node)
+
+let set_wire_filter t f = t.wire_filter <- f
+
+let set_fault_tap t f = Array.iter (fun i -> Iface.set_fault_tap i f) t.ifaces
+
+let note_fault_kill t = t.net_fault_drops <- t.net_fault_drops + 1
+
+let total_fault_drops t =
+  t.net_fault_drops
+  + Array.fold_left (fun acc i -> acc + Iface.fault_drops i) 0 t.ifaces
 
 let mean_utilisation t =
   let n = Array.length t.ifaces in

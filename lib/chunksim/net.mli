@@ -52,6 +52,28 @@ val total_drops : t -> int
 val total_wire_losses : t -> int
 val total_tx_bits : t -> float
 
+(** {1 Fault plumbing} — used by [Fault.Driver]; all no-ops by default *)
+
+val handler : t -> Topology.Node.id -> handler
+(** The node's current handler (for save/restore around a crash). *)
+
+val set_wire_filter : t -> (Topology.Link.t -> Packet.t -> bool) option -> unit
+(** When the filter returns [true] for a packet handed to {!send}, the
+    packet is swallowed (counted as a fault drop, reported [`Queued] to
+    the sender — indistinguishable from wire loss).  Control-plane loss
+    bursts install a filter matching only Request/Backpressure. *)
+
+val set_fault_tap : t -> (Packet.t -> unit) -> unit
+(** Install a per-packet fault tap on every interface
+    (see {!Iface.set_fault_tap}). *)
+
+val note_fault_kill : t -> unit
+(** Count one fault-destroyed packet at net level (dead-node sinks). *)
+
+val total_fault_drops : t -> int
+(** Packets destroyed by faults: interface outage kills plus
+    wire-filter swallows plus {!note_fault_kill} reports. *)
+
 val mean_utilisation : t -> float
 (** Mean over interfaces of busy-time fraction at the current engine
     time. *)

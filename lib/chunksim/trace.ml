@@ -9,6 +9,8 @@ type event =
   | Phase_change of { node : Topology.Node.id; link : int; phase : string }
   | Bp_signal of { node : Topology.Node.id; flow : int; engage : bool }
   | Flow_complete of { flow : int; fct : float }
+  | Link_fault of { link : int; up : bool }
+  | Node_fault of { node : Topology.Node.id; up : bool }
 
 type t = {
   limit : int;
@@ -73,3 +75,7 @@ let pp_event ppf = function
     Format.fprintf ppf "n%d bp f%d %s" node flow (if engage then "on" else "off")
   | Flow_complete { flow; fct } ->
     Format.fprintf ppf "f%d complete in %.4gs" flow fct
+  | Link_fault { link; up } ->
+    Format.fprintf ppf "l%d %s" link (if up then "up" else "down")
+  | Node_fault { node; up } ->
+    Format.fprintf ppf "n%d %s" node (if up then "restarted" else "crashed")

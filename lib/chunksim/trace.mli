@@ -15,6 +15,8 @@ type event =
   | Phase_change of { node : Topology.Node.id; link : int; phase : string }
   | Bp_signal of { node : Topology.Node.id; flow : int; engage : bool }
   | Flow_complete of { flow : int; fct : float }
+  | Link_fault of { link : int; up : bool }
+  | Node_fault of { node : Topology.Node.id; up : bool }
 
 type t
 

@@ -3,6 +3,8 @@ type t = {
   anticipation : int;
   initial_request_rate : float;
   request_timeout : float;
+  timeout_backoff : float;
+  timeout_backoff_cap : float;
   ti : float;
   estimator_alpha : float;
   engage_ratio : float;
@@ -25,6 +27,8 @@ let default =
     anticipation = 8;
     initial_request_rate = 100.;
     request_timeout = 0.2;
+    timeout_backoff = 1.;
+    timeout_backoff_cap = 32.;
     ti = 0.04;
     estimator_alpha = 0.3;
     engage_ratio = 0.95;
@@ -47,6 +51,8 @@ let validate c =
   else if c.anticipation < 0 then err "anticipation < 0"
   else if c.initial_request_rate <= 0. then err "initial_request_rate <= 0"
   else if c.request_timeout <= 0. then err "request_timeout <= 0"
+  else if c.timeout_backoff < 1. then err "timeout_backoff < 1"
+  else if c.timeout_backoff_cap < 1. then err "timeout_backoff_cap < 1"
   else if c.ti <= 0. then err "ti <= 0"
   else if c.estimator_alpha < 0. || c.estimator_alpha > 1. then
     err "estimator_alpha outside [0,1]"

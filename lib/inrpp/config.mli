@@ -17,6 +17,13 @@ type t = {
   request_timeout : float;
   (** receiver retransmits the request for its lowest missing chunk
       after this much silence (the paper's explicit timers/NACKs) *)
+  timeout_backoff : float;
+  (** multiplicative backoff of the re-request timer while a flow
+      makes no progress (≥ 1; 1 disables backoff).  Keeps re-request
+      storms from melting a partitioned network *)
+  timeout_backoff_cap : float;
+  (** ceiling on the backoff multiplier: the re-request interval never
+      exceeds [timeout_backoff_cap × request_timeout] *)
   ti : float;
   (** measurement interval T_i of the anticipated-rate estimator;
       the paper suggests ≈ average RTT *)
@@ -59,7 +66,8 @@ type t = {
 }
 
 val default : t
-(** 10 kB chunks, Ac = 8, 100 req/s initial, 200 ms timeout,
+(** 10 kB chunks, Ac = 8, 100 req/s initial, 200 ms timeout (backoff
+    off by default — the fault experiments enable ×2 capped at ×32),
     T_i = 40 ms, α = 0.3, engage 0.95 / release 0.75, 1-hop detours
     (+1 recursion), 20 ms flowlets, queue threshold 0.5, 4 MB cache
     (0.7/0.3 watermarks), 64-chunk queues, full speed. *)

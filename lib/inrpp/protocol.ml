@@ -44,6 +44,9 @@ type result = {
   mean_utilisation : float;
   goodput : float;
   engine_events : int;
+  chunks_lost_in_custody : int;
+  failovers : int;
+  recovery_time : float option;
   trace : Chunksim.Trace.t option;
 }
 
@@ -57,7 +60,7 @@ let phase_value = function
 let phase_names = [| "push"; "detour"; "backpressure" |]
 
 let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
-    ?loss_rate ?obs ?check g specs =
+    ?loss_rate ?obs ?check ?faults g specs =
   (match Config.validate cfg with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("Protocol.run: " ^ msg));
@@ -84,9 +87,18 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
   let detours =
     Detour_table.create ~max_intermediate:(max 1 cfg.Config.max_detour) g
   in
+  (* the link-state view exists in every run (all-up without faults,
+     which is behaviourally identical to not having one) so router
+     wiring does not depend on whether a schedule was passed *)
+  let link_state = Topology.Link_state.create g in
+  let faults_active =
+    match faults with
+    | Some s -> not (Fault.Schedule.is_empty s)
+    | None -> false
+  in
   let routers =
     Array.init (Graph.node_count g) (fun node ->
-        Router.create ~cfg ~net ~node ~detours ?trace ())
+        Router.create ~cfg ~net ~node ~detours ~link_state ?trace ())
   in
   (* invariant checkers: streaming checkers tap the trace, the custody
      ledger rides the estimator-tick probe (no extra engine events),
@@ -115,6 +127,114 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
               (Router.custody_packet_count r, backlog)))
         routers;
       Some cons
+    | _ -> None
+  in
+  (* fault injection: the driver flips interfaces and detaches handlers
+     mechanically; the callbacks layer protocol recovery (router
+     failover, custody wipe attribution) and accounting on top.
+     Recovery time is measured from each disruption to the next
+     delivery anywhere in the network. *)
+  let pending_disruptions = ref [] in
+  let recovery_total = ref 0. in
+  let recovery_count = ref 0 in
+  let note_recovery_delivery now =
+    match !pending_disruptions with
+    | [] -> ()
+    | ds ->
+      List.iter
+        (fun t0 ->
+          recovery_total := !recovery_total +. (now -. t0);
+          incr recovery_count)
+        ds;
+      pending_disruptions := []
+  in
+  let kill_data (p : Packet.t) =
+    match (conservation, p.Packet.header) with
+    | Some cons, Packet.Data { flow; idx; _ } ->
+      Check.Invariant.Conservation.note_fault_loss cons
+        ~time:(Sim.Engine.now eng) ~flow ~idx
+    | _ -> ()
+  in
+  (* Route reconvergence: detoured data is source-routed and survives
+     an outage on its own, but requests and back-pressure carry only a
+     flow id — their hop-by-hop state must follow the residual
+     topology.  After every link or node transition each flow is
+     re-resolved in the surviving graph and its per-node next hops
+     updated in place; a partitioned flow keeps its stale state until
+     the topology heals. *)
+  let reconverge () =
+    let forbidden (l : Link.t) =
+      not (Topology.Link_state.is_up link_state l.Link.id)
+    in
+    List.iteri
+      (fun flow_id (spec : flow_spec) ->
+        let tree =
+          Topology.Dijkstra.run ~forbidden_links:forbidden g spec.src
+        in
+        match Topology.Dijkstra.path_to tree spec.dst with
+        | None -> ()
+        | Some path ->
+          let nodes = Array.of_list path.Path.nodes in
+          let links = Array.of_list path.Path.links in
+          let n = Array.length nodes in
+          for k = 0 to n - 1 do
+            let data_link = if k < n - 1 then Some links.(k) else None in
+            let req_link =
+              if k > 0 then Graph.find_link g nodes.(k) nodes.(k - 1)
+              else None
+            in
+            Router.reroute_flow routers.(nodes.(k)) ?content:spec.content
+              ~flow:flow_id ~data_link ~req_link ()
+          done)
+      specs
+  in
+  let driver =
+    match faults with
+    | Some sched when faults_active ->
+      Net.set_fault_tap net kill_data;
+      let record ev =
+        match trace with
+        | Some tr -> Trace.record tr ~time:(Sim.Engine.now eng) ev
+        | None -> ()
+      in
+      let disrupted () =
+        pending_disruptions := Sim.Engine.now eng :: !pending_disruptions
+      in
+      Some
+        (Fault.Driver.install ~link_state
+           ~on_link_down:(fun link ->
+             record (Trace.Link_fault { link; up = false });
+             disrupted ();
+             Array.iter (fun r -> Router.on_link_down r link) routers;
+             reconverge ())
+           ~on_link_up:(fun link ->
+             record (Trace.Link_fault { link; up = true });
+             Array.iter (fun r -> Router.on_link_up r link) routers;
+             reconverge ())
+           ~on_node_crash:(fun node policy ->
+             record (Trace.Node_fault { node; up = false });
+             disrupted ();
+             let policy =
+               match policy with
+               | Fault.Schedule.Wipe_custody -> `Wipe
+               | Fault.Schedule.Preserve_custody -> `Preserve
+             in
+             let wiped = Router.crash routers.(node) ~policy in
+             (match conservation with
+             | Some cons ->
+               let now = Sim.Engine.now eng in
+               List.iter
+                 (fun (flow, idx) ->
+                   Check.Invariant.Conservation.note_fault_loss cons
+                     ~time:now ~flow ~idx)
+                 wiped
+             | None -> ());
+             reconverge ())
+           ~on_node_restart:(fun node ->
+             record (Trace.Node_fault { node; up = true });
+             Router.restart routers.(node);
+             reconverge ())
+           ~on_data_killed:kill_data net sched)
     | _ -> None
   in
   (* per-node endpoint dispatch: several flows may start or end at the
@@ -211,16 +331,22 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
         | [] -> cfg.Config.chunk_bits (* unreachable: src <> dst *)
       in
       let transmit =
-        let base = Router.originate_data routers.(spec.src) in
-        match conservation with
-        | None -> base
-        | Some cons ->
-          fun p ->
-            (match p.Packet.header with
-            | Packet.Data { flow; idx; _ } ->
-              Check.Invariant.Conservation.note_push cons ~flow ~idx
-            | _ -> ());
-            base p
+        let src_router = routers.(spec.src) in
+        let base p =
+          (* a crashed producer node transmits nothing (and the chunk is
+             not counted as pushed — it never reached any wire) *)
+          if not (Router.is_crashed src_router) then begin
+            (match conservation with
+            | Some cons -> (
+              match p.Packet.header with
+              | Packet.Data { flow; idx; _ } ->
+                Check.Invariant.Conservation.note_push cons ~flow ~idx
+              | _ -> ())
+            | None -> ());
+            Router.originate_data src_router p
+          end
+        in
+        base
       in
       let sender =
         Sender.create ~cfg ~eng ~flow:flow_id ~total_chunks:spec.chunks
@@ -271,6 +397,11 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
       in
       Router.set_local_consumer router (fun p ->
           observe_data p;
+          (if Option.is_some driver then
+             match p.Packet.header with
+             | Packet.Data _ ->
+               note_recovery_delivery (Sim.Engine.now eng)
+             | _ -> ());
           (match conservation with
           | Some cons -> (
             match p.Packet.header with
@@ -415,6 +546,30 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
         let c = Router.counters r in
         track "detoured_total" (fun () -> float_of_int c.Router.detoured))
       routers;
+    (* fault observability only exists when a schedule is live, so a
+       no-fault run's metric/timeseries output is byte-identical *)
+    (match driver with
+    | None -> ()
+    | Some d ->
+      let fc name fn =
+        Obs.Metric.callback reg name (fun () -> float_of_int (fn ()))
+      in
+      fc "fault_link_downs_total" (fun () -> Fault.Driver.link_downs d);
+      fc "fault_link_ups_total" (fun () -> Fault.Driver.link_ups d);
+      fc "fault_node_crashes_total" (fun () -> Fault.Driver.node_crashes d);
+      fc "fault_node_restarts_total" (fun () ->
+          Fault.Driver.node_restarts d);
+      fc "fault_control_drops_total" (fun () -> Fault.Driver.control_drops d);
+      fc "fault_packet_kills_total" (fun () -> Net.total_fault_drops net);
+      Net.iter_ifaces net (fun i ->
+          let l = Chunksim.Iface.link i in
+          ignore
+            (Obs.Sampler.track smp
+               ~labels:[ ("link", string_of_int l.Link.id) ]
+               "link_up"
+               (fun () ->
+                 if Topology.Link_state.is_up link_state l.Link.id then 1.
+                 else 0.))));
     Obs.Sampler.start ~stop:all_done smp);
   (* periodic estimator ticks and custody drains; track custody peak *)
   let peak_custody = ref 0. in
@@ -518,6 +673,12 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
     mean_utilisation = Net.mean_utilisation net;
     goodput = (if sim_time > 0. then delivered_bits /. sim_time else 0.);
     engine_events = Sim.Engine.events_handled eng;
+    chunks_lost_in_custody = sum (fun c -> c.Router.custody_wiped);
+    failovers = sum (fun c -> c.Router.failovers);
+    recovery_time =
+      (if !recovery_count > 0 then
+         Some (!recovery_total /. float_of_int !recovery_count)
+       else None);
     trace;
   }
 

@@ -48,12 +48,20 @@ type result = {
   mean_utilisation : float;
   goodput : float;               (** delivered application bits / sim_time *)
   engine_events : int;           (** events the engine processed *)
+  chunks_lost_in_custody : int;
+  (** custody chunks destroyed by [`Wipe]-policy node crashes *)
+  failovers : int;
+  (** flows moved onto (or back off) detours by link outages *)
+  recovery_time : float option;
+  (** mean time from a disruption (link down / node crash) to the next
+      chunk delivery anywhere; [None] when no faults fired *)
   trace : Chunksim.Trace.t option;
 }
 
 val run :
   ?cfg:Config.t -> ?horizon:float -> ?collect_trace:bool ->
   ?loss_rate:float -> ?obs:Obs.Observer.t -> ?check:Check.Invariant.t ->
+  ?faults:Fault.Schedule.t ->
   Topology.Graph.t -> flow_spec list -> result
 (** [horizon] (default 60 s) bounds the run; the engine also stops as
     soon as every flow completes.  [loss_rate] injects seeded random
@@ -77,6 +85,16 @@ val run :
     ordering and chunk conservation stream off the trace taps, and the
     custody-ledger probe rides the estimator tick.  Inspect the
     collector with [Check.Invariant.ok]/[report] after the run.
+
+    [faults] replays a {!Fault.Schedule} against the run: link
+    outages fail flows over onto detours (or engage back-pressure when
+    no path survives), node crashes detach handlers and wipe or
+    preserve custody, and control-loss bursts stress the request
+    plane.  Custody lost to [`Wipe] crashes and packets destroyed on
+    dead links are attributed to the conservation checker (when
+    [check] is given) rather than reported as leaks.  An empty or
+    absent schedule leaves the run bit-identical to a build without
+    fault support.
     @raise Invalid_argument on an invalid config, an empty flow list,
     or an unroutable flow. *)
 

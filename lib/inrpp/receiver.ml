@@ -11,6 +11,7 @@ type t = {
   mutable dup_count : int;
   mutable last_progress : float;
   mutable timeout_armed : bool;
+  mutable timeout_scale : float;  (* exponential backoff multiplier *)
 }
 
 let create ~cfg ~eng ~flow ~total_chunks ~send_request ~on_complete =
@@ -27,6 +28,7 @@ let create ~cfg ~eng ~flow ~total_chunks ~send_request ~on_complete =
     dup_count = 0;
     last_progress = 0.;
     timeout_armed = false;
+    timeout_scale = 1.;
   }
 
 let request t =
@@ -41,16 +43,28 @@ let request t =
     t.send_request (Chunksim.Packet.request ~flow:t.flow ~nc ~ack:nc ~ac)
   end
 
+(* Re-request timer with exponential backoff: each barren firing (no
+   progress for a whole interval) re-requests and widens the interval
+   by [timeout_backoff], capped at [timeout_backoff_cap ×
+   request_timeout]; any progress resets the interval.  During a long
+   partition the request count therefore grows logarithmically then
+   linearly at the capped interval instead of linearly at 1/timeout. *)
 let rec arm_timeout t =
   if not t.timeout_armed then begin
     t.timeout_armed <- true;
+    let delay = t.cfg.Config.request_timeout *. t.timeout_scale in
     ignore
-      (Sim.Engine.schedule t.eng ~delay:t.cfg.Config.request_timeout (fun () ->
+      (Sim.Engine.schedule t.eng ~delay (fun () ->
            t.timeout_armed <- false;
            if t.completed = None then begin
              let now = Sim.Engine.now t.eng in
-             if now -. t.last_progress >= t.cfg.Config.request_timeout -. 1e-9
-             then request t;
+             if now -. t.last_progress >= delay -. 1e-9 then begin
+               request t;
+               t.timeout_scale <-
+                 Float.min
+                   (t.timeout_scale *. t.cfg.Config.timeout_backoff)
+                   t.cfg.Config.timeout_backoff_cap
+             end;
              arm_timeout t
            end))
   end
@@ -85,6 +99,7 @@ let handle_data t (p : Chunksim.Packet.t) =
       | `Duplicate -> t.dup_count <- t.dup_count + 1
       | `New ->
         t.last_progress <- now;
+        t.timeout_scale <- 1.;
         if Session.is_complete t.sess then begin
           t.completed <- Some now;
           let fct =

@@ -14,6 +14,8 @@ type counters = {
   mutable bp_engages : int;
   mutable bp_releases : int;
   mutable cache_hits : int;
+  mutable failovers : int;
+  mutable custody_wiped : int;
 }
 
 type flow_entry = {
@@ -23,6 +25,8 @@ type flow_entry = {
   mutable bp_local : bool;        (* this router engaged BP upstream *)
   mutable bp_forwarded : bool;    (* we relayed a downstream engage *)
   mutable detour_override : bool; (* downstream BP absorbed by detouring here *)
+  mutable bp_outage : bool;       (* engaged because no path survives an outage *)
+  mutable failed_over : bool;     (* primary down, currently riding detours *)
 }
 
 type t = {
@@ -30,6 +34,7 @@ type t = {
   net : Net.t;
   node_id : Topology.Node.id;
   detours : Detour_table.t;
+  link_state : Topology.Link_state.t option;
   trace : Trace.t option;
   flows : (int, flow_entry) Hashtbl.t;
   store : Cache.t;
@@ -40,14 +45,16 @@ type t = {
   c : counters;
   mutable local_producer : (Packet.t -> unit) option;
   mutable local_consumer : (Packet.t -> unit) option;
+  mutable crashed : bool;
 }
 
-let create ~cfg ~net ~node ~detours ?trace () =
+let create ~cfg ~net ~node ~detours ?link_state ?trace () =
   {
     cfg;
     net;
     node_id = node;
     detours;
+    link_state;
     trace;
     flows = Hashtbl.create 16;
     store =
@@ -68,9 +75,12 @@ let create ~cfg ~net ~node ~detours ?trace () =
         bp_engages = 0;
         bp_releases = 0;
         cache_hits = 0;
+        failovers = 0;
+        custody_wiped = 0;
       };
     local_producer = None;
     local_consumer = None;
+    crashed = false;
   }
 
 let now t = Sim.Engine.now (Net.engine t.net)
@@ -112,6 +122,8 @@ let install_flow t ?content ~flow ~data_link ~req_link () =
       bp_local = false;
       bp_forwarded = false;
       detour_override = false;
+      bp_outage = false;
+      failed_over = false;
     }
 
 let set_local_producer t f = t.local_producer <- Some f
@@ -122,14 +134,22 @@ let queue_has_room t (l : Link.t) =
   Iface.queue_occupancy i
   < t.cfg.Config.detour_queue_threshold *. Iface.queue_capacity i
 
-(* detour candidates around [l] with queue room on every hop, within
-   the configured depth.  Remote queue state stands in for the paper's
-   periodic utilisation exchange between one-hop neighbours. *)
+let link_is_up t (l : Link.t) =
+  match t.link_state with
+  | Some ls -> Topology.Link_state.is_up ls l.Link.id
+  | None -> true
+
+(* detour candidates around [l] with every hop up and queue room on
+   every hop, within the configured depth.  Remote queue state stands
+   in for the paper's periodic utilisation exchange between one-hop
+   neighbours. *)
 let usable_detours t (l : Link.t) =
   List.filter
     (fun (cand : Detour_table.candidate) ->
       cand.Detour_table.hops - 1 <= t.cfg.Config.max_detour
-      && List.for_all (queue_has_room t) cand.Detour_table.links)
+      && List.for_all
+           (fun hop -> link_is_up t hop && queue_has_room t hop)
+           cand.Detour_table.links)
     (Detour_table.candidates t.detours l)
 
 (* ------------------------------------------------------------------ *)
@@ -149,18 +169,50 @@ let signal_upstream t entry ~flow ~engage =
     | None -> ()
   end
 
+(* The "local" engage slot is shared between custody pressure and
+   path-outage pressure: at most one upstream engage is outstanding
+   for the pair, which preserves the checker's ≤2 balance per
+   (node, flow) — the second slot being the relayed downstream
+   engage. *)
+let engage_local t entry ~flow ~slot =
+  let was = entry.bp_local || entry.bp_outage in
+  (match slot with
+  | `Custody -> entry.bp_local <- true
+  | `Outage -> entry.bp_outage <- true);
+  if not was then signal_upstream t entry ~flow ~engage:true
+
+let release_local t entry ~flow ~slot =
+  let had =
+    match slot with `Custody -> entry.bp_local | `Outage -> entry.bp_outage
+  in
+  (match slot with
+  | `Custody -> entry.bp_local <- false
+  | `Outage -> entry.bp_outage <- false);
+  if had && not (entry.bp_local || entry.bp_outage) then
+    signal_upstream t entry ~flow ~engage:false
+
+(* Route reconvergence: point an existing entry at new primary links
+   without disturbing its flowlet or custody state.  A reroute onto a
+   live data link ends any outage condition the old path caused. *)
+let reroute_flow t ?content ~flow ~data_link ~req_link () =
+  match Hashtbl.find_opt t.flows flow with
+  | Some entry ->
+    entry.data_link <- data_link;
+    entry.req_link <- req_link;
+    (match data_link with
+    | Some l when link_is_up t l ->
+      entry.failed_over <- false;
+      if entry.bp_outage then release_local t entry ~flow ~slot:`Outage
+    | Some _ | None -> ())
+  | None -> install_flow t ?content ~flow ~data_link ~req_link ()
+
 (* ------------------------------------------------------------------ *)
 (* Custody *)
 
 let custody t entry flow (p : Packet.t) =
   match p.Packet.header with
   | Packet.Data { idx; _ } -> begin
-    let engage () =
-      if not entry.bp_local then begin
-        entry.bp_local <- true;
-        signal_upstream t entry ~flow ~engage:true
-      end
-    in
+    let engage () = engage_local t entry ~flow ~slot:`Custody in
     if Hashtbl.mem t.custody_packets (flow, idx) then begin
       (* duplicate copy (a retransmit racing the custodied original):
          admitting it would put a second entry in the store's custody
@@ -241,12 +293,17 @@ let send_detour t flow (cand : Detour_table.candidate) (p : Packet.t) =
            flow;
            idx;
            via = cand.Detour_table.first_link.Link.dst;
-         })
-  | `Dropped -> t.c.dropped <- t.c.dropped + 1
+         });
+    `Queued
+  | `Dropped ->
+    t.c.dropped <- t.c.dropped + 1;
+    `Dropped
 
 (* Deflect [p] onto the best usable detour around [l]; prefers the
    flow's previously pinned detour (flowlet stability), falls back to
-   custody when no detour has queue room. *)
+   custody when no detour has queue room — including when the chosen
+   detour's admission fails under the candidate check (a race with new
+   arrivals, or an interface that just went down). *)
 let try_detour t entry flow (l : Link.t) (p : Packet.t) =
   match usable_detours t l with
   | [] -> custody t entry flow p
@@ -267,7 +324,9 @@ let try_detour t entry flow (l : Link.t) (p : Packet.t) =
       end
       | Flowlet.Primary -> first
     in
-    send_detour t flow chosen p
+    match send_detour t flow chosen p with
+    | `Queued -> ()
+    | `Dropped -> custody t entry flow p
 
 let maybe_cache_popular t entry (p : Packet.t) =
   if t.cfg.Config.icn_caching then begin
@@ -287,6 +346,12 @@ let forward_primary_path t entry flow (p : Packet.t) =
     | None -> t.c.dropped <- t.c.dropped + 1
   end
   | Some l -> begin
+    if not (link_is_up t l) then
+      (* primary interface is down: go straight to the detour set (the
+         paper's detour phase, triggered by outage rather than rate);
+         custody is the fallback when no detour survives *)
+      try_detour t entry flow l p
+    else
     let ph = Phase.current (phase t l) in
     let effective =
       if entry.detour_override && ph = Phase.Push_data then Phase.Detour
@@ -417,6 +482,8 @@ let originate_data t p = handle_data t p
 (* Periodic work *)
 
 let tick t =
+  if t.crashed then ()
+  else
   Hashtbl.iter
     (fun link_id est ->
       Rate_estimator.tick est;
@@ -436,6 +503,8 @@ let tick t =
     t.estimators
 
 let drain t =
+  if t.crashed then ()
+  else begin
   (* release custody one chunk per flow per round so competing flows
      share the recovered bandwidth round-robin (the paper's scheduler
      multiplexes flows in round-robin fashion) *)
@@ -447,7 +516,7 @@ let drain t =
       | None -> false
       | Some l ->
         let out =
-          if queue_has_room t l then Some `Primary
+          if link_is_up t l && queue_has_room t l then Some `Primary
           else begin
             match usable_detours t l with
             | cand :: _ -> Some (`Detour cand)
@@ -471,10 +540,15 @@ let drain t =
                 match Net.send t.net ~via:l p with
                 | `Queued -> t.c.forwarded_data <- t.c.forwarded_data + 1
                 | `Dropped ->
-                  (* raced with new arrivals; back into custody *)
+                  (* raced with new arrivals, or the interface just
+                     went down; back into custody — never leak *)
                   custody t entry flow p
               end
-              | `Detour cand -> send_detour t flow cand p));
+              | `Detour cand -> begin
+                match send_detour t flow cand p with
+                | `Queued -> ()
+                | `Dropped -> custody t entry flow p
+              end));
             true
           end
         end
@@ -490,11 +564,101 @@ let drain t =
   if Cache.below_low t.store then
     Hashtbl.iter
       (fun flow entry ->
-        if entry.bp_local && Cache.custody_backlog t.store ~flow = 0 then begin
-          entry.bp_local <- false;
-          signal_upstream t entry ~flow ~engage:false
-        end)
+        if entry.bp_local && Cache.custody_backlog t.store ~flow = 0 then
+          release_local t entry ~flow ~slot:`Custody)
       t.flows
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fault recovery *)
+
+(* Re-evaluate every flow whose primary interface is down: ride the
+   surviving detours when there are any ("down or congested" links
+   trigger the detour phase, paper §3.3), stop the sender when no path
+   remains.  Called by the protocol layer on every link-state flip
+   plus a drain, so custody held for a dead next-hop evacuates onto
+   detours at the outage instant. *)
+let on_link_down t _link_id =
+  if not t.crashed then begin
+    Hashtbl.iter
+      (fun flow entry ->
+        match entry.data_link with
+        | Some l when not (link_is_up t l) ->
+          if usable_detours t l <> [] then begin
+            if not entry.failed_over then begin
+              entry.failed_over <- true;
+              t.c.failovers <- t.c.failovers + 1
+            end
+          end
+          else engage_local t entry ~flow ~slot:`Outage
+        | Some _ | None -> ())
+      t.flows;
+    drain t
+  end
+
+let on_link_up t _link_id =
+  if not t.crashed then begin
+    Hashtbl.iter
+      (fun flow entry ->
+        match entry.data_link with
+        | Some l ->
+          if link_is_up t l then begin
+            entry.failed_over <- false;
+            if entry.bp_outage then release_local t entry ~flow ~slot:`Outage
+          end
+          else if usable_detours t l <> [] then begin
+            (* primary still down but a detour came back *)
+            if entry.bp_outage then release_local t entry ~flow ~slot:`Outage;
+            if not entry.failed_over then begin
+              entry.failed_over <- true;
+              t.c.failovers <- t.c.failovers + 1
+            end
+          end
+        | None -> ())
+      t.flows;
+    drain t
+  end
+
+let crash t ~policy =
+  if t.crashed then []
+  else begin
+    t.crashed <- true;
+    (* control state is volatile under every policy *)
+    Hashtbl.iter
+      (fun _ entry ->
+        entry.bp_local <- false;
+        entry.bp_forwarded <- false;
+        entry.detour_override <- false;
+        entry.bp_outage <- false;
+        entry.failed_over <- false)
+      t.flows;
+    Hashtbl.reset t.estimators;
+    Hashtbl.reset t.phases;
+    match policy with
+    | `Preserve -> []
+    | `Wipe ->
+      let wiped =
+        List.sort compare
+          (Hashtbl.fold (fun k _ acc -> k :: acc) t.custody_packets [])
+      in
+      (* empty the store's custody region coherently with the table *)
+      List.iter
+        (fun flow ->
+          let rec strip () =
+            match Cache.take_custody t.store ~flow with
+            | Some _ -> strip ()
+            | None -> ()
+          in
+          strip ())
+        (Cache.flows_in_custody t.store);
+      Hashtbl.reset t.custody_packets;
+      t.c.custody_wiped <- t.c.custody_wiped + List.length wiped;
+      wiped
+  end
+
+let restart t = t.crashed <- false
+
+let is_crashed t = t.crashed
 
 let phase_of_link t link_id =
   Option.map Phase.current (Hashtbl.find_opt t.phases link_id)

@@ -24,11 +24,18 @@ type counters = {
   mutable bp_engages : int;
   mutable bp_releases : int;
   mutable cache_hits : int;
+  mutable failovers : int;      (* flows moved onto detours by an outage *)
+  mutable custody_wiped : int;  (* custody chunks lost to crashes *)
 }
 
 val create :
   cfg:Config.t -> net:Chunksim.Net.t -> node:Topology.Node.id ->
-  detours:Detour_table.t -> ?trace:Chunksim.Trace.t -> unit -> t
+  detours:Detour_table.t -> ?link_state:Topology.Link_state.t ->
+  ?trace:Chunksim.Trace.t -> unit -> t
+(** [link_state] makes the router outage-aware: detour candidates with
+    a down hop are unusable, and a down primary interface routes
+    through the detour set.  Without it every link is assumed up
+    (pre-fault behaviour, bit-identical). *)
 
 val install_flow :
   t -> ?content:int -> flow:int -> data_link:Topology.Link.t option ->
@@ -38,6 +45,14 @@ val install_flow :
     the producer).  [content] (default the flow id) keys the
     popularity cache, so repeated transfers of the same object hit
     on-path copies when [icn_caching] is enabled. *)
+
+val reroute_flow :
+  t -> ?content:int -> flow:int -> data_link:Topology.Link.t option ->
+  req_link:Topology.Link.t option -> unit -> unit
+(** Route reconvergence after an outage: like {!install_flow} but
+    preserves the entry's back-pressure and flowlet state when the
+    flow is already installed.  Rerouting onto a live data link clears
+    the outage condition (fail-over flag, outage back-pressure). *)
 
 val set_local_producer : t -> (Chunksim.Packet.t -> unit) -> unit
 val set_local_consumer : t -> (Chunksim.Packet.t -> unit) -> unit
@@ -56,7 +71,32 @@ val tick : t -> unit
 val drain : t -> unit
 (** Move custody chunks onto primary interfaces with queue room and
     release back-pressure when the store empties below the low
-    watermark.  Schedule a few times per [cfg.ti]. *)
+    watermark.  Schedule a few times per [cfg.ti].  A drain target
+    that refuses admission (full or down) puts the chunk back into
+    custody — chunks are never leaked.  No-op while crashed. *)
+
+(** {1 Fault recovery} *)
+
+val on_link_down : t -> int -> unit
+(** Notify the router that some link just went down.  Every flow whose
+    primary interface is down fails over to surviving detours (counted
+    in [failovers]) or, when no path remains, engages back-pressure
+    towards the sender; custody for the dead next-hop evacuates
+    immediately via a drain. *)
+
+val on_link_up : t -> int -> unit
+(** Inverse: flows return to recovered primaries (releasing
+    outage back-pressure) and held custody drains. *)
+
+val crash : t -> policy:[ `Wipe | `Preserve ] -> (int * int) list
+(** Crash this router: control state (estimators, phases,
+    back-pressure flags) is always lost; [`Wipe] also empties the
+    custody store and returns the wiped [(flow, idx)] list (sorted)
+    for fault attribution, [`Preserve] models non-volatile custody.
+    {!tick} and {!drain} are no-ops until {!restart}.  Idempotent. *)
+
+val restart : t -> unit
+val is_crashed : t -> bool
 
 val phase_of_link : t -> int -> Phase.phase option
 (** Current phase of the interface for the given link id; [None] when

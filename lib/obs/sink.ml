@@ -48,6 +48,7 @@ let counter_tap registry =
   let custody_released = c "custody_released" and detoured = c "detoured" in
   let phase_change = c "phase_change" and bp_signal = c "bp_signal" in
   let flow_complete = c "flow_complete" in
+  let link_fault = c "link_fault" and node_fault = c "node_fault" in
   {
     emit_fn =
       (fun _time e ->
@@ -62,7 +63,9 @@ let counter_tap registry =
           | T.Detoured _ -> detoured
           | T.Phase_change _ -> phase_change
           | T.Bp_signal _ -> bp_signal
-          | T.Flow_complete _ -> flow_complete));
+          | T.Flow_complete _ -> flow_complete
+          | T.Link_fault _ -> link_fault
+          | T.Node_fault _ -> node_fault));
     close_fn = ignore;
   }
 

@@ -11,11 +11,14 @@ let kind = function
   | T.Phase_change _ -> "phase_change"
   | T.Bp_signal _ -> "bp_signal"
   | T.Flow_complete _ -> "flow_complete"
+  | T.Link_fault _ -> "link_fault"
+  | T.Node_fault _ -> "node_fault"
 
 let all_kinds =
   [
     "sent"; "received"; "dropped"; "cached"; "cache_hit"; "custody_released";
-    "detoured"; "phase_change"; "bp_signal"; "flow_complete";
+    "detoured"; "phase_change"; "bp_signal"; "flow_complete"; "link_fault";
+    "node_fault";
   ]
 
 let num i = Json.Num (float_of_int i)
@@ -38,6 +41,10 @@ let fields = function
     [ ("node", num node); ("flow", num flow); ("engage", Json.Bool engage) ]
   | T.Flow_complete { flow; fct } ->
     [ ("flow", num flow); ("fct", Json.Num fct) ]
+  | T.Link_fault { link; up } ->
+    [ ("link", num link); ("up", Json.Bool up) ]
+  | T.Node_fault { node; up } ->
+    [ ("node", num node); ("up", Json.Bool up) ]
 
 let to_json ~time e =
   Json.Obj
@@ -78,6 +85,11 @@ let to_csv_row ~time e =
       (Some node, None, Some flow, None, None, None, Some engage, None, None)
     | T.Flow_complete { flow; fct } ->
       (None, None, Some flow, None, None, None, None, None, Some fct)
+    (* fault events reuse the [engage] bool column for their up flag *)
+    | T.Link_fault { link; up } ->
+      (None, Some link, None, None, None, None, Some up, None, None)
+    | T.Node_fault { node; up } ->
+      (Some node, None, None, None, None, None, Some up, None, None)
   in
   let i = function Some v -> string_of_int v | None -> "" in
   let s = function Some v -> quote v | None -> "" in

@@ -143,9 +143,39 @@ let write_ndjson path small large =
   close_out oc;
   Printf.printf "soak NDJSON written to %s\n%!" path
 
+(* one seeded fault schedule under every checker: link outages, a
+   custody-wiping crash and a control burst against the same EBONE
+   graph.  Fault attribution must keep conservation green, and every
+   flow must still complete once the faults resolve. *)
+let run_fault_soak () =
+  let g = Topology.Isp_zoo.graph Topology.Isp_zoo.Ebone in
+  let nflows = 120 in
+  let specs = make_specs g ~nflows ~seed:97 in
+  let faults =
+    Fault.Schedule.random ~seed:2026L ~link_outages:3 ~crashes:1 ~bursts:1
+      ~horizon:30. g
+  in
+  let chk = Check.Invariant.create () in
+  let r = Inrpp.Protocol.run ~cfg ~horizon:600. ~check:chk ~faults g specs in
+  if not (Check.Invariant.ok chk) then
+    failwith
+      (Printf.sprintf "fault soak: invariant violations\n%s"
+         (Check.Invariant.report chk));
+  if r.Inrpp.Protocol.completed <> nflows then
+    failwith
+      (Printf.sprintf "fault soak: %d of %d flows completed by the horizon"
+         r.Inrpp.Protocol.completed nflows);
+  Printf.printf
+    "fault  %4d flows  %d failovers  %d custody chunks lost  recovery %s\n%!"
+    nflows r.Inrpp.Protocol.failovers r.Inrpp.Protocol.chunks_lost_in_custody
+    (match r.Inrpp.Protocol.recovery_time with
+    | Some t -> Printf.sprintf "%.3fs" t
+    | None -> "-")
+
 let soak () =
   let small = run_scale ~label:"small" ~nflows:120 ~sinks:[] in
   let large = run_scale ~label:"large" ~nflows:360 ~sinks:[] in
+  run_fault_soak ();
   (* a soak that never leaves push-data is not soaking anything *)
   if
     large.result.Inrpp.Protocol.custody_stored = 0
