@@ -15,13 +15,22 @@
    - isp_zoo     : 8 INRPP flows across the EBONE ISP-zoo graph
      (protocol macro-benchmark; tracks end-to-end chunk throughput).
 
-   Writes BENCH_core.json (schema `inrpp-bench-core/v1`) so future
+   Writes BENCH_core.json (schema `inrpp-bench-core/v2`) so future
    PRs can compare against the recorded trajectory.  `--smoke` runs
-   small iteration counts for CI; `--check FILE` validates that an
-   existing JSON file matches the schema (shape, not numbers) and
-   exits non-zero on drift. *)
+   small iteration counts for CI; `--check` (after a run, as in
+   `--smoke --check`) gates the fresh results against the frozen
+   per-benchmark allocation baselines — a benchmark allocating more
+   than 2x its baseline minor-words/event fails the run, wall-clock
+   numbers are advisory only (CI machines are too noisy to gate on
+   time).  `--check FILE` applies the same schema + allocation gate
+   to an existing JSON file. *)
 
-let schema_version = "inrpp-bench-core/v1"
+let schema_version = "inrpp-bench-core/v2"
+
+(* every run seeds the stdlib RNG explicitly (and reports the seed in
+   the JSON) so any randomized consumer — now or added later — cannot
+   silently self-init and make two bench runs incomparable *)
+let rng_seed = 0x5EED1
 
 (* Events/sec on the pre-overhaul core (two events per forwarded
    packet, cancelled timers left in the heap until expiry,
@@ -40,6 +49,38 @@ let baseline =
     ("isp_zoo_events_per_sec", 358_497.);
     ("isp_zoo_chunks_per_sec", 23_460.);
   ]
+
+(* Per-benchmark allocation baselines (minor words per event), frozen
+   after the protocol hot-path overhaul (packed custody keys, dense
+   flow stores, cached detour candidates, allocation-free estimator).
+   `--check` fails a run where any benchmark exceeds 2x its baseline:
+   allocation per event is iteration-count- and machine-independent,
+   so unlike wall time it can be gated in CI.  Re-freeze deliberately
+   (and say why in the commit) if a feature legitimately adds
+   allocation to the hot path. *)
+let alloc_baseline =
+  [
+    ("engine_churn", 38.0);
+    ("dumbbell", 58.3);
+    ("isp_zoo", 148.7);
+    ("isp_zoo_pool", 148.0);
+  ]
+
+(* smoke iteration counts are tiny, so one-off setup allocation
+   (graph build, config records, hashtable headers) dominates the
+   per-event quotient and the numbers sit far above the full-run
+   figures.  They are however bit-deterministic run to run — the
+   simulator allocates identically on identical inputs — which makes
+   them safe to gate tightly in CI. *)
+let alloc_baseline_smoke =
+  [
+    ("engine_churn", 38.1);
+    ("dumbbell", 58.9);
+    ("isp_zoo", 681.5);
+    ("isp_zoo_pool", 696.8);
+  ]
+
+let alloc_slack = 2.0
 
 open Harness
 
@@ -139,7 +180,7 @@ let dumbbell ~packets () =
   Sim.Engine.run eng;
   (Sim.Engine.events_handled eng, !delivered)
 
-let isp_zoo ~chunks () =
+let isp_zoo ?(pool = false) ~chunks () =
   let g = Topology.Isp_zoo.graph Topology.Isp_zoo.Ebone in
   let n = Topology.Graph.node_count g in
   let specs =
@@ -152,7 +193,8 @@ let isp_zoo ~chunks () =
         else None)
       (List.init 8 Fun.id)
   in
-  let r = Inrpp.Protocol.run ~cfg:bulk ~horizon:600. g specs in
+  let cfg = { bulk with Inrpp.Config.packet_pool = pool } in
+  let r = Inrpp.Protocol.run ~cfg ~horizon:600. g specs in
   (r.Inrpp.Protocol.engine_events, received r)
 
 (* ------------------------------------------------------------------ *)
@@ -163,17 +205,57 @@ let report ~smoke outcomes =
     [
       ("schema", Obs.Json.Str schema_version);
       ("smoke", Obs.Json.Bool smoke);
+      ("rng_seed", Obs.Json.Num (float_of_int rng_seed));
       ("benchmarks", Obs.Json.List (List.map outcome_json outcomes));
       ( "baseline",
         Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Num v)) baseline) );
+      ( "alloc_baseline",
+        Obs.Json.Obj
+          (List.map (fun (k, v) -> (k, Obs.Json.Num v)) alloc_baseline) );
     ]
 
 (* ------------------------------------------------------------------ *)
-(* Schema check: shape only, never absolute numbers *)
+(* Regression gate.  Schema: shape must match exactly.  Allocation:
+   minor-words/event above [alloc_slack] x the frozen baseline fails.
+   Wall clock: advisory only — events/sec below the recorded floor
+   prints a warning but never fails (CI timing is too noisy). *)
 
 let benchmark_fields =
   [ "name"; "events"; "wall_s"; "events_per_sec"; "chunks_delivered";
     "chunks_per_sec"; "minor_words_per_event" ]
+
+(* (name, minor_words_per_event, events_per_sec) triples *)
+let gate ~smoke results =
+  let table = if smoke then alloc_baseline_smoke else alloc_baseline in
+  let failures = ref 0 in
+  List.iter
+    (fun (name, mwpe, eps) ->
+      (match List.assoc_opt name table with
+      | Some base when mwpe > alloc_slack *. base ->
+        incr failures;
+        Printf.eprintf
+          "FAIL %-14s %8.1f minor-w/ev exceeds %.0fx baseline %.1f\n" name
+          mwpe alloc_slack base
+      | Some base ->
+        Printf.printf "ok   %-14s %8.1f minor-w/ev (baseline %.1f, limit %.1f)\n"
+          name mwpe base (alloc_slack *. base)
+      | None ->
+        incr failures;
+        Printf.eprintf
+          "FAIL %-14s has no frozen allocation baseline — add one to \
+           bench/perf/perf.ml\n"
+          name);
+      match List.assoc_opt (name ^ "_events_per_sec") baseline with
+      | Some floor when eps < floor ->
+        Printf.printf
+          "note %-14s %12.0f ev/s below recorded floor %.0f (advisory)\n" name
+          eps floor
+      | _ -> ())
+    results;
+  if !failures > 0 then begin
+    Printf.eprintf "%d allocation regression(s)\n" !failures;
+    exit 1
+  end
 
 let check_file path =
   let read_all ic =
@@ -199,9 +281,14 @@ let check_file path =
     | Some (Obs.Json.Str s) when s = schema_version -> ()
     | Some (Obs.Json.Str s) -> fail ("schema is " ^ s ^ ", want " ^ schema_version)
     | _ -> fail "missing string field: schema");
-    (match Obs.Json.member "smoke" j with
-    | Some (Obs.Json.Bool _) -> ()
-    | _ -> fail "missing bool field: smoke");
+    let smoke =
+      match Obs.Json.member "smoke" j with
+      | Some (Obs.Json.Bool b) -> b
+      | _ -> fail "missing bool field: smoke"
+    in
+    (match Obs.Json.member "rng_seed" j with
+    | Some (Obs.Json.Num _) -> ()
+    | _ -> fail "missing numeric field: rng_seed");
     (match Obs.Json.member "baseline" j with
     | Some (Obs.Json.Obj fields) ->
       List.iter
@@ -211,26 +298,41 @@ let check_file path =
           | _ -> fail ("baseline missing numeric field: " ^ k))
         baseline
     | _ -> fail "missing object field: baseline");
-    (match Obs.Json.member "benchmarks" j with
-    | Some (Obs.Json.List (_ :: _ as bs)) ->
-      List.iter
-        (fun b ->
-          List.iter
-            (fun field ->
-              match Obs.Json.member field b with
-              | Some (Obs.Json.Num _) when field <> "name" -> ()
-              | Some (Obs.Json.Str _) when field = "name" -> ()
-              | _ -> fail ("benchmark entry missing field: " ^ field))
-            benchmark_fields)
-        bs
-    | _ -> fail "missing non-empty list field: benchmarks");
+    let results =
+      match Obs.Json.member "benchmarks" j with
+      | Some (Obs.Json.List (_ :: _ as bs)) ->
+        List.map
+          (fun b ->
+            List.iter
+              (fun field ->
+                match Obs.Json.member field b with
+                | Some (Obs.Json.Num _) when field <> "name" -> ()
+                | Some (Obs.Json.Str _) when field = "name" -> ()
+                | _ -> fail ("benchmark entry missing field: " ^ field))
+              benchmark_fields;
+            let str f =
+              match Obs.Json.member f b with
+              | Some (Obs.Json.Str s) -> s
+              | _ -> fail ("benchmark entry missing field: " ^ f)
+            in
+            let num f =
+              match Obs.Json.member f b with
+              | Some (Obs.Json.Num x) -> x
+              | _ -> fail ("benchmark entry missing field: " ^ f)
+            in
+            (str "name", num "minor_words_per_event", num "events_per_sec"))
+          bs
+      | _ -> fail "missing non-empty list field: benchmarks"
+    in
     Printf.printf "%s: schema ok (%s)\n" path schema_version;
+    gate ~smoke results;
     exit 0
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let smoke = ref false in
+  let check_fresh = ref false in
   let out = ref "BENCH_core.json" in
   let args = Array.to_list Sys.argv in
   let rec parse = function
@@ -241,15 +343,20 @@ let () =
     | "--out" :: path :: rest ->
       out := path;
       parse rest
-    | "--check" :: path :: _ -> check_file path
+    | "--check" :: path :: _ when String.length path > 2 && String.sub path 0 2 <> "--" ->
+      check_file path
+    | "--check" :: rest ->
+      check_fresh := true;
+      parse rest
     | a :: rest ->
       if a <> Sys.argv.(0) then (
         Printf.eprintf
-          "usage: perf [--smoke] [--out FILE] [--check FILE]\n";
+          "usage: perf [--smoke] [--out FILE] [--check [FILE]]\n";
         exit 2);
       parse rest
   in
   parse args;
+  Random.init rng_seed;
   let churn_total = if !smoke then 20_000 else 1_000_000 in
   let dumbbell_packets = if !smoke then 400 else 40_000 in
   let zoo_chunks = if !smoke then 40 else 1_000 in
@@ -259,6 +366,7 @@ let () =
       measure ~repeat "engine_churn" (engine_churn ~total:churn_total);
       measure ~repeat "dumbbell" (dumbbell ~packets:dumbbell_packets);
       measure ~repeat "isp_zoo" (isp_zoo ~chunks:zoo_chunks);
+      measure ~repeat "isp_zoo_pool" (isp_zoo ~pool:true ~chunks:zoo_chunks);
     ]
   in
   let j = report ~smoke:!smoke outcomes in
@@ -274,4 +382,13 @@ let () =
         o.chunks
         (if o.events > 0 then o.minor_words /. float_of_int o.events else 0.))
     outcomes;
-  Printf.printf "wrote %s\n" !out
+  Printf.printf "wrote %s\n" !out;
+  if !check_fresh then
+    gate ~smoke:!smoke
+      (List.map
+         (fun o ->
+           ( o.name,
+             (if o.events > 0 then o.minor_words /. float_of_int o.events
+              else 0.),
+             if o.wall_s > 0. then float_of_int o.events /. o.wall_s else 0. ))
+         outcomes)

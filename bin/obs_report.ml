@@ -1,0 +1,269 @@
+(* CLI: ASCII report over telemetry NDJSON.
+
+     dune exec bin/inrpp_probe.exe -- --scenario backpressure -o run.ndjson
+     dune exec bin/obs_report.exe -- run.ndjson
+
+     dune exec bench/main.exe -- protocols --sidecar runs.ndjson
+     dune exec bin/obs_report.exe -- runs.ndjson
+
+   Reads `inrpp_probe` output (trace events + sampled series + final
+   metric snapshot) or `bench/main --sidecar` run records — both can
+   even be concatenated into one file — and renders:
+
+   - per-interface phase occupancy (share of run time each interface
+     spent in push-data / detour / backpressure, from the final
+     `iface_phase_occupancy` samples);
+   - a custody timeline per node (the `custody_bits` series bucketed
+     into a fixed-width sparkline) plus a peak-custody bar chart;
+   - a result table for any sidecar run records present.
+
+   Unrecognised lines are counted and ignored, so the tool keeps
+   working when new row types appear upstream. *)
+
+let phases = [ "push"; "detour"; "backpressure" ]
+
+type iface_occ = {
+  node : string;
+  link : string;
+  mutable t_last : float;
+  occ : (string, float) Hashtbl.t; (* phase -> final share *)
+}
+
+type custody = {
+  cnode : string;
+  mutable samples : (float * float) list; (* (t, bits), newest first *)
+  mutable peak : float;
+}
+
+type sidecar = {
+  experiment : string;
+  protocol : string;
+  flows : int;
+  completed : int;
+  mean_fct : float;
+  goodput : float;
+  jain : float;
+}
+
+let num j f = Option.bind (Obs.Json.member f j) Obs.Json.to_float
+let str j f = Option.bind (Obs.Json.member f j) Obs.Json.to_str
+let label j k =
+  Option.bind (Obs.Json.member "labels" j) (fun l ->
+      Option.bind (Obs.Json.member k l) Obs.Json.to_str)
+
+(* ------------------------------------------------------------------ *)
+(* Line classification *)
+
+type acc = {
+  ifaces : (string * string, iface_occ) Hashtbl.t;
+  nodes : (string, custody) Hashtbl.t;
+  mutable runs : sidecar list; (* newest first *)
+  mutable events : int;
+  mutable metrics : int;
+  mutable skipped : int;
+}
+
+let on_sample acc j =
+  match str j "series" with
+  | Some "iface_phase_occupancy" -> (
+    match (label j "node", label j "link", label j "phase", num j "t", num j "v")
+    with
+    | Some node, Some link, Some phase, Some t, Some v ->
+      let key = (node, link) in
+      let io =
+        match Hashtbl.find_opt acc.ifaces key with
+        | Some io -> io
+        | None ->
+          let io = { node; link; t_last = -1.; occ = Hashtbl.create 4 } in
+          Hashtbl.add acc.ifaces key io;
+          io
+      in
+      (* keep the newest sample per phase: occupancy is cumulative *)
+      if t >= io.t_last then begin
+        io.t_last <- t;
+        Hashtbl.replace io.occ phase v
+      end
+    | _ -> acc.skipped <- acc.skipped + 1)
+  | Some "custody_bits" -> (
+    match (label j "node", num j "t", num j "v") with
+    | Some node, Some t, Some v ->
+      let c =
+        match Hashtbl.find_opt acc.nodes node with
+        | Some c -> c
+        | None ->
+          let c = { cnode = node; samples = []; peak = 0. } in
+          Hashtbl.add acc.nodes node c;
+          c
+      in
+      c.samples <- (t, v) :: c.samples;
+      if v > c.peak then c.peak <- v
+    | _ -> acc.skipped <- acc.skipped + 1)
+  | _ -> ()
+
+let on_sidecar acc j =
+  match
+    ( str j "experiment", str j "protocol", num j "flows", num j "completed",
+      num j "mean_fct", num j "goodput", num j "jain" )
+  with
+  | ( Some experiment, Some protocol, Some flows, Some completed,
+      Some mean_fct, Some goodput, Some jain ) ->
+    acc.runs <-
+      { experiment; protocol; flows = int_of_float flows;
+        completed = int_of_float completed; mean_fct; goodput; jain }
+      :: acc.runs
+  | _ -> acc.skipped <- acc.skipped + 1
+
+let on_line acc line =
+  if String.trim line <> "" then
+    match Obs.Json.parse line with
+    | Error _ -> acc.skipped <- acc.skipped + 1
+    | Ok j -> (
+      match str j "type" with
+      | Some "sample" -> on_sample acc j
+      | Some "event" -> acc.events <- acc.events + 1
+      | Some "metric" -> acc.metrics <- acc.metrics + 1
+      | Some _ -> acc.skipped <- acc.skipped + 1
+      | None ->
+        (* sidecar run records carry no "type" field *)
+        if Obs.Json.member "experiment" j <> None then on_sidecar acc j
+        else acc.skipped <- acc.skipped + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let sorted_values tbl cmp =
+  List.sort cmp (Hashtbl.fold (fun _ v acc -> v :: acc) tbl [])
+
+let phase_table ppf acc =
+  let ifaces =
+    sorted_values acc.ifaces (fun a b ->
+        match compare (int_of_string_opt a.node) (int_of_string_opt b.node) with
+        | 0 -> compare (int_of_string_opt a.link) (int_of_string_opt b.link)
+        | c -> c)
+  in
+  if ifaces <> [] then begin
+    Format.fprintf ppf "Phase occupancy (share of run time)@.@.";
+    let rows =
+      List.map
+        (fun io ->
+          (io.node ^ "/" ^ io.link)
+          :: List.map
+               (fun p ->
+                 match Hashtbl.find_opt io.occ p with
+                 | Some v -> Metrics.Report.percent v
+                 | None -> "-")
+               phases)
+        ifaces
+    in
+    Metrics.Report.table ~header:("node/link" :: phases) rows ppf ();
+    Format.fprintf ppf "@."
+  end
+
+let spark_glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |]
+
+(* bucket a (t, v) series into [width] mean values and render each as
+   one glyph scaled against [vmax] *)
+let sparkline ~width ~vmax samples =
+  match samples with
+  | [] -> String.make width ' '
+  | (t0, _) :: _ ->
+    let tn = List.fold_left (fun _ (t, _) -> t) t0 samples in
+    let span = tn -. t0 in
+    let sum = Array.make width 0. and n = Array.make width 0 in
+    List.iter
+      (fun (t, v) ->
+        let b =
+          if span <= 0. then 0
+          else min (width - 1) (int_of_float ((t -. t0) /. span *. float_of_int width))
+        in
+        sum.(b) <- sum.(b) +. v;
+        n.(b) <- n.(b) + 1)
+      samples;
+    String.init width (fun b ->
+        if n.(b) = 0 || vmax <= 0. then ' '
+        else
+          let mean = sum.(b) /. float_of_int n.(b) in
+          let g =
+            int_of_float (mean /. vmax *. float_of_int (Array.length spark_glyphs - 1) +. 0.5)
+          in
+          spark_glyphs.(max 0 (min (Array.length spark_glyphs - 1) g)))
+
+let custody_report ppf acc =
+  let nodes =
+    sorted_values acc.nodes (fun a b ->
+        compare (int_of_string_opt a.cnode) (int_of_string_opt b.cnode))
+  in
+  let active = List.filter (fun c -> c.peak > 0.) nodes in
+  if nodes <> [] then begin
+    let vmax = List.fold_left (fun m c -> Float.max m c.peak) 0. nodes in
+    let width = 60 in
+    Format.fprintf ppf "Custody timeline (bits in custody, %d buckets, max %.0f)@.@."
+      width vmax;
+    List.iter
+      (fun c ->
+        Format.fprintf ppf "  node %-4s |%s|@." c.cnode
+          (sparkline ~width ~vmax (List.rev c.samples)))
+      (if active = [] then nodes else active);
+    Format.fprintf ppf "@.";
+    if active <> [] then begin
+      Metrics.Report.bar_chart ~header:"Peak custody (bits) per node"
+        (List.map (fun c -> ("node " ^ c.cnode, c.peak)) active)
+        ppf ();
+      Format.fprintf ppf "@."
+    end
+  end
+
+let sidecar_table ppf acc =
+  match List.rev acc.runs with
+  | [] -> ()
+  | runs ->
+    Format.fprintf ppf "Run records@.@.";
+    let rows =
+      List.map
+        (fun r ->
+          [
+            r.experiment; r.protocol;
+            Printf.sprintf "%d/%d" r.completed r.flows;
+            Printf.sprintf "%.3f" r.mean_fct;
+            Printf.sprintf "%.2f" (r.goodput /. 1e6);
+            Printf.sprintf "%.3f" r.jain;
+          ])
+        runs
+    in
+    Metrics.Report.table
+      ~header:[ "experiment"; "protocol"; "done"; "mean fct (s)";
+                "goodput (Mbps)"; "jain" ]
+      rows ppf ();
+    Format.fprintf ppf "@."
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let input =
+    match Array.to_list Sys.argv with
+    | [ _ ] | [ _; "-" ] -> stdin
+    | [ _; path ] -> open_in path
+    | _ ->
+      prerr_endline "usage: obs_report [FILE|-]  (NDJSON from inrpp_probe or --sidecar)";
+      exit 2
+  in
+  let acc =
+    { ifaces = Hashtbl.create 16; nodes = Hashtbl.create 16; runs = [];
+      events = 0; metrics = 0; skipped = 0 }
+  in
+  (try
+     while true do
+       on_line acc (input_line input)
+     done
+   with End_of_file -> ());
+  if input != stdin then close_in input;
+  let ppf = Format.std_formatter in
+  phase_table ppf acc;
+  custody_report ppf acc;
+  sidecar_table ppf acc;
+  if
+    Hashtbl.length acc.ifaces = 0 && Hashtbl.length acc.nodes = 0
+    && acc.runs = []
+  then Format.fprintf ppf "no recognised telemetry rows found@.";
+  Format.fprintf ppf "(%d trace events, %d metrics, %d other lines)@."
+    acc.events acc.metrics acc.skipped

@@ -54,24 +54,31 @@ let phase_successors = function
   | "backpressure" -> [ "push-data"; "detour" ]
   | _ -> []
 
+(* checker tables are keyed by packed pairs (Chunk_key) rather than
+   structural tuples so lookups on the trace hot path avoid the
+   polymorphic hasher and per-event key allocation *)
+let pack = Chunksim.Chunk_key.pack
+
 (* a crash wipes a router's control state without emitting transitions
    or releases, so per-node checker state must be forgotten with it *)
 let forget_node tbl node =
   let doomed =
     Hashtbl.fold
-      (fun ((n, _) as k) _ acc -> if n = node then k :: acc else acc)
+      (fun k _ acc ->
+        if Chunksim.Chunk_key.flow k = node then k :: acc else acc)
       tbl []
   in
   List.iter (Hashtbl.remove tbl) doomed
 
 let phase_legality t =
-  let state : (int * int, string) Hashtbl.t = Hashtbl.create 64 in
+  let state : (int, string) Hashtbl.t = Hashtbl.create 64 in
   fun time event ->
     match event with
     | Chunksim.Trace.Node_fault { node; up = false } -> forget_node state node
     | Chunksim.Trace.Phase_change { node; link; phase } ->
       let prev =
-        Option.value ~default:"push-data" (Hashtbl.find_opt state (node, link))
+        Option.value ~default:"push-data"
+          (Hashtbl.find_opt state (pack ~flow:node ~idx:link))
       in
       (if phase_successors phase = [] then
          violate t ~time ~checker:"phase-legality"
@@ -84,7 +91,7 @@ let phase_legality t =
          violate t ~time ~checker:"phase-legality"
            (Printf.sprintf "node %d link %d: illegal transition %S -> %S" node
               link prev phase));
-      Hashtbl.replace state (node, link) phase
+      Hashtbl.replace state (pack ~flow:node ~idx:link) phase
     | _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -95,12 +102,15 @@ let phase_legality t =
    an engage is outstanding. *)
 
 let bp_ordering t =
-  let balance : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let balance : (int, int) Hashtbl.t = Hashtbl.create 64 in
   fun time event ->
     match event with
     | Chunksim.Trace.Node_fault { node; up = false } -> forget_node balance node
     | Chunksim.Trace.Bp_signal { node; flow; engage } ->
-      let b = Option.value ~default:0 (Hashtbl.find_opt balance (node, flow)) in
+      let b =
+        Option.value ~default:0
+          (Hashtbl.find_opt balance (pack ~flow:node ~idx:flow))
+      in
       let b' = if engage then b + 1 else b - 1 in
       if b' > 2 then
         violate t ~time ~checker:"bp-ordering"
@@ -111,7 +121,7 @@ let bp_ordering t =
         violate t ~time ~checker:"bp-ordering"
           (Printf.sprintf "node %d flow %d: release without outstanding engage"
              node flow);
-      Hashtbl.replace balance (node, flow) (max 0 (min 2 b'))
+      Hashtbl.replace balance (pack ~flow:node ~idx:flow) (max 0 (min 2 b'))
     | _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -136,9 +146,9 @@ module Conservation = struct
   type t = {
     coll : coll;
     lossy : bool;
-    pushed : (int * int, int) Hashtbl.t;
-    delivered : (int * int, int) Hashtbl.t;
-    destroyed : (int * int, int) Hashtbl.t;
+    pushed : (int, int) Hashtbl.t;
+    delivered : (int, int) Hashtbl.t;
+    destroyed : (int, int) Hashtbl.t;
     mutable pushes : int;
     mutable deliveries : int;
     mutable fault_losses : int;
@@ -160,13 +170,15 @@ module Conservation = struct
 
   let note_push t ~flow ~idx =
     t.pushes <- t.pushes + 1;
-    Hashtbl.replace t.pushed (flow, idx) (count t.pushed (flow, idx) + 1)
+    let k = pack ~flow ~idx in
+    Hashtbl.replace t.pushed k (count t.pushed k + 1)
 
   let note_delivery t ~time ~flow ~idx =
     t.deliveries <- t.deliveries + 1;
-    let d = count t.delivered (flow, idx) + 1 in
-    Hashtbl.replace t.delivered (flow, idx) d;
-    let p = count t.pushed (flow, idx) in
+    let k = pack ~flow ~idx in
+    let d = count t.delivered k + 1 in
+    Hashtbl.replace t.delivered k d;
+    let p = count t.pushed k in
     if d > p then
       violate t.coll ~time ~checker:"conservation"
         (if p = 0 then
@@ -193,7 +205,7 @@ module Conservation = struct
      sent means the fault path conjured or double-counted data *)
   let note_fault_loss t ~time ~flow ~idx =
     t.fault_losses <- t.fault_losses + 1;
-    let k = (flow, idx) in
+    let k = pack ~flow ~idx in
     let dead = count t.destroyed k + 1 in
     Hashtbl.replace t.destroyed k dead;
     let p = count t.pushed k and d = count t.delivered k in

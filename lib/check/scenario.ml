@@ -72,9 +72,10 @@ let run ?(legacy = false) ~seed () =
   let g = pick_graph 0 in
   let nflows = 3 + Sim.Rng.int rng 4 in
   (* per-flow next-hop tables; the last path node records delivery *)
-  let next_hop : (int * int, Topology.Link.t option) Hashtbl.t =
+  let next_hop : (int, Topology.Link.t option) Hashtbl.t =
     Hashtbl.create 64
   in
+  let hop_key node f = Chunksim.Chunk_key.pack ~flow:node ~idx:f in
   let flows =
     Array.init nflows (fun f ->
         let rec pick tries =
@@ -94,7 +95,7 @@ let run ?(legacy = false) ~seed () =
             let hop =
               if k < Array.length links then Some links.(k) else None
             in
-            Hashtbl.replace next_hop (node, f) hop)
+            Hashtbl.replace next_hop (hop_key node f) hop)
           nodes;
         src)
   in
@@ -120,7 +121,7 @@ let run ?(legacy = false) ~seed () =
   for node = 0 to n - 1 do
     Net.set_handler net node (fun ~from:_ p ->
         let f = Packet.flow p in
-        match Hashtbl.find_opt next_hop (node, f) with
+        match Hashtbl.find_opt next_hop (hop_key node f) with
         | Some (Some l) -> ignore (Net.send net ~via:l p)
         | Some None ->
           let idx =

@@ -1,5 +1,5 @@
 type lru_entry = {
-  key : int * int;
+  key : int;                      (* Chunk_key-packed (flow, idx) *)
   bits : float;
   mutable newer : lru_entry option;
   mutable older : lru_entry option;
@@ -13,7 +13,7 @@ type t = {
   custody : (int, (int * float) Queue.t) Hashtbl.t;
   mutable custody_bits : float;
   (* popularity: LRU doubly-linked list + index *)
-  popular : (int * int, lru_entry) Hashtbl.t;
+  popular : (int, lru_entry) Hashtbl.t;
   mutable popular_bits : float;
   mutable newest : lru_entry option;
   mutable oldest : lru_entry option;
@@ -113,6 +113,7 @@ let custody_backlog t ~flow =
   | Some q -> Queue.length q
 
 let custody_occupancy t = t.custody_bits
+let custody_is_empty t = Hashtbl.length t.custody = 0
 let above_high t = t.custody_bits >= t.high
 let below_low t = t.custody_bits <= t.low
 
@@ -124,7 +125,7 @@ let flows_in_custody t =
 (* Popularity *)
 
 let insert_popular t ~flow ~idx ~bits =
-  let key = (flow, idx) in
+  let key = Chunk_key.pack ~flow ~idx in
   (match Hashtbl.find_opt t.popular key with
   | Some existing ->
     unlink t existing;
@@ -144,7 +145,7 @@ let insert_popular t ~flow ~idx ~bits =
   end
 
 let lookup_popular t ~flow ~idx =
-  match Hashtbl.find_opt t.popular (flow, idx) with
+  match Hashtbl.find_opt t.popular (Chunk_key.pack ~flow ~idx) with
   | None ->
     t.miss_count <- t.miss_count + 1;
     false

@@ -38,6 +38,11 @@ val custody_backlog : t -> flow:int -> int
 val custody_occupancy : t -> float
 (** Bits across all flows. *)
 
+val custody_is_empty : t -> bool
+(** O(1): no flow holds any custody chunk.  The drain scheduler's
+    fast-out — avoids walking flow lists four times per [ti] when the
+    store is idle (the common case). *)
+
 val above_high : t -> bool
 val below_low : t -> bool
 val flows_in_custody : t -> int list

@@ -20,11 +20,15 @@ let is_inrp = function
   | Inrp _ -> true
   | Sp | Ecmp _ -> false
 
+(* (src, dst) packed into one int: keeps ECMP cache lookups off the
+   polymorphic hasher and allocation-free on the per-flow path *)
+let pair_key src dst = (src lsl 31) lor dst
+
 type t = {
   g : Graph.t;
   strat : strategy;
   trees : (Topology.Node.id, Dijkstra.tree) Hashtbl.t;
-  ecmp_cache : (Topology.Node.id * Topology.Node.id, Topology.Path.t list) Hashtbl.t;
+  ecmp_cache : (int, Topology.Path.t list) Hashtbl.t;
   table : Allocation.Detour_table.t;
 }
 
@@ -54,11 +58,11 @@ let route t ~flow_id src dst =
   | Sp | Inrp _ -> Dijkstra.path_to (tree t src) dst
   | Ecmp limit ->
     let paths =
-      match Hashtbl.find_opt t.ecmp_cache (src, dst) with
+      match Hashtbl.find_opt t.ecmp_cache (pair_key src dst) with
       | Some ps -> ps
       | None ->
         let ps = Ecmp_paths.equal_cost_paths ~limit t.g src dst in
-        Hashtbl.add t.ecmp_cache (src, dst) ps;
+        Hashtbl.add t.ecmp_cache (pair_key src dst) ps;
         ps
     in
     Ecmp_paths.pick paths ~flow_id

@@ -19,6 +19,7 @@ type t = {
   speed_factor : float;
   drr_scheduler : bool;
   icn_caching : bool;
+  packet_pool : bool;
 }
 
 let default =
@@ -43,6 +44,7 @@ let default =
     speed_factor = 1.;
     drr_scheduler = false;
     icn_caching = false;
+    packet_pool = false;
   }
 
 let validate c =

@@ -1,10 +1,21 @@
+(* The estimator record is deliberately all-float: records whose
+   fields are all floats get OCaml's flat unboxed representation, so
+   the per-packet [note_request]/[note_transit] stores and the
+   per-interval [tick] update touch no boxed values and allocate
+   nothing.  This is why the tick counter lives in the record as a
+   float ([intervals] converts on read, a cold path) — one int field
+   would box every float field and put an allocation on the protocol
+   hot path.  The EWMA arithmetic is kept exactly as before
+   (divisions, not precomputed reciprocals) so results are
+   bit-identical to the boxed implementation. *)
 type t = {
   ti : float;
   alpha : float;
+  one_minus_alpha : float;
   capacity : float;
   mutable interval_bits : float;
   mutable ra : float;
-  mutable ticks : int;
+  mutable ticks : float;
 }
 
 let create ~ti ~alpha ~capacity =
@@ -12,7 +23,15 @@ let create ~ti ~alpha ~capacity =
   if alpha < 0. || alpha > 1. then
     invalid_arg "Rate_estimator.create: alpha outside [0,1]";
   if capacity <= 0. then invalid_arg "Rate_estimator.create: capacity <= 0";
-  { ti; alpha; capacity; interval_bits = 0.; ra = 0.; ticks = 0 }
+  {
+    ti;
+    alpha;
+    one_minus_alpha = 1. -. alpha;
+    capacity;
+    interval_bits = 0.;
+    ra = 0.;
+    ticks = 0.;
+  }
 
 let note_request t ~expected_bits =
   t.interval_bits <- t.interval_bits +. expected_bits
@@ -21,15 +40,15 @@ let note_transit t ~bits = t.interval_bits <- t.interval_bits +. bits
 
 let tick t =
   let instant = t.interval_bits /. t.ti in
-  t.ra <- (t.alpha *. instant) +. ((1. -. t.alpha) *. t.ra);
+  t.ra <- (t.alpha *. instant) +. (t.one_minus_alpha *. t.ra);
   t.interval_bits <- 0.;
-  t.ticks <- t.ticks + 1
+  t.ticks <- t.ticks +. 1.
 
 let anticipated_rate t = t.ra
 
 let ratio t = t.ra /. t.capacity
 
-let intervals t = t.ticks
+let intervals t = int_of_float t.ticks
 
 module Shares = struct
   type t = {

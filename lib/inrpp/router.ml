@@ -3,6 +3,7 @@ module Packet = Chunksim.Packet
 module Net = Chunksim.Net
 module Iface = Chunksim.Iface
 module Cache = Chunksim.Cache
+module Chunk_key = Chunksim.Chunk_key
 module Trace = Chunksim.Trace
 
 type counters = {
@@ -18,6 +19,47 @@ type counters = {
   mutable custody_wiped : int;
 }
 
+(* A detour candidate with everything the per-packet usability scan
+   needs resolved ahead of time: hop interfaces, their admission
+   limits, and (lazily) the first hop's estimator.  The static
+   conditions — depth bound, every hop up — are folded into cache
+   membership; only queue room is re-checked per scan, so the scan
+   allocates nothing. *)
+type dcand = {
+  dc_first : Link.t;
+  dc_via : Topology.Node.id;       (* first hop's dst: the flowlet pin *)
+  dc_rest : Topology.Node.id list; (* source route after the first hop *)
+  dc_ifaces : Iface.t array;       (* every hop, candidate order *)
+  dc_limits : float array;         (* threshold * capacity per hop *)
+  mutable dc_est : Rate_estimator.t option;
+}
+
+(* Per-link candidate cache, invalidated by generation: every
+   link-state flip and every crash bumps [ls_gen], so a stale
+   generation means the static filter must be recomputed.  Between
+   bumps, up-ness cannot change (all transitions go through
+   [on_link_down]/[on_link_up]). *)
+type dcache = {
+  mutable dk_gen : int;
+  mutable dk_cands : dcand array;
+}
+
+(* Hot-path state resolved once per (flow, data link) instead of per
+   packet: interface handle, queue-admission limit, and lazy
+   phase/estimator references.  Dropped whenever the flow's link
+   changes (reroute) or control state dies (crash); the lazy fields
+   resolve through the same [phase]/[estimator] functions as before,
+   so creation instants — observable through the sampler's
+   [estimator_links] probe set — are unchanged. *)
+type hot = {
+  h_link : Link.t;
+  h_iface : Iface.t;
+  h_limit : float;                 (* threshold * capacity of h_iface *)
+  mutable h_phase : Phase.t option;
+  mutable h_est : Rate_estimator.t option;
+  mutable h_dcache : dcache option;
+}
+
 type flow_entry = {
   content : int;                  (* cache key shared across transfers *)
   mutable data_link : Link.t option;
@@ -27,6 +69,7 @@ type flow_entry = {
   mutable detour_override : bool; (* downstream BP absorbed by detouring here *)
   mutable bp_outage : bool;       (* engaged because no path survives an outage *)
   mutable failed_over : bool;     (* primary down, currently riding detours *)
+  mutable hot : hot option;
 }
 
 type t = {
@@ -36,19 +79,27 @@ type t = {
   detours : Detour_table.t;
   link_state : Topology.Link_state.t option;
   trace : Trace.t option;
+  pool : Packet.Pool.t option;
   flows : (int, flow_entry) Hashtbl.t;
+  (* dense mirror of [flows] for the per-packet lookup; [flows] stays
+     the iteration structure (drain/fault/crash walk it), so artefact-
+     visible iteration order is untouched *)
+  mutable flow_arr : flow_entry option array;
   store : Cache.t;
-  custody_packets : (int * int, Packet.t) Hashtbl.t;
+  custody_packets : (int, Packet.t) Hashtbl.t;  (* Chunk_key-packed *)
   estimators : (int, Rate_estimator.t) Hashtbl.t;
   phases : (int, Phase.t) Hashtbl.t;
+  dcaches : (int, dcache) Hashtbl.t;
   flowlets : Flowlet.t;
   c : counters;
+  mutable ls_gen : int;           (* link-state generation, see dcache *)
+  mutable bp_locals : int;        (* entries with bp_local = true *)
   mutable local_producer : (Packet.t -> unit) option;
   mutable local_consumer : (Packet.t -> unit) option;
   mutable crashed : bool;
 }
 
-let create ~cfg ~net ~node ~detours ?link_state ?trace () =
+let create ~cfg ~net ~node ~detours ?link_state ?trace ?pool () =
   {
     cfg;
     net;
@@ -56,7 +107,9 @@ let create ~cfg ~net ~node ~detours ?link_state ?trace () =
     detours;
     link_state;
     trace;
+    pool;
     flows = Hashtbl.create 16;
+    flow_arr = [||];
     store =
       Cache.create ~high_water:cfg.Config.cache_high_water
         ~low_water:cfg.Config.cache_low_water
@@ -64,6 +117,7 @@ let create ~cfg ~net ~node ~detours ?link_state ?trace () =
     custody_packets = Hashtbl.create 64;
     estimators = Hashtbl.create 8;
     phases = Hashtbl.create 8;
+    dcaches = Hashtbl.create 8;
     flowlets = Flowlet.create ~gap:cfg.Config.flowlet_gap;
     c =
       {
@@ -78,6 +132,8 @@ let create ~cfg ~net ~node ~detours ?link_state ?trace () =
         failovers = 0;
         custody_wiped = 0;
       };
+    ls_gen = 0;
+    bp_locals = 0;
     local_producer = None;
     local_consumer = None;
     crashed = false;
@@ -90,10 +146,34 @@ let record t e =
   | Some tr -> Trace.record tr ~time:(now t) e
   | None -> ()
 
+(* Dropped events carry a formatted packet string; build it only when
+   a trace is actually attached (bench runs drop packets too). *)
+let record_drop t ~link (p : Packet.t) =
+  match t.trace with
+  | Some tr ->
+    Trace.record tr ~time:(now t)
+      (Trace.Dropped
+         {
+           node = t.node_id;
+           link;
+           packet = Format.asprintf "%a" Packet.pp p;
+         })
+  | None -> ()
+
+let release_pkt t (p : Packet.t) =
+  match t.pool with
+  | Some pool -> Packet.Pool.release pool p
+  | None -> ()
+
+let make_data t ~flow ~idx ~born =
+  match t.pool with
+  | Some pool -> Packet.Pool.data pool ~flow ~idx ~born
+  | None -> Packet.data ~flow ~idx ~born t.cfg.Config.chunk_bits
+
 let estimator t (l : Link.t) =
-  match Hashtbl.find_opt t.estimators l.Link.id with
-  | Some e -> e
-  | None ->
+  match Hashtbl.find t.estimators l.Link.id with
+  | e -> e
+  | exception Not_found ->
     let e =
       Rate_estimator.create ~ti:t.cfg.Config.ti
         ~alpha:t.cfg.Config.estimator_alpha
@@ -103,9 +183,9 @@ let estimator t (l : Link.t) =
     e
 
 let phase t (l : Link.t) =
-  match Hashtbl.find_opt t.phases l.Link.id with
-  | Some p -> p
-  | None ->
+  match Hashtbl.find t.phases l.Link.id with
+  | p -> p
+  | exception Not_found ->
     let p =
       Phase.create ~engage:t.cfg.Config.engage_ratio
         ~release:t.cfg.Config.release_ratio
@@ -113,8 +193,31 @@ let phase t (l : Link.t) =
     Hashtbl.add t.phases l.Link.id p;
     p
 
+(* ------------------------------------------------------------------ *)
+(* Flow table *)
+
+let flow_find t flow =
+  if flow >= 0 && flow < Array.length t.flow_arr then t.flow_arr.(flow)
+  else None
+
+let ensure_flow_capacity t flow =
+  let n = Array.length t.flow_arr in
+  if flow >= n then begin
+    let m = ref (max 16 (2 * n)) in
+    while flow >= !m do
+      m := 2 * !m
+    done;
+    let arr = Array.make !m None in
+    Array.blit t.flow_arr 0 arr 0 n;
+    t.flow_arr <- arr
+  end
+
 let install_flow t ?content ~flow ~data_link ~req_link () =
-  Hashtbl.replace t.flows flow
+  if flow < 0 then invalid_arg "Router.install_flow: flow < 0";
+  (match Hashtbl.find_opt t.flows flow with
+  | Some old when old.bp_local -> t.bp_locals <- t.bp_locals - 1
+  | Some _ | None -> ());
+  let entry =
     {
       content = Option.value ~default:flow content;
       data_link;
@@ -124,33 +227,154 @@ let install_flow t ?content ~flow ~data_link ~req_link () =
       detour_override = false;
       bp_outage = false;
       failed_over = false;
+      hot = None;
     }
+  in
+  Hashtbl.replace t.flows flow entry;
+  ensure_flow_capacity t flow;
+  t.flow_arr.(flow) <- Some entry
 
 let set_local_producer t f = t.local_producer <- Some f
 let set_local_consumer t f = t.local_consumer <- Some f
-
-let queue_has_room t (l : Link.t) =
-  let i = Net.iface t.net l.Link.id in
-  Iface.queue_occupancy i
-  < t.cfg.Config.detour_queue_threshold *. Iface.queue_capacity i
 
 let link_is_up t (l : Link.t) =
   match t.link_state with
   | Some ls -> Topology.Link_state.is_up ls l.Link.id
   | None -> true
 
-(* detour candidates around [l] with every hop up and queue room on
-   every hop, within the configured depth.  Remote queue state stands
-   in for the paper's periodic utilisation exchange between one-hop
-   neighbours. *)
-let usable_detours t (l : Link.t) =
-  List.filter
-    (fun (cand : Detour_table.candidate) ->
-      cand.Detour_table.hops - 1 <= t.cfg.Config.max_detour
-      && List.for_all
-           (fun hop -> link_is_up t hop && queue_has_room t hop)
-           cand.Detour_table.links)
-    (Detour_table.candidates t.detours l)
+(* ------------------------------------------------------------------ *)
+(* Detour candidate cache *)
+
+(* detour candidates around [l] within the configured depth and with
+   every hop up; queue room is the per-scan dynamic check.  Remote
+   queue state stands in for the paper's periodic utilisation exchange
+   between one-hop neighbours. *)
+let build_cands t (l : Link.t) =
+  let usable =
+    List.filter
+      (fun (cand : Detour_table.candidate) ->
+        cand.Detour_table.hops - 1 <= t.cfg.Config.max_detour
+        && List.for_all (fun hop -> link_is_up t hop) cand.Detour_table.links)
+      (Detour_table.candidates t.detours l)
+  in
+  Array.of_list
+    (List.map
+       (fun (cand : Detour_table.candidate) ->
+         let ifaces =
+           Array.of_list
+             (List.map
+                (fun (hop : Link.t) -> Net.iface t.net hop.Link.id)
+                cand.Detour_table.links)
+         in
+         let limits =
+           Array.map
+             (fun i ->
+               t.cfg.Config.detour_queue_threshold *. Iface.queue_capacity i)
+             ifaces
+         in
+         {
+           dc_first = cand.Detour_table.first_link;
+           dc_via = cand.Detour_table.first_link.Link.dst;
+           dc_rest = cand.Detour_table.rest;
+           dc_ifaces = ifaces;
+           dc_limits = limits;
+           dc_est = None;
+         })
+       usable)
+
+let refresh_dcache t (l : Link.t) dk =
+  if dk.dk_gen <> t.ls_gen then begin
+    dk.dk_cands <- build_cands t l;
+    dk.dk_gen <- t.ls_gen
+  end
+
+let dcache_of t (l : Link.t) =
+  let dk =
+    match Hashtbl.find t.dcaches l.Link.id with
+    | dk -> dk
+    | exception Not_found ->
+      let dk = { dk_gen = t.ls_gen - 1; dk_cands = [||] } in
+      Hashtbl.add t.dcaches l.Link.id dk;
+      dk
+  in
+  refresh_dcache t l dk;
+  dk
+
+let cand_ok (c : dcand) =
+  let n = Array.length c.dc_ifaces in
+  let rec ok i =
+    i >= n
+    || (Iface.queue_occupancy c.dc_ifaces.(i) < c.dc_limits.(i) && ok (i + 1))
+  in
+  ok 0
+
+let first_usable dk =
+  let n = Array.length dk.dk_cands in
+  let rec go i =
+    if i >= n then -1 else if cand_ok dk.dk_cands.(i) then i else go (i + 1)
+  in
+  go 0
+
+let usable_with_via dk via =
+  let n = Array.length dk.dk_cands in
+  let rec go i =
+    if i >= n then -1
+    else if dk.dk_cands.(i).dc_via = via && cand_ok dk.dk_cands.(i) then i
+    else go (i + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Per-flow hot state *)
+
+let hot_of t entry (l : Link.t) =
+  match entry.hot with
+  | Some h when h.h_link == l -> h
+  | Some _ | None ->
+    let i = Net.iface t.net l.Link.id in
+    let h =
+      {
+        h_link = l;
+        h_iface = i;
+        h_limit = t.cfg.Config.detour_queue_threshold *. Iface.queue_capacity i;
+        h_phase = None;
+        h_est = None;
+        h_dcache = None;
+      }
+    in
+    entry.hot <- Some h;
+    h
+
+let hot_phase t h =
+  match h.h_phase with
+  | Some p -> p
+  | None ->
+    let p = phase t h.h_link in
+    h.h_phase <- Some p;
+    p
+
+let hot_est t h =
+  match h.h_est with
+  | Some e -> e
+  | None ->
+    let e = estimator t h.h_link in
+    h.h_est <- Some e;
+    e
+
+let hot_dcache t h =
+  match h.h_dcache with
+  | Some dk ->
+    refresh_dcache t h.h_link dk;
+    dk
+  | None ->
+    let dk = dcache_of t h.h_link in
+    h.h_dcache <- Some dk;
+    dk
+
+let entry_dcache t entry (l : Link.t) =
+  match entry.hot with
+  | Some h when h.h_link == l -> hot_dcache t h
+  | Some _ | None -> dcache_of t l
 
 (* ------------------------------------------------------------------ *)
 (* Back-pressure signalling *)
@@ -177,7 +401,11 @@ let signal_upstream t entry ~flow ~engage =
 let engage_local t entry ~flow ~slot =
   let was = entry.bp_local || entry.bp_outage in
   (match slot with
-  | `Custody -> entry.bp_local <- true
+  | `Custody ->
+    if not entry.bp_local then begin
+      entry.bp_local <- true;
+      t.bp_locals <- t.bp_locals + 1
+    end
   | `Outage -> entry.bp_outage <- true);
   if not was then signal_upstream t entry ~flow ~engage:true
 
@@ -186,7 +414,11 @@ let release_local t entry ~flow ~slot =
     match slot with `Custody -> entry.bp_local | `Outage -> entry.bp_outage
   in
   (match slot with
-  | `Custody -> entry.bp_local <- false
+  | `Custody ->
+    if entry.bp_local then begin
+      entry.bp_local <- false;
+      t.bp_locals <- t.bp_locals - 1
+    end
   | `Outage -> entry.bp_outage <- false);
   if had && not (entry.bp_local || entry.bp_outage) then
     signal_upstream t entry ~flow ~engage:false
@@ -199,6 +431,7 @@ let reroute_flow t ?content ~flow ~data_link ~req_link () =
   | Some entry ->
     entry.data_link <- data_link;
     entry.req_link <- req_link;
+    entry.hot <- None;
     (match data_link with
     | Some l when link_is_up t l ->
       entry.failed_over <- false;
@@ -212,8 +445,8 @@ let reroute_flow t ?content ~flow ~data_link ~req_link () =
 let custody t entry flow (p : Packet.t) =
   match p.Packet.header with
   | Packet.Data { idx; _ } -> begin
-    let engage () = engage_local t entry ~flow ~slot:`Custody in
-    if Hashtbl.mem t.custody_packets (flow, idx) then begin
+    let key = Chunk_key.pack ~flow ~idx in
+    if Hashtbl.mem t.custody_packets key then begin
       (* duplicate copy (a retransmit racing the custodied original):
          admitting it would put a second entry in the store's custody
          queue while the packet table holds one payload per (flow,
@@ -221,49 +454,33 @@ let custody t entry flow (p : Packet.t) =
          store space until the end of the run.  Drop it; the
          custodied copy is already scheduled to move on. *)
       t.c.dropped <- t.c.dropped + 1;
-      record t
-        (Trace.Dropped
-           {
-             node = t.node_id;
-             link = -1;
-             packet = Format.asprintf "%a" Packet.pp p;
-           })
+      record_drop t ~link:(-1) p;
+      release_pkt t p
     end
     else
-    match
-      Cache.put_custody t.store ~flow ~idx ~bits:p.Packet.size
-    with
-    | `Stored ->
-      Hashtbl.replace t.custody_packets (flow, idx) p;
-      t.c.custody_stored <- t.c.custody_stored + 1;
-      record t (Trace.Cached { node = t.node_id; flow; idx });
-      (* back-pressure engages at the high watermark, not on the first
-         stored chunk — small excursions are what the store is for *)
-      if Cache.above_high t.store then engage ()
-    | `Full ->
-      (* the store itself overflowed: the congestion-collapse guard the
-         paper's back-pressure exists to prevent *)
-      engage ();
-      t.c.dropped <- t.c.dropped + 1;
-      record t
-        (Trace.Dropped
-           {
-             node = t.node_id;
-             link = -1;
-             packet = Format.asprintf "%a" Packet.pp p;
-           })
+      match Cache.put_custody t.store ~flow ~idx ~bits:p.Packet.size with
+      | `Stored ->
+        Hashtbl.replace t.custody_packets key p;
+        t.c.custody_stored <- t.c.custody_stored + 1;
+        record t (Trace.Cached { node = t.node_id; flow; idx });
+        (* back-pressure engages at the high watermark, not on the first
+           stored chunk — small excursions are what the store is for *)
+        if Cache.above_high t.store then
+          engage_local t entry ~flow ~slot:`Custody
+      | `Full ->
+        (* the store itself overflowed: the congestion-collapse guard the
+           paper's back-pressure exists to prevent *)
+        engage_local t entry ~flow ~slot:`Custody;
+        t.c.dropped <- t.c.dropped + 1;
+        record_drop t ~link:(-1) p;
+        release_pkt t p
   end
   | Packet.Request _ | Packet.Backpressure _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Data forwarding *)
 
-let send_primary ~on_overflow t (l : Link.t) (p : Packet.t) =
-  match Net.send t.net ~via:l p with
-  | `Queued -> t.c.forwarded_data <- t.c.forwarded_data + 1
-  | `Dropped -> on_overflow p
-
-let send_detour t flow (cand : Detour_table.candidate) (p : Packet.t) =
+let send_detour t flow (c : dcand) (p : Packet.t) =
   let idx =
     match p.Packet.header with
     | Packet.Data { idx; _ } -> idx
@@ -275,28 +492,28 @@ let send_detour t flow (cand : Detour_table.candidate) (p : Packet.t) =
       {
         p with
         Packet.header =
-          Packet.Data
-            { d with via_detour = true; detour_route = cand.Detour_table.rest };
+          Packet.Data { d with via_detour = true; detour_route = c.dc_rest };
       }
     | Packet.Request _ | Packet.Backpressure _ -> p
   in
-  Rate_estimator.note_transit
-    (estimator t cand.Detour_table.first_link)
-    ~bits:p.Packet.size;
-  match Net.send t.net ~via:cand.Detour_table.first_link p' with
+  let est =
+    match c.dc_est with
+    | Some e -> e
+    | None ->
+      let e = estimator t c.dc_first in
+      c.dc_est <- Some e;
+      e
+  in
+  Rate_estimator.note_transit est ~bits:p.Packet.size;
+  match Net.send t.net ~via:c.dc_first p' with
   | `Queued ->
     t.c.detoured <- t.c.detoured + 1;
     record t
-      (Trace.Detoured
-         {
-           node = t.node_id;
-           flow;
-           idx;
-           via = cand.Detour_table.first_link.Link.dst;
-         });
+      (Trace.Detoured { node = t.node_id; flow; idx; via = c.dc_via });
     `Queued
   | `Dropped ->
     t.c.dropped <- t.c.dropped + 1;
+    if p' != p then release_pkt t p';
     `Dropped
 
 (* Deflect [p] onto the best usable detour around [l]; prefers the
@@ -305,28 +522,30 @@ let send_detour t flow (cand : Detour_table.candidate) (p : Packet.t) =
    detour's admission fails under the candidate check (a race with new
    arrivals, or an interface that just went down). *)
 let try_detour t entry flow (l : Link.t) (p : Packet.t) =
-  match usable_detours t l with
-  | [] -> custody t entry flow p
-  | (first :: _ as usable) ->
-    let preferred = Flowlet.Via first.Detour_table.first_link.Link.dst in
-    let pinned = Flowlet.choose t.flowlets ~flow ~now:(now t) ~preferred in
+  let dk = entry_dcache t entry l in
+  let fi = first_usable dk in
+  if fi < 0 then custody t entry flow p
+  else begin
+    let first = dk.dk_cands.(fi) in
+    let pinned =
+      Flowlet.choose t.flowlets ~flow ~now:(now t)
+        ~preferred:(Flowlet.Via first.dc_via)
+    in
     let chosen =
       match pinned with
-      | Flowlet.Via via -> begin
-        match
-          List.find_opt
-            (fun (c : Detour_table.candidate) ->
-              c.Detour_table.first_link.Link.dst = via)
-            usable
-        with
-        | Some cand -> cand
-        | None -> first (* pinned detour filled up; re-route *)
-      end
+      | Flowlet.Via via ->
+        if via = first.dc_via then first
+        else begin
+          let vi = usable_with_via dk via in
+          if vi >= 0 then dk.dk_cands.(vi)
+          else first (* pinned detour filled up; re-route *)
+        end
       | Flowlet.Primary -> first
     in
     match send_detour t flow chosen p with
-    | `Queued -> ()
+    | `Queued -> release_pkt t p (* the detour copy went out; [p] is dead *)
     | `Dropped -> custody t entry flow p
+  end
 
 let maybe_cache_popular t entry (p : Packet.t) =
   if t.cfg.Config.icn_caching then begin
@@ -337,39 +556,48 @@ let maybe_cache_popular t entry (p : Packet.t) =
     | Packet.Request _ | Packet.Backpressure _ -> ()
   end
 
+let forward_on_primary t entry flow (l : Link.t) (p : Packet.t) =
+  match Net.send t.net ~via:l p with
+  | `Queued -> t.c.forwarded_data <- t.c.forwarded_data + 1
+  | `Dropped ->
+    (* overflowing queue falls through to detours, then custody —
+       congestion is handled locally even before the estimator
+       notices it *)
+    try_detour t entry flow l p
+
 let forward_primary_path t entry flow (p : Packet.t) =
   maybe_cache_popular t entry p;
   match entry.data_link with
   | None -> begin
     match t.local_consumer with
     | Some consumer -> consumer p
-    | None -> t.c.dropped <- t.c.dropped + 1
+    | None ->
+      t.c.dropped <- t.c.dropped + 1;
+      release_pkt t p
   end
   | Some l -> begin
+    let h = hot_of t entry l in
     if not (link_is_up t l) then
       (* primary interface is down: go straight to the detour set (the
          paper's detour phase, triggered by outage rather than rate);
          custody is the fallback when no detour survives *)
       try_detour t entry flow l p
     else
-    let ph = Phase.current (phase t l) in
-    let effective =
-      if entry.detour_override && ph = Phase.Push_data then Phase.Detour
-      else ph
-    in
-    match effective with
-    | Phase.Push_data ->
-      (* line-rate forwarding; an overflowing queue falls through to
-         detours, then custody — congestion is handled locally even
-         before the estimator notices it *)
-      send_primary t l p ~on_overflow:(fun p -> try_detour t entry flow l p)
-    | Phase.Detour ->
-      if queue_has_room t l then begin
-        Flowlet.(ignore (choose t.flowlets ~flow ~now:(now t) ~preferred:Primary));
-        send_primary t l p ~on_overflow:(fun p -> try_detour t entry flow l p)
-      end
-      else try_detour t entry flow l p
-    | Phase.Backpressure -> custody t entry flow p
+      let ph = Phase.current (hot_phase t h) in
+      let effective =
+        if entry.detour_override && ph = Phase.Push_data then Phase.Detour
+        else ph
+      in
+      match effective with
+      | Phase.Push_data -> forward_on_primary t entry flow l p
+      | Phase.Detour ->
+        if Iface.queue_occupancy h.h_iface < h.h_limit then begin
+          Flowlet.(
+            ignore (choose t.flowlets ~flow ~now:(now t) ~preferred:Primary));
+          forward_on_primary t entry flow l p
+        end
+        else try_detour t entry flow l p
+      | Phase.Backpressure -> custody t entry flow p
   end
 
 let handle_data t (p : Packet.t) =
@@ -379,19 +607,28 @@ let handle_data t (p : Packet.t) =
     | next :: rest -> begin
       (* mid-detour: source-routed towards the rejoin node *)
       match Topology.Graph.find_link (Net.graph t.net) t.node_id next with
-      | None -> t.c.dropped <- t.c.dropped + 1
+      | None ->
+        t.c.dropped <- t.c.dropped + 1;
+        release_pkt t p
       | Some l ->
         let p' =
           { p with Packet.header = Packet.Data { d with detour_route = rest } }
         in
         Rate_estimator.note_transit (estimator t l) ~bits:p.Packet.size;
         (match Net.send t.net ~via:l p' with
-        | `Queued -> t.c.forwarded_data <- t.c.forwarded_data + 1
-        | `Dropped -> t.c.dropped <- t.c.dropped + 1)
+        | `Queued ->
+          t.c.forwarded_data <- t.c.forwarded_data + 1;
+          release_pkt t p
+        | `Dropped ->
+          t.c.dropped <- t.c.dropped + 1;
+          release_pkt t p';
+          release_pkt t p)
     end
     | [] -> begin
-      match Hashtbl.find_opt t.flows flow with
-      | None -> t.c.dropped <- t.c.dropped + 1
+      match flow_find t flow with
+      | None ->
+        t.c.dropped <- t.c.dropped + 1;
+        release_pkt t p
       | Some entry -> forward_primary_path t entry flow p
     end
   end
@@ -403,7 +640,7 @@ let handle_data t (p : Packet.t) =
 let handle_request t (p : Packet.t) =
   match p.Packet.header with
   | Packet.Request { flow; nc; _ } -> begin
-    match Hashtbl.find_opt t.flows flow with
+    match flow_find t flow with
     | None -> t.c.dropped <- t.c.dropped + 1
     | Some entry ->
       (* ICN short-circuit: a popularity-cached copy answers the request
@@ -414,9 +651,7 @@ let handle_request t (p : Packet.t) =
       then begin
         t.c.cache_hits <- t.c.cache_hits + 1;
         record t (Trace.Cache_hit { node = t.node_id; flow; idx = nc });
-        let data =
-          Packet.data ~flow ~idx:nc ~born:(now t) t.cfg.Config.chunk_bits
-        in
+        let data = make_data t ~flow ~idx:nc ~born:(now t) in
         forward_primary_path t entry flow data
       end
       else begin
@@ -424,7 +659,8 @@ let handle_request t (p : Packet.t) =
            the data interface (eq. 1 bookkeeping) *)
         (match entry.data_link with
         | Some dl ->
-          Rate_estimator.note_request (estimator t dl)
+          Rate_estimator.note_request
+            (hot_est t (hot_of t entry dl))
             ~expected_bits:t.cfg.Config.chunk_bits
         | None -> ());
         match entry.req_link with
@@ -441,7 +677,7 @@ let handle_request t (p : Packet.t) =
 let handle_backpressure t (p : Packet.t) =
   match p.Packet.header with
   | Packet.Backpressure { flow; engage } -> begin
-    match Hashtbl.find_opt t.flows flow with
+    match flow_find t flow with
     | None -> ()
     | Some entry ->
       if engage then begin
@@ -450,7 +686,7 @@ let handle_backpressure t (p : Packet.t) =
            notification towards the sender *)
         let can_absorb =
           match entry.data_link with
-          | Some l -> usable_detours t l <> []
+          | Some l -> first_usable (entry_dcache t entry l) >= 0
           | None -> false
         in
         if can_absorb then entry.detour_override <- true
@@ -484,89 +720,97 @@ let originate_data t p = handle_data t p
 let tick t =
   if t.crashed then ()
   else
-  Hashtbl.iter
-    (fun link_id est ->
-      Rate_estimator.tick est;
-      let l = Topology.Graph.link (Net.graph t.net) link_id in
-      let ph = phase t l in
-      let before = Phase.current ph in
-      let after =
-        Phase.update ph ~ratio:(Rate_estimator.ratio est)
-          ~detour_usable:(usable_detours t l <> [])
-          ~custody_pressure:(Cache.above_high t.store)
-          ~custody_drained:(Cache.below_low t.store)
-      in
-      if before <> after then
-        record t
-          (Trace.Phase_change
-             { node = t.node_id; link = link_id; phase = Phase.to_string after }))
-    t.estimators
+    Hashtbl.iter
+      (fun link_id est ->
+        Rate_estimator.tick est;
+        let l = Topology.Graph.link (Net.graph t.net) link_id in
+        let ph = phase t l in
+        let before = Phase.current ph in
+        let after =
+          Phase.update ph ~ratio:(Rate_estimator.ratio est)
+            ~detour_usable:(first_usable (dcache_of t l) >= 0)
+            ~custody_pressure:(Cache.above_high t.store)
+            ~custody_drained:(Cache.below_low t.store)
+        in
+        if before <> after then
+          record t
+            (Trace.Phase_change
+               { node = t.node_id; link = link_id; phase = Phase.to_string after }))
+      t.estimators
 
 let drain t =
   if t.crashed then ()
   else begin
-  (* release custody one chunk per flow per round so competing flows
-     share the recovered bandwidth round-robin (the paper's scheduler
-     multiplexes flows in round-robin fashion) *)
-  let release_one flow =
-    match Hashtbl.find_opt t.flows flow with
-    | None -> false
-    | Some entry -> begin
-      match entry.data_link with
-      | None -> false
-      | Some l ->
-        let out =
-          if link_is_up t l && queue_has_room t l then Some `Primary
-          else begin
-            match usable_detours t l with
-            | cand :: _ -> Some (`Detour cand)
-            | [] -> None
-          end
-        in
-        match out with
+    (* release custody one chunk per flow per round so competing flows
+       share the recovered bandwidth round-robin (the paper's scheduler
+       multiplexes flows in round-robin fashion) *)
+    if not (Cache.custody_is_empty t.store) then begin
+      let release_one flow =
+        match flow_find t flow with
         | None -> false
-        | Some out -> begin
-          match Cache.take_custody t.store ~flow with
+        | Some entry -> begin
+          match entry.data_link with
           | None -> false
-          | Some (idx, _bits) -> begin
-            t.c.custody_released <- t.c.custody_released + 1;
-            record t (Trace.Custody_released { node = t.node_id; flow; idx });
-            (match Hashtbl.find_opt t.custody_packets (flow, idx) with
-            | None -> ()
-            | Some p ->
-              Hashtbl.remove t.custody_packets (flow, idx);
-              (match out with
-              | `Primary -> begin
-                match Net.send t.net ~via:l p with
-                | `Queued -> t.c.forwarded_data <- t.c.forwarded_data + 1
-                | `Dropped ->
-                  (* raced with new arrivals, or the interface just
-                     went down; back into custody — never leak *)
-                  custody t entry flow p
+          | Some l ->
+            let h = hot_of t entry l in
+            let out =
+              if
+                link_is_up t l
+                && Iface.queue_occupancy h.h_iface < h.h_limit
+              then `Primary
+              else begin
+                let dk = hot_dcache t h in
+                let fi = first_usable dk in
+                if fi >= 0 then `Detour dk.dk_cands.(fi) else `None
               end
-              | `Detour cand -> begin
-                match send_detour t flow cand p with
-                | `Queued -> ()
-                | `Dropped -> custody t entry flow p
-              end));
-            true
-          end
+            in
+            match out with
+            | `None -> false
+            | (`Primary | `Detour _) as out -> begin
+              match Cache.take_custody t.store ~flow with
+              | None -> false
+              | Some (idx, _bits) -> begin
+                t.c.custody_released <- t.c.custody_released + 1;
+                record t
+                  (Trace.Custody_released { node = t.node_id; flow; idx });
+                let key = Chunk_key.pack ~flow ~idx in
+                (match Hashtbl.find t.custody_packets key with
+                | exception Not_found -> ()
+                | p ->
+                  Hashtbl.remove t.custody_packets key;
+                  (match out with
+                  | `Primary -> begin
+                    match Net.send t.net ~via:l p with
+                    | `Queued -> t.c.forwarded_data <- t.c.forwarded_data + 1
+                    | `Dropped ->
+                      (* raced with new arrivals, or the interface just
+                         went down; back into custody — never leak *)
+                      custody t entry flow p
+                  end
+                  | `Detour cand -> begin
+                    match send_detour t flow cand p with
+                    | `Queued -> release_pkt t p
+                    | `Dropped -> custody t entry flow p
+                  end));
+                true
+              end
+            end
         end
-    end
-  in
-  let flows = Cache.flows_in_custody t.store in
-  let progress = ref true in
-  while !progress do
-    progress := false;
-    List.iter (fun flow -> if release_one flow then progress := true) flows
-  done;
-  (* release upstream pressure once the store has drained enough *)
-  if Cache.below_low t.store then
-    Hashtbl.iter
-      (fun flow entry ->
-        if entry.bp_local && Cache.custody_backlog t.store ~flow = 0 then
-          release_local t entry ~flow ~slot:`Custody)
-      t.flows
+      in
+      let flows = Cache.flows_in_custody t.store in
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        List.iter (fun flow -> if release_one flow then progress := true) flows
+      done
+    end;
+    (* release upstream pressure once the store has drained enough *)
+    if t.bp_locals > 0 && Cache.below_low t.store then
+      Hashtbl.iter
+        (fun flow entry ->
+          if entry.bp_local && Cache.custody_backlog t.store ~flow = 0 then
+            release_local t entry ~flow ~slot:`Custody)
+        t.flows
   end
 
 (* ------------------------------------------------------------------ *)
@@ -579,12 +823,13 @@ let drain t =
    plus a drain, so custody held for a dead next-hop evacuates onto
    detours at the outage instant. *)
 let on_link_down t _link_id =
+  t.ls_gen <- t.ls_gen + 1;
   if not t.crashed then begin
     Hashtbl.iter
       (fun flow entry ->
         match entry.data_link with
         | Some l when not (link_is_up t l) ->
-          if usable_detours t l <> [] then begin
+          if first_usable (entry_dcache t entry l) >= 0 then begin
             if not entry.failed_over then begin
               entry.failed_over <- true;
               t.c.failovers <- t.c.failovers + 1
@@ -597,6 +842,7 @@ let on_link_down t _link_id =
   end
 
 let on_link_up t _link_id =
+  t.ls_gen <- t.ls_gen + 1;
   if not t.crashed then begin
     Hashtbl.iter
       (fun flow entry ->
@@ -606,7 +852,7 @@ let on_link_up t _link_id =
             entry.failed_over <- false;
             if entry.bp_outage then release_local t entry ~flow ~slot:`Outage
           end
-          else if usable_detours t l <> [] then begin
+          else if first_usable (entry_dcache t entry l) >= 0 then begin
             (* primary still down but a detour came back *)
             if entry.bp_outage then release_local t entry ~flow ~slot:`Outage;
             if not entry.failed_over then begin
@@ -623,23 +869,29 @@ let crash t ~policy =
   if t.crashed then []
   else begin
     t.crashed <- true;
-    (* control state is volatile under every policy *)
+    (* control state is volatile under every policy; hot caches hold
+       references into the estimator/phase tables being reset, so they
+       die with it *)
     Hashtbl.iter
       (fun _ entry ->
         entry.bp_local <- false;
         entry.bp_forwarded <- false;
         entry.detour_override <- false;
         entry.bp_outage <- false;
-        entry.failed_over <- false)
+        entry.failed_over <- false;
+        entry.hot <- None)
       t.flows;
+    t.bp_locals <- 0;
     Hashtbl.reset t.estimators;
     Hashtbl.reset t.phases;
+    t.ls_gen <- t.ls_gen + 1;
     match policy with
     | `Preserve -> []
     | `Wipe ->
       let wiped =
         List.sort compare
           (Hashtbl.fold (fun k _ acc -> k :: acc) t.custody_packets [])
+        |> List.map (fun k -> (Chunk_key.flow k, Chunk_key.idx k))
       in
       (* empty the store's custody region coherently with the table *)
       List.iter

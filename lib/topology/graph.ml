@@ -1,9 +1,14 @@
+(* endpoint pairs are packed into one int so [find_link] (called from
+   routing hot paths) neither allocates a tuple key nor pays the
+   polymorphic hasher; node ids fit comfortably in 31 bits *)
+let endpoint_key u v = (u lsl 31) lor v
+
 type t = {
   node_arr : Node.t array;
   link_arr : Link.t array;
   out_adj : Link.t list array;   (* out-links per node, insertion order *)
   in_adj : Link.t list array;
-  by_endpoints : (int * int, Link.t) Hashtbl.t;
+  by_endpoints : (int, Link.t) Hashtbl.t;
 }
 
 module Builder = struct
@@ -66,7 +71,7 @@ module Builder = struct
     let by_endpoints = Hashtbl.create (max 16 (Array.length link_arr)) in
     Array.iter
       (fun (l : Link.t) ->
-        let k = (l.Link.src, l.Link.dst) in
+        let k = endpoint_key l.Link.src l.Link.dst in
         if Hashtbl.mem by_endpoints k then
           invalid_arg
             (Printf.sprintf "Graph.Builder.build: duplicate link %d->%d"
@@ -100,7 +105,7 @@ let succs g u = List.map (fun (l : Link.t) -> l.Link.dst) g.out_adj.(u)
 let preds g u = List.map (fun (l : Link.t) -> l.Link.src) g.in_adj.(u)
 let out_degree g u = List.length g.out_adj.(u)
 
-let find_link g u v = Hashtbl.find_opt g.by_endpoints (u, v)
+let find_link g u v = Hashtbl.find_opt g.by_endpoints (endpoint_key u v)
 
 let reverse g (l : Link.t) = find_link g l.Link.dst l.Link.src
 

@@ -202,6 +202,54 @@ let test_detour_table_none_on_line () =
     (Inrpp.Detour_table.has_detour t l)
 
 (* ------------------------------------------------------------------ *)
+(* Hot-path allocation budget *)
+
+(* The protocol hot path is allocation-free past the packet itself:
+   flow lookup is a dense-array read, phase/estimator/queue-limit are
+   resolved once per flow, and push-data forwarding builds no
+   closures.  Pin it with a per-forwarded-chunk minor-word ceiling —
+   router, interface and engine included (style of the iface budget
+   test in test_chunksim.ml). *)
+let test_router_handler_alloc_budget () =
+  match Sys.backend_type with
+  | Sys.Bytecode | Sys.Other _ -> () (* minor-word counts differ *)
+  | Sys.Native ->
+    let cfg = Inrpp.Config.default in
+    let eng = Sim.Engine.create () in
+    let g =
+      Topology.Builders.dumbbell ~access_capacity:1e9
+        ~bottleneck_capacity:1e9 1
+    in
+    let net = Chunksim.Net.create ~queue_bits:1e12 eng g in
+    let detours = Inrpp.Detour_table.create g in
+    let router = Inrpp.Router.create ~cfg ~net ~node:0 ~detours () in
+    let dl = Option.get (Topology.Graph.find_link g 0 1) in
+    Inrpp.Router.install_flow router ~flow:0 ~data_link:(Some dl)
+      ~req_link:None ();
+    Chunksim.Net.set_handler net 1 (fun ~from:_ _ -> ());
+    let handle = Inrpp.Router.handler router in
+    let p =
+      Chunksim.Packet.data ~flow:0 ~idx:0 ~born:0. cfg.Inrpp.Config.chunk_bits
+    in
+    (* warm up: resolve the flow's hot caches, grow rings past
+       steady-state size *)
+    for _ = 1 to 1_000 do
+      handle ~from:None p;
+      Sim.Engine.run eng
+    done;
+    let rounds = 10_000 in
+    let before = Gc.minor_words () in
+    for _ = 1 to rounds do
+      handle ~from:None p;
+      Sim.Engine.run eng
+    done;
+    let per_chunk = (Gc.minor_words () -. before) /. float_of_int rounds in
+    Alcotest.(check bool)
+      (Printf.sprintf "allocation per forwarded chunk (%.1f minor words)"
+         per_chunk)
+      true (per_chunk <= 100.)
+
+(* ------------------------------------------------------------------ *)
 (* Sender / Receiver unit behaviour *)
 
 let test_sender_paced_push () =
@@ -212,6 +260,7 @@ let test_sender_paced_push () =
     Inrpp.Sender.create ~cfg ~eng ~flow:0 ~total_chunks:20
       ~pace_rate:(10. *. cfg.Inrpp.Config.chunk_bits) (* 10 chunks/s *)
       ~transmit:(fun p -> sent := (Sim.Engine.now eng, p) :: !sent)
+      ()
   in
   (* one request invites chunks 0..4 (ac = 4) into the backlog *)
   Inrpp.Sender.handle s (Chunksim.Packet.request ~flow:0 ~nc:0 ~ack:0 ~ac:4);
@@ -238,6 +287,7 @@ let test_sender_backpressure_mode () =
     Inrpp.Sender.create ~cfg ~eng ~flow:0 ~total_chunks:100
       ~pace_rate:(100. *. cfg.Inrpp.Config.chunk_bits)
       ~transmit:(fun _ -> incr sent)
+      ()
   in
   Inrpp.Sender.handle s (Chunksim.Packet.backpressure ~flow:0 ~engage:true);
   Alcotest.(check bool) "in bp" true (Inrpp.Sender.in_backpressure s);
@@ -263,6 +313,7 @@ let test_sender_stall_retransmission () =
         match p.Chunksim.Packet.header with
         | Chunksim.Packet.Data { idx; _ } -> sent := idx :: !sent
         | _ -> ())
+      ()
   in
   Inrpp.Sender.handle s (Chunksim.Packet.request ~flow:0 ~nc:0 ~ack:0 ~ac:5);
   Sim.Engine.run eng;
@@ -719,6 +770,11 @@ let () =
         [
           Alcotest.test_case "fig3 candidates" `Quick test_detour_table_candidates;
           Alcotest.test_case "line has none" `Quick test_detour_table_none_on_line;
+        ] );
+      ( "hot path",
+        [
+          Alcotest.test_case "handler alloc budget" `Quick
+            test_router_handler_alloc_budget;
         ] );
       ( "endpoints",
         [
