@@ -180,7 +180,7 @@ let dumbbell ~packets () =
   Sim.Engine.run eng;
   (Sim.Engine.events_handled eng, !delivered)
 
-let isp_zoo ?(pool = false) ~chunks () =
+let isp_zoo ?(pool = false) ?obs ~chunks () =
   let g = Topology.Isp_zoo.graph Topology.Isp_zoo.Ebone in
   let n = Topology.Graph.node_count g in
   let specs =
@@ -194,8 +194,36 @@ let isp_zoo ?(pool = false) ~chunks () =
       (List.init 8 Fun.id)
   in
   let cfg = { bulk with Inrpp.Config.packet_pool = pool } in
-  let r = Inrpp.Protocol.run ~cfg ~horizon:600. g specs in
+  let r = Inrpp.Protocol.run ~cfg ?obs ~horizon:600. g specs in
   (r.Inrpp.Protocol.engine_events, received r)
+
+(* --profile: one extra isp_zoo run with the engine self-profiler on,
+   exported next to BENCH_core.json.  Deliberately outside the
+   measured outcomes — the profiler reads the wall clock around every
+   handler, which would skew both the timing numbers and (slightly)
+   the allocation gate. *)
+let profile_run ~chunks path =
+  let obs = Obs.Observer.create ~profile:true ~clock:Unix.gettimeofday () in
+  let events, chunks_done = isp_zoo ~obs ~chunks () in
+  let rows = Obs.Observer.profile_rows obs in
+  Obs.Observer.close obs;
+  let j =
+    Obs.Profile.to_json
+      ~extra:
+        [
+          ("scenario", Obs.Json.Str "isp_zoo");
+          ("engine_events", Obs.Json.Num (float_of_int events));
+          ("chunks_delivered", Obs.Json.Num (float_of_int chunks_done));
+        ]
+      rows
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string j);
+  output_char oc '\n';
+  close_out oc;
+  Obs.Profile.report Format.std_formatter rows;
+  Format.pp_print_flush Format.std_formatter ();
+  Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* JSON output *)
@@ -334,7 +362,9 @@ let () =
   let smoke = ref false in
   let check_fresh = ref false in
   let out = ref "BENCH_core.json" in
+  let profile_out = ref None in
   let args = Array.to_list Sys.argv in
+  let is_path p = String.length p > 2 && String.sub p 0 2 <> "--" in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest ->
@@ -343,15 +373,21 @@ let () =
     | "--out" :: path :: rest ->
       out := path;
       parse rest
-    | "--check" :: path :: _ when String.length path > 2 && String.sub path 0 2 <> "--" ->
-      check_file path
+    | "--check" :: path :: _ when is_path path -> check_file path
     | "--check" :: rest ->
       check_fresh := true;
+      parse rest
+    | "--profile" :: path :: rest when is_path path ->
+      profile_out := Some path;
+      parse rest
+    | "--profile" :: rest ->
+      profile_out := Some "BENCH_profile.json";
       parse rest
     | a :: rest ->
       if a <> Sys.argv.(0) then (
         Printf.eprintf
-          "usage: perf [--smoke] [--out FILE] [--check [FILE]]\n";
+          "usage: perf [--smoke] [--out FILE] [--check [FILE]] \
+           [--profile [FILE]]\n";
         exit 2);
       parse rest
   in
@@ -383,6 +419,9 @@ let () =
         (if o.events > 0 then o.minor_words /. float_of_int o.events else 0.))
     outcomes;
   Printf.printf "wrote %s\n" !out;
+  (match !profile_out with
+  | Some path -> profile_run ~chunks:zoo_chunks path
+  | None -> ());
   if !check_fresh then
     gate ~smoke:!smoke
       (List.map

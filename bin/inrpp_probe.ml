@@ -146,7 +146,8 @@ let fault_schedules =
           ] );
   ]
 
-let run list scenario_name fmt out interval horizon no_events fault_name =
+let run list scenario_name fmt out interval horizon no_events fault_name
+    spans perfetto profile profile_out flight =
   if list then begin
     List.iter (fun s -> Printf.printf "%-14s %s\n" s.name s.doc) scenarios;
     Printf.printf "\nfault schedules (--fault NAME):\n";
@@ -185,9 +186,28 @@ let run list scenario_name fmt out interval horizon no_events fault_name =
     | `Ndjson when not no_events -> [ Obs.Sink.ndjson oc ]
     | _ -> []
   in
-  let o = Obs.Observer.create ?sample_interval:interval ~sinks () in
+  (* --perfetto implies span collection; --profile implies a wall
+     clock (which also turns on the sampler's self-observation) *)
+  let span_coll =
+    if spans || perfetto <> None then Some (Obs.Span.create ()) else None
+  in
+  let recorder =
+    Option.map (fun path -> Obs.Recorder.create ~path ()) flight
+  in
+  let clock = if profile then Some Unix.gettimeofday else None in
+  let o =
+    Obs.Observer.create ?sample_interval:interval ~sinks ?spans:span_coll
+      ?recorder ~profile ?clock ()
+  in
   Obs.Observer.add_sink o (Obs.Sink.counter_tap (Obs.Observer.registry o));
   let r = Inrpp.Protocol.run ~cfg ~horizon ~obs:o ?faults g flows in
+  (* the profile rides the machine-readable stream as one more NDJSON
+     object so obs_report can render it from the same file *)
+  (if profile && fmt = `Ndjson then
+     let buf = Buffer.create 1024 in
+     Obs.Json.to_buffer buf (Obs.Profile.to_json (Obs.Observer.profile_rows o));
+     Buffer.add_char buf '\n';
+     output_string oc (Buffer.contents buf));
   Obs.Observer.close o;
   let buf = Buffer.create 65536 in
   (match fmt with
@@ -202,6 +222,51 @@ let run list scenario_name fmt out interval horizon no_events fault_name =
       (Obs.Observer.snapshot o));
   output_string oc (Buffer.contents buf);
   close_oc ();
+  (* human-facing extras stay on stderr so pipes stay clean *)
+  (match span_coll with
+  | Some sp ->
+    Format.eprintf "@[<v>%s: %d chunks traced (%d lifecycle events)@]@."
+      scen.name (Obs.Span.chunk_count sp) (Obs.Span.event_count sp);
+    Obs.Span.report Format.err_formatter sp;
+    (match perfetto with
+    | Some f ->
+      let buf = Buffer.create 65536 in
+      Obs.Span.to_perfetto buf sp;
+      let poc = open_out f in
+      Buffer.output_buffer poc buf;
+      close_out poc;
+      Format.eprintf "perfetto trace written to %s@." f
+    | None -> ())
+  | None -> ());
+  if profile then begin
+    let rows = Obs.Observer.profile_rows o in
+    (match profile_out with
+    | Some f ->
+      let buf = Buffer.create 1024 in
+      Obs.Json.to_buffer buf (Obs.Profile.to_json rows);
+      Buffer.add_char buf '\n';
+      let poc = open_out f in
+      Buffer.output_buffer poc buf;
+      close_out poc;
+      Format.eprintf "profile written to %s@." f
+    | None -> ());
+    Format.eprintf "Engine profile@.";
+    Obs.Profile.report Format.err_formatter rows;
+    (match Obs.Observer.sampler o with
+    | Some smp when Obs.Sampler.self_observing smp ->
+      Format.eprintf "sampler: %d ticks, %.6fs probing@."
+        (Obs.Sampler.ticks smp)
+        (Obs.Sampler.probe_seconds smp)
+    | _ -> ())
+  end;
+  (match recorder with
+  | Some rc ->
+    Format.eprintf "flight recorder: %d events seen, %d dump(s)%s@."
+      (Obs.Recorder.seen rc) (Obs.Recorder.dumps rc)
+      (match flight with
+      | Some f when Obs.Recorder.dumps rc > 0 -> " -> " ^ f
+      | _ -> "")
+  | None -> ());
   Format.eprintf "%s: %a@." scen.name Inrpp.Protocol.pp_result r;
   if faults <> None then
     Format.eprintf
@@ -249,11 +314,43 @@ let fault_name =
            ~doc:"Replay a named fault schedule against the scenario \
                  (see --list).")
 
+let spans_flag =
+  Arg.(value & flag
+       & info [ "spans" ]
+           ~doc:"Collect causal chunk-lifecycle spans and print the \
+                 per-chunk critical-path breakdown (stderr).")
+
+let perfetto =
+  Arg.(value & opt (some string) None
+       & info [ "perfetto" ] ~docv:"FILE"
+           ~doc:"Write the span timeline as Chrome trace-event JSON \
+                 loadable by Perfetto (implies --spans).")
+
+let profile_flag =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Run the engine self-profiler (per-event-kind wall clock \
+                 and minor allocations) and print its table (stderr); \
+                 with NDJSON output the profile object joins the stream.")
+
+let profile_out =
+  Arg.(value & opt (some string) None
+       & info [ "profile-out" ] ~docv:"FILE"
+           ~doc:"Also write the profile as a standalone JSON file.")
+
+let flight =
+  Arg.(value & opt (some string) None
+       & info [ "flight" ] ~docv:"FILE"
+           ~doc:"Arm a flight recorder: the recent-event ring is dumped \
+                 to FILE as NDJSON on invariant violations and \
+                 unrecovered faults (no file is created on a clean run).")
+
 let cmd =
   Cmd.v
     (Cmd.info "inrpp_probe"
        ~doc:"Run an instrumented INRPP scenario and emit its telemetry")
     Term.(const run $ list_flag $ scenario $ format_ $ out $ interval
-          $ horizon $ no_events $ fault_name)
+          $ horizon $ no_events $ fault_name $ spans_flag $ perfetto
+          $ profile_flag $ profile_out $ flight)
 
 let () = exit (Cmd.eval cmd)

@@ -15,10 +15,17 @@
      `iface_phase_occupancy` samples);
    - a custody timeline per node (the `custody_bits` series bucketed
      into a fixed-width sparkline) plus a peak-custody bar chart;
+   - the per-chunk critical-path breakdown reconstructed from
+     lifecycle trace events (inrpp_probe --spans output);
+   - the engine profile table when the stream carries a profile
+     object (inrpp_probe --profile), plus the sampler's own overhead;
    - a result table for any sidecar run records present.
 
    Unrecognised lines are counted and ignored, so the tool keeps
-   working when new row types appear upstream. *)
+   working when new row types appear upstream.  A missing input file
+   exits 2; --check exits 1 when no recognised telemetry was found
+   (the CI smoke gate); --perfetto-check FILE validates a Chrome
+   trace-event export instead of / in addition to the report. *)
 
 let phases = [ "push"; "detour"; "backpressure" ]
 
@@ -57,7 +64,12 @@ let label j k =
 type acc = {
   ifaces : (string * string, iface_occ) Hashtbl.t;
   nodes : (string, custody) Hashtbl.t;
+  span : Obs.Span.t;
   mutable runs : sidecar list; (* newest first *)
+  mutable profile : Obs.Profile.row list option;
+  mutable sampler_ticks : float option;
+  mutable sampler_probe_s : float option;
+  mutable flight_dumps : int;
   mutable events : int;
   mutable metrics : int;
   mutable skipped : int;
@@ -113,6 +125,14 @@ let on_sidecar acc j =
       :: acc.runs
   | _ -> acc.skipped <- acc.skipped + 1
 
+let on_metric acc j =
+  acc.metrics <- acc.metrics + 1;
+  match (str j "name", num j "value") with
+  | Some "sampler_ticks_total", Some v -> acc.sampler_ticks <- Some v
+  | Some "sampler_probe_seconds_total", Some v ->
+    acc.sampler_probe_s <- Some v
+  | _ -> ()
+
 let on_line acc line =
   if String.trim line <> "" then
     match Obs.Json.parse line with
@@ -120,8 +140,19 @@ let on_line acc line =
     | Ok j -> (
       match str j "type" with
       | Some "sample" -> on_sample acc j
-      | Some "event" -> acc.events <- acc.events + 1
-      | Some "metric" -> acc.metrics <- acc.metrics + 1
+      | Some "event" -> (
+        acc.events <- acc.events + 1;
+        (* lifecycle events rebuild the span collector; kinds this
+           binary predates are simply not span-relevant *)
+        match Obs.Trace_codec.of_json j with
+        | Ok (time, e) -> Obs.Span.add acc.span ~time e
+        | Error _ -> ())
+      | Some "metric" -> on_metric acc j
+      | Some "profile" -> (
+        match Obs.Profile.of_json j with
+        | Ok rows -> acc.profile <- Some rows
+        | Error _ -> acc.skipped <- acc.skipped + 1)
+      | Some "flight_dump" -> acc.flight_dumps <- acc.flight_dumps + 1
       | Some _ -> acc.skipped <- acc.skipped + 1
       | None ->
         (* sidecar run records carry no "type" field *)
@@ -236,19 +267,140 @@ let sidecar_table ppf acc =
       rows ppf ();
     Format.fprintf ppf "@."
 
+let span_report ppf acc =
+  if Obs.Span.chunk_count acc.span > 0 then begin
+    Format.fprintf ppf "Chunk critical path@.@.";
+    Obs.Span.report ppf acc.span;
+    Format.fprintf ppf "@."
+  end
+
+let profile_report ppf acc =
+  (match acc.profile with
+  | Some rows ->
+    Format.fprintf ppf "Engine profile@.@.";
+    Obs.Profile.report ppf rows;
+    Format.fprintf ppf "@."
+  | None -> ());
+  match (acc.sampler_ticks, acc.sampler_probe_s) with
+  | Some ticks, Some s ->
+    Format.fprintf ppf "sampler overhead: %.0f ticks, %.6fs probing@." ticks s
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Perfetto / Chrome trace-event schema validation (--perfetto-check) *)
+
+let known_phs = [ "M"; "X"; "B"; "E"; "s"; "t"; "f"; "i"; "C" ]
+
+let validate_event i j errs =
+  let fail msg = errs := Printf.sprintf "traceEvents[%d]: %s" i msg :: !errs in
+  match str j "ph" with
+  | None -> fail "missing ph"
+  | Some ph when not (List.mem ph known_phs) ->
+    fail (Printf.sprintf "unknown ph %S" ph)
+  | Some ph ->
+    let need_num f =
+      match Obs.Json.member f j with
+      | Some (Obs.Json.Num _) -> ()
+      | Some _ -> fail (Printf.sprintf "field %S is not a number" f)
+      | None -> fail (Printf.sprintf "missing field %S" f)
+    in
+    let need_str f =
+      match Obs.Json.member f j with
+      | Some (Obs.Json.Str _) -> ()
+      | _ -> fail (Printf.sprintf "missing string field %S" f)
+    in
+    (match ph with
+    | "M" -> need_str "name"
+    | "X" ->
+      need_str "name"; need_num "pid"; need_num "tid"; need_num "ts";
+      need_num "dur"
+    | "s" | "t" | "f" ->
+      need_num "id"; need_num "pid"; need_num "tid"; need_num "ts"
+    | "i" -> need_str "name"; need_num "ts"
+    | _ -> ())
+
+let perfetto_check path =
+  let content =
+    match open_in_bin path with
+    | exception Sys_error msg ->
+      Printf.eprintf "obs_report: %s\n" msg;
+      exit 2
+    | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+  in
+  match Obs.Json.parse content with
+  | Error msg ->
+    Printf.eprintf "%s: not valid JSON: %s\n" path msg;
+    exit 1
+  | Ok j -> (
+    match Obs.Json.member "traceEvents" j with
+    | Some (Obs.Json.List evs) ->
+      let errs = ref [] in
+      List.iteri (fun i e -> validate_event i e errs) evs;
+      let errs = List.rev !errs in
+      if errs <> [] then begin
+        Printf.eprintf "%s: %d schema error(s):\n" path (List.length errs);
+        List.iteri
+          (fun i e -> if i < 10 then Printf.eprintf "  %s\n" e)
+          errs;
+        exit 1
+      end;
+      let count ph =
+        List.length
+          (List.filter (fun e -> str e "ph" = Some ph) evs)
+      in
+      Printf.printf
+        "%s: ok — %d trace events (%d slices, %d flow steps, %d instants)\n"
+        path (List.length evs) (count "X")
+        (count "s" + count "t" + count "f")
+        (count "i")
+    | _ ->
+      Printf.eprintf "%s: missing traceEvents array\n" path;
+      exit 1)
+
 (* ------------------------------------------------------------------ *)
 
+let usage () =
+  prerr_endline
+    "usage: obs_report [--check] [--perfetto-check TRACE.json] [FILE|-]\n\
+     \  FILE: NDJSON from inrpp_probe or bench --sidecar (default stdin)\n\
+     \  --check: exit 1 unless recognised telemetry was found\n\
+     \  --perfetto-check: validate a Chrome trace-event JSON export";
+  exit 2
+
 let () =
+  let rec parse check pcheck file = function
+    | [] -> (check, pcheck, file)
+    | "--check" :: rest -> parse true pcheck file rest
+    | "--perfetto-check" :: f :: rest -> parse check (Some f) file rest
+    | [ "--perfetto-check" ] -> usage ()
+    | ("--help" | "-h") :: _ -> usage ()
+    | f :: rest when file = None && (f = "-" || f.[0] <> '-') ->
+      parse check pcheck (Some f) rest
+    | _ -> usage ()
+  in
+  let check, pcheck, file =
+    parse false None None (List.tl (Array.to_list Sys.argv))
+  in
+  (match pcheck with Some p -> perfetto_check p | None -> ());
+  if pcheck <> None && file = None then exit 0;
   let input =
-    match Array.to_list Sys.argv with
-    | [ _ ] | [ _; "-" ] -> stdin
-    | [ _; path ] -> open_in path
-    | _ ->
-      prerr_endline "usage: obs_report [FILE|-]  (NDJSON from inrpp_probe or --sidecar)";
-      exit 2
+    match file with
+    | None | Some "-" -> stdin
+    | Some path -> (
+      match open_in path with
+      | ic -> ic
+      | exception Sys_error msg ->
+        Printf.eprintf "obs_report: %s\n" msg;
+        exit 2)
   in
   let acc =
-    { ifaces = Hashtbl.create 16; nodes = Hashtbl.create 16; runs = [];
+    { ifaces = Hashtbl.create 16; nodes = Hashtbl.create 16;
+      span = Obs.Span.create (); runs = []; profile = None;
+      sampler_ticks = None; sampler_probe_s = None; flight_dumps = 0;
       events = 0; metrics = 0; skipped = 0 }
   in
   (try
@@ -260,10 +412,21 @@ let () =
   let ppf = Format.std_formatter in
   phase_table ppf acc;
   custody_report ppf acc;
+  span_report ppf acc;
+  profile_report ppf acc;
   sidecar_table ppf acc;
-  if
-    Hashtbl.length acc.ifaces = 0 && Hashtbl.length acc.nodes = 0
-    && acc.runs = []
-  then Format.fprintf ppf "no recognised telemetry rows found@.";
+  if acc.flight_dumps > 0 then
+    Format.fprintf ppf "%d flight-recorder dump(s) in stream@."
+      acc.flight_dumps;
+  let recognised =
+    Hashtbl.length acc.ifaces > 0
+    || Hashtbl.length acc.nodes > 0
+    || acc.runs <> []
+    || Obs.Span.chunk_count acc.span > 0
+    || acc.profile <> None
+    || acc.events > 0 || acc.metrics > 0
+  in
+  if not recognised then Format.fprintf ppf "no recognised telemetry rows found@.";
   Format.fprintf ppf "(%d trace events, %d metrics, %d other lines)@."
-    acc.events acc.metrics acc.skipped
+    acc.events acc.metrics acc.skipped;
+  if check && not recognised then exit 1

@@ -43,11 +43,7 @@ let () =
     | Chunksim.Trace.Flow_complete _ | Chunksim.Trace.Link_fault _
     | Chunksim.Trace.Node_fault _ ->
       true
-    | Chunksim.Trace.Cached _ | Chunksim.Trace.Cache_hit _
-    | Chunksim.Trace.Custody_released _ | Chunksim.Trace.Detoured _
-    | Chunksim.Trace.Sent _ | Chunksim.Trace.Received _
-    | Chunksim.Trace.Dropped _ ->
-      false
+    | _ -> false
   in
   Format.printf "control-plane timeline:@.";
   List.iter

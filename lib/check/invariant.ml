@@ -5,13 +5,19 @@ type t = {
   mutable total : int;
   mutable kept : violation list;  (* newest first, at most [limit] *)
   mutable probes : (float -> unit) list;
+  mutable notify : (violation -> unit) option;
 }
 
-let create ?(limit = 64) () = { limit; total = 0; kept = []; probes = [] }
+let create ?(limit = 64) () =
+  { limit; total = 0; kept = []; probes = []; notify = None }
 
 let violate t ~time ~checker detail =
   t.total <- t.total + 1;
-  if t.total <= t.limit then t.kept <- { time; checker; detail } :: t.kept
+  let v = { time; checker; detail } in
+  if t.total <= t.limit then t.kept <- v :: t.kept;
+  match t.notify with Some f -> f v | None -> ()
+
+let on_violation t f = t.notify <- Some f
 
 let total t = t.total
 let violations t = List.rev t.kept

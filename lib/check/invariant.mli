@@ -21,6 +21,11 @@ val create : ?limit:int -> unit -> t
 val violate : t -> time:float -> checker:string -> string -> unit
 val total : t -> int
 
+val on_violation : t -> (violation -> unit) -> unit
+(** Register a callback fired on {e every} violation, including ones
+    past [limit] — the hook the flight recorder ({!Obs.Recorder})
+    dumps from.  At most one callback; the last registration wins. *)
+
 val violations : t -> violation list
 (** Oldest first, at most [limit]. *)
 

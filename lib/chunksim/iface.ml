@@ -49,6 +49,11 @@ type t = {
   mutable kill_wire : int;       (* in-flight packets to destroy on arrival *)
   mutable slow_inflight : int;   (* slow path: propagations scheduled, not arrived *)
   mutable fault_tap : Packet.t -> unit;
+  (* span tracing: called with (serialisation start, packet) when a
+     transmission begins; [None] costs one match per pop *)
+  mutable span_tap : (float -> Packet.t -> unit) option;
+  (* profiler kind id claimed by this interface's arrival events *)
+  mutable prof_kind : int;
   (* statistics *)
   mutable busy_accum : float;    (* total seconds spent transmitting *)
   mutable tx_bits_acc : float;
@@ -96,6 +101,7 @@ let settle t ~now =
 let start_tx t (p : Packet.t) =
   settle t ~now:t.next_free_at;
   let start = t.next_free_at in
+  (match t.span_tap with Some f -> f start p | None -> ());
   let tx = p.Packet.size /. t.effective_rate in
   t.next_free_at <- start +. tx;
   t.inflight_tx <- tx;
@@ -135,6 +141,7 @@ let rec catch_up t ~now =
    the wire (arrivals fire in FIFO order — serialisation times are
    strictly positive, so arrival times strictly increase) *)
 let on_arrival t =
+  Sim.Engine.profile_mark t.eng t.prof_kind;
   let p = Queue.pop t.wire in
   catch_up t ~now:(Sim.Engine.now t.eng);
   (* packets that were on the wire when the link went down die at
@@ -184,9 +191,13 @@ let rec kick t =
     | None -> ()
     | Some p ->
       t.is_busy <- true;
+      (match t.span_tap with
+      | Some f -> f (Sim.Engine.now t.eng) p
+      | None -> ());
       let tx_time = p.Packet.size /. t.effective_rate in
       ignore
         (Sim.Engine.schedule t.eng ~delay:tx_time (fun () ->
+             Sim.Engine.profile_mark t.eng t.prof_kind;
              t.is_busy <- false;
              t.busy_accum <- t.busy_accum +. tx_time;
              t.tx_bits_acc <- t.tx_bits_acc +. p.Packet.size;
@@ -209,6 +220,7 @@ let rec kick t =
                  t.slow_inflight <- t.slow_inflight + 1;
                  ignore
                    (Sim.Engine.schedule t.eng ~delay:t.prop_delay (fun () ->
+                        Sim.Engine.profile_mark t.eng t.prof_kind;
                         t.slow_inflight <- t.slow_inflight - 1;
                         if t.kill_wire > 0 then begin
                           t.kill_wire <- t.kill_wire - 1;
@@ -257,6 +269,8 @@ let create ?(queue_bits = default_queue_bits) ?(speed_factor = 1.)
       kill_wire = 0;
       slow_inflight = 0;
       fault_tap = (fun _ -> ());
+      span_tap = None;
+      prof_kind = 0;
       busy_accum = 0.;
       tx_bits_acc = 0.;
       tx_packets_acc = 0;
@@ -334,6 +348,10 @@ let is_up t = t.up
 let fault_drops t = t.fault_drops_acc
 
 let set_fault_tap t f = t.fault_tap <- f
+
+let set_span_tap t f = t.span_tap <- f
+
+let set_profile_kind t k = t.prof_kind <- k
 
 let set_down ?(policy = `Drop_queued) t =
   if t.up then begin

@@ -74,3 +74,16 @@ val fault_drops : t -> int
 val set_fault_tap : t -> (Packet.t -> unit) -> unit
 (** Called once per fault-destroyed packet, at the instant it dies.
     Default: ignore. *)
+
+(** {1 Observability taps} *)
+
+val set_span_tap : t -> (float -> Packet.t -> unit) option -> unit
+(** Span tracing: [f start p] fires when [p]'s serialisation begins,
+    with the serialisation start time (which, on the lazy loss-free
+    path, may lie before the engine's current time — the pop is
+    performed lazily at the virtual transmitter's clock).  Default
+    [None]; the disabled cost is one match per transmitted packet. *)
+
+val set_profile_kind : t -> int -> unit
+(** Kind id (see {!Sim.Engine.profile_kind}) claimed by this
+    interface's arrival/serialisation events.  Default 0. *)

@@ -11,19 +11,31 @@ type event =
   | Flow_complete of { flow : int; fct : float }
   | Link_fault of { link : int; up : bool }
   | Node_fault of { node : Topology.Node.id; up : bool }
+  (* chunk-lifecycle events, recorded only when the trace's [lifecycle]
+     flag is on (span tracing requested) *)
+  | Enqueued of { node : Topology.Node.id; link : int; flow : int; idx : int }
+  | Tx_begin of { link : int; flow : int; idx : int }
+  | Delivered of { node : Topology.Node.id; flow : int; idx : int }
+  | Retransmit of { flow : int; idx : int }
+  | Custody_evacuated of { node : Topology.Node.id; flow : int; idx : int }
+  | Custody_evicted of { node : Topology.Node.id; flow : int; idx : int }
 
 type t = {
   limit : int;
   mutable rev_events : (float * event) list;
   mutable size : int;
   mutable taps : (float -> event -> unit) array;
+  mutable lifecycle_on : bool;
 }
 
 let create ?(limit = 100_000) () =
   if limit <= 0 then invalid_arg "Trace.create: limit <= 0";
-  { limit; rev_events = []; size = 0; taps = [||] }
+  { limit; rev_events = []; size = 0; taps = [||]; lifecycle_on = false }
 
 let on_record t tap = t.taps <- Array.append t.taps [| tap |]
+
+let set_lifecycle t on = t.lifecycle_on <- on
+let lifecycle t = t.lifecycle_on
 
 let record t ~time e =
   let taps = t.taps in
@@ -79,3 +91,14 @@ let pp_event ppf = function
     Format.fprintf ppf "l%d %s" link (if up then "up" else "down")
   | Node_fault { node; up } ->
     Format.fprintf ppf "n%d %s" node (if up then "restarted" else "crashed")
+  | Enqueued { node; link; flow; idx } ->
+    Format.fprintf ppf "n%d enqueued f%d#%d on l%d" node flow idx link
+  | Tx_begin { link; flow; idx } ->
+    Format.fprintf ppf "l%d tx f%d#%d" link flow idx
+  | Delivered { node; flow; idx } ->
+    Format.fprintf ppf "n%d delivered f%d#%d" node flow idx
+  | Retransmit { flow; idx } -> Format.fprintf ppf "retransmit f%d#%d" flow idx
+  | Custody_evacuated { node; flow; idx } ->
+    Format.fprintf ppf "n%d evacuated f%d#%d" node flow idx
+  | Custody_evicted { node; flow; idx } ->
+    Format.fprintf ppf "n%d evicted f%d#%d" node flow idx

@@ -17,11 +17,38 @@ type event =
   | Flow_complete of { flow : int; fct : float }
   | Link_fault of { link : int; up : bool }
   | Node_fault of { node : Topology.Node.id; up : bool }
+  (** {b Chunk-lifecycle events} — the span substrate.  Layers record
+      these only when {!lifecycle} is on (span tracing requested), so
+      ordinary trace/check runs carry no extra events. *)
+  | Enqueued of { node : Topology.Node.id; link : int; flow : int; idx : int }
+      (** a data chunk was admitted to [link]'s output queue at [node] *)
+  | Tx_begin of { link : int; flow : int; idx : int }
+      (** serialisation onto the wire began.  With the lazy fast-path
+          transmitter the begin instant may lie {e before} the record
+          time (pops are performed lazily with virtual start times), so
+          consumers must sort per-chunk events by their [t], not by
+          record order. *)
+  | Delivered of { node : Topology.Node.id; flow : int; idx : int }
+      (** the chunk reached its consumer *)
+  | Retransmit of { flow : int; idx : int }
+      (** the sender re-originated the chunk (receiver stuck on a hole) *)
+  | Custody_evacuated of { node : Topology.Node.id; flow : int; idx : int }
+      (** custody drained onto a detour rather than the primary path *)
+  | Custody_evicted of { node : Topology.Node.id; flow : int; idx : int }
+      (** custody destroyed by a wipe-policy crash *)
 
 type t
 
 val create : ?limit:int -> unit -> t
 (** [limit] defaults to 100_000 events. *)
+
+val set_lifecycle : t -> bool -> unit
+(** Ask instrumented layers to record the chunk-lifecycle events
+    (default off).  The flag is advisory: layers consult it via
+    {!lifecycle} before building lifecycle records, so an untraced or
+    span-free run pays nothing. *)
+
+val lifecycle : t -> bool
 
 val record : t -> time:float -> event -> unit
 

@@ -84,6 +84,20 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
   (match (obs, trace) with
   | Some o, Some tr -> Obs.Observer.attach_trace o tr
   | _ -> ());
+  (* span tracing: chunk-lifecycle events exist only when an observer
+     carries a span collector, so every other run — goldens, bench,
+     check, differential — sees the unchanged event stream *)
+  let spans_on =
+    match obs with
+    | Some o -> Option.is_some (Obs.Observer.spans o)
+    | None -> false
+  in
+  (match trace with
+  | Some tr when spans_on -> Trace.set_lifecycle tr true
+  | _ -> ());
+  let recorder =
+    match obs with Some o -> Obs.Observer.recorder o | None -> None
+  in
   let detours =
     Detour_table.create ~max_intermediate:(max 1 cfg.Config.max_detour) g
   in
@@ -108,6 +122,48 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
     Array.init (Graph.node_count g) (fun node ->
         Router.create ~cfg ~net ~node ~detours ~link_state ?trace ?pool ())
   in
+  (* wire-time span taps: the interface hands back each data packet's
+     virtual transmission start (possibly earlier than now — see
+     Trace.Tx_begin), recorded against the packed chunk key *)
+  (match trace with
+  | Some tr when spans_on ->
+    Net.iter_ifaces net (fun i ->
+        let li = (Chunksim.Iface.link i).Link.id in
+        Chunksim.Iface.set_span_tap i
+          (Some
+             (fun start p ->
+               match p.Packet.header with
+               | Packet.Data { flow; idx; _ } ->
+                 Trace.record tr ~time:start
+                   (Trace.Tx_begin { link = li; flow; idx })
+               | Packet.Request _ | Packet.Backpressure _ -> ())))
+  | _ -> ());
+  (* engine self-profiler: attribute wall-clock and minor-allocation
+     deltas per event kind.  Kind ids are interned once here; marking
+     is one store per event, and the whole feature is a single branch
+     in the engine loop when no observer asked for it. *)
+  let profiling =
+    match obs with
+    | Some o when Obs.Observer.profile_requested o ->
+      (match Obs.Observer.clock o with
+      | Some c -> Sim.Engine.profile_start ~clock:c eng
+      | None -> Sim.Engine.profile_start eng);
+      true
+    | _ -> false
+  in
+  let k_tick = if profiling then Sim.Engine.profile_kind eng "tick" else 0 in
+  let k_drain = if profiling then Sim.Engine.profile_kind eng "drain" else 0 in
+  let k_sampler =
+    if profiling then Sim.Engine.profile_kind eng "sampler" else 0
+  in
+  let k_flow_start =
+    if profiling then Sim.Engine.profile_kind eng "flow_start" else 0
+  in
+  if profiling then begin
+    let k_arrival = Sim.Engine.profile_kind eng "packet" in
+    Net.iter_ifaces net (fun i ->
+        Chunksim.Iface.set_profile_kind i k_arrival)
+  end;
   (* invariant checkers: streaming checkers tap the trace, the custody
      ledger rides the estimator-tick probe (no extra engine events),
      and conservation is fed from the sender/consumer wrappers below *)
@@ -137,6 +193,16 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
       Some cons
     | _ -> None
   in
+  (* flight recorder: dump the recent-event ring the instant an
+     invariant trips, while the state that tripped it is still inside
+     the window *)
+  (match (check, recorder) with
+  | Some chk, Some rc ->
+    Check.Invariant.on_violation chk (fun v ->
+        Obs.Recorder.dump rc
+          ~reason:("invariant: " ^ v.Check.Invariant.checker)
+          ~time:v.Check.Invariant.time)
+  | _ -> ());
   (* fault injection: the driver flips interfaces and detaches handlers
      mechanically; the callbacks layer protocol recovery (router
      failover, custody wipe attribution) and accounting on top.
@@ -237,6 +303,23 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
                      ~time:now ~flow ~idx)
                  wiped
              | None -> ());
+             (match trace with
+             | Some tr when Trace.lifecycle tr ->
+               let now = Sim.Engine.now eng in
+               List.iter
+                 (fun (flow, idx) ->
+                   Trace.record tr ~time:now
+                     (Trace.Custody_evicted { node; flow; idx }))
+                 wiped
+             | Some _ | None -> ());
+             (match recorder with
+             | Some rc when wiped <> [] ->
+               Obs.Recorder.dump rc
+                 ~reason:
+                   (Printf.sprintf "custody wiped: node %d lost %d chunks"
+                      node (List.length wiped))
+                 ~time:(Sim.Engine.now eng)
+             | Some _ | None -> ());
              reconverge ())
            ~on_node_restart:(fun node ->
              record (Trace.Node_fault { node; up = true });
@@ -357,8 +440,8 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
         base
       in
       let sender =
-        Sender.create ~cfg ~eng ?pool ~flow:flow_id ~total_chunks:spec.chunks
-          ~pace_rate ~transmit ()
+        Sender.create ~cfg ~eng ?pool ?trace ~flow:flow_id
+          ~total_chunks:spec.chunks ~pace_rate ~transmit ()
       in
       Hashtbl.replace (endpoint_table producers spec.src) flow_id sender;
       let receiver =
@@ -405,6 +488,15 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
       in
       Router.set_local_consumer router (fun p ->
           observe_data p;
+          (match trace with
+          | Some tr when Trace.lifecycle tr -> begin
+            match p.Packet.header with
+            | Packet.Data { flow; idx; _ } ->
+              Trace.record tr ~time:(Sim.Engine.now eng)
+                (Trace.Delivered { node; flow; idx })
+            | Packet.Request _ | Packet.Backpressure _ -> ()
+          end
+          | Some _ | None -> ());
           (if Option.is_some driver then
              match p.Packet.header with
              | Packet.Data _ ->
@@ -509,6 +601,20 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
     let smp =
       Obs.Observer.install_sampler o ~eng ~default_interval:cfg.Config.ti
     in
+    (* attribute the sampler's own engine events to their profiler
+       bucket (hooks run first on each tick), and when a wall clock
+       was configured surface the sampler's self-observation — its
+       tick count and cumulative probe time — as metrics.  Registered
+       only then, so clockless runs export byte-identical output. *)
+    if profiling then
+      Obs.Sampler.on_sample smp (fun () ->
+          Sim.Engine.profile_mark eng k_sampler);
+    if Obs.Sampler.self_observing smp then begin
+      Obs.Metric.callback reg "sampler_ticks_total" (fun () ->
+          float_of_int (Obs.Sampler.ticks smp));
+      Obs.Metric.callback reg "sampler_probe_seconds_total" (fun () ->
+          Obs.Sampler.probe_seconds smp)
+    end;
     Net.iter_ifaces net (fun i ->
         let l = Chunksim.Iface.link i in
         let r = routers.(l.Link.src) in
@@ -588,6 +694,7 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
   let peak_custody = ref 0. in
   ignore
   @@ Sim.Engine.schedule_periodic eng ~interval:cfg.Config.ti (fun () ->
+      Sim.Engine.profile_mark eng k_tick;
       Array.iter
         (fun r ->
           Router.tick r;
@@ -601,6 +708,7 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
   ignore
   @@ Sim.Engine.schedule_periodic eng ~interval:(cfg.Config.ti /. 4.)
        (fun () ->
+         Sim.Engine.profile_mark eng k_drain;
          Array.iter Router.drain routers;
          not (all_done ()));
   (* flow starts *)
@@ -608,11 +716,28 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
     (fun flow_id spec ->
       ignore
         (Sim.Engine.schedule eng ~delay:spec.start (fun () ->
+             Sim.Engine.profile_mark eng k_flow_start;
              match receivers.(flow_id) with
              | Some r -> Receiver.start r
              | None -> ())))
     specs;
   Sim.Engine.run ~until:horizon eng;
+  (* harvest the profiler before anything else touches the engine *)
+  (match obs with
+  | Some o when profiling ->
+    Sim.Engine.profile_stop eng;
+    Obs.Observer.set_profile_rows o (Sim.Engine.profile_rows eng)
+  | _ -> ());
+  (* a disruption with no delivery after it means recovery never
+     happened: capture the tail of the run for post-mortem *)
+  (match recorder with
+  | Some rc when !pending_disruptions <> [] ->
+    Obs.Recorder.dump rc
+      ~reason:
+        (Printf.sprintf "%d disruption(s) with no subsequent delivery"
+           (List.length !pending_disruptions))
+      ~time:(Sim.Engine.now eng)
+  | Some _ | None -> ());
   (match check with
   | Some chk -> Check.Invariant.probe chk ~time:(Sim.Engine.now eng)
   | None -> ());

@@ -160,6 +160,27 @@ let record_drop t ~link (p : Packet.t) =
          })
   | None -> ()
 
+(* chunk-lifecycle events are gated per-trace (Trace.set_lifecycle) so
+   check/differential runs and the artefact goldens see an unchanged
+   event stream unless a span collector asked for them *)
+let record_enqueued t ~link (p : Packet.t) =
+  match t.trace with
+  | Some tr when Trace.lifecycle tr -> begin
+    match p.Packet.header with
+    | Packet.Data { flow; idx; _ } ->
+      Trace.record tr ~time:(now t)
+        (Trace.Enqueued { node = t.node_id; link; flow; idx })
+    | Packet.Request _ | Packet.Backpressure _ -> ()
+  end
+  | Some _ | None -> ()
+
+let record_evacuated t ~flow ~idx =
+  match t.trace with
+  | Some tr when Trace.lifecycle tr ->
+    Trace.record tr ~time:(now t)
+      (Trace.Custody_evacuated { node = t.node_id; flow; idx })
+  | Some _ | None -> ()
+
 let release_pkt t (p : Packet.t) =
   match t.pool with
   | Some pool -> Packet.Pool.release pool p
@@ -510,6 +531,7 @@ let send_detour t flow (c : dcand) (p : Packet.t) =
     t.c.detoured <- t.c.detoured + 1;
     record t
       (Trace.Detoured { node = t.node_id; flow; idx; via = c.dc_via });
+    record_enqueued t ~link:c.dc_first.Link.id p';
     `Queued
   | `Dropped ->
     t.c.dropped <- t.c.dropped + 1;
@@ -558,7 +580,9 @@ let maybe_cache_popular t entry (p : Packet.t) =
 
 let forward_on_primary t entry flow (l : Link.t) (p : Packet.t) =
   match Net.send t.net ~via:l p with
-  | `Queued -> t.c.forwarded_data <- t.c.forwarded_data + 1
+  | `Queued ->
+    t.c.forwarded_data <- t.c.forwarded_data + 1;
+    record_enqueued t ~link:l.Link.id p
   | `Dropped ->
     (* overflowing queue falls through to detours, then custody —
        congestion is handled locally even before the estimator
@@ -618,6 +642,7 @@ let handle_data t (p : Packet.t) =
         (match Net.send t.net ~via:l p' with
         | `Queued ->
           t.c.forwarded_data <- t.c.forwarded_data + 1;
+          record_enqueued t ~link:l.Link.id p';
           release_pkt t p
         | `Dropped ->
           t.c.dropped <- t.c.dropped + 1;
@@ -781,7 +806,9 @@ let drain t =
                   (match out with
                   | `Primary -> begin
                     match Net.send t.net ~via:l p with
-                    | `Queued -> t.c.forwarded_data <- t.c.forwarded_data + 1
+                    | `Queued ->
+                      t.c.forwarded_data <- t.c.forwarded_data + 1;
+                      record_enqueued t ~link:l.Link.id p
                     | `Dropped ->
                       (* raced with new arrivals, or the interface just
                          went down; back into custody — never leak *)
@@ -789,7 +816,11 @@ let drain t =
                   end
                   | `Detour cand -> begin
                     match send_detour t flow cand p with
-                    | `Queued -> release_pkt t p
+                    | `Queued ->
+                      (* custody left this node sideways, not down the
+                         primary: the recovery path's evacuation signal *)
+                      record_evacuated t ~flow ~idx;
+                      release_pkt t p
                     | `Dropped -> custody t entry flow p
                   end));
                 true

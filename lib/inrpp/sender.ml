@@ -2,6 +2,7 @@ type t = {
   cfg : Config.t;
   eng : Sim.Engine.t;
   pool : Chunksim.Packet.Pool.t option;
+  trace : Chunksim.Trace.t option;
   flow : int;
   total_chunks : int;
   pace_rate : float;
@@ -17,13 +18,14 @@ type t = {
   retx_at : (int, float) Hashtbl.t;
 }
 
-let create ~cfg ~eng ?pool ~flow ~total_chunks ~pace_rate ~transmit () =
+let create ~cfg ~eng ?pool ?trace ~flow ~total_chunks ~pace_rate ~transmit () =
   if total_chunks <= 0 then invalid_arg "Sender.create: total_chunks <= 0";
   if pace_rate <= 0. then invalid_arg "Sender.create: pace_rate <= 0";
   {
     cfg;
     eng;
     pool;
+    trace;
     flow;
     total_chunks;
     pace_rate;
@@ -90,8 +92,16 @@ let handle_request t ~nc ~ac =
       t.nc_repeats <- 0
     end;
     let stalled = t.nc_repeats >= 2 in
-    if stalled && nc <= t.highest_sent && retransmit_ok t nc then
-      send_chunk t ~anticipated:false nc;
+    if stalled && nc <= t.highest_sent && retransmit_ok t nc then begin
+      (* lifecycle-gated (Trace.set_lifecycle): span consumers need the
+         retransmit marker to flag polluted per-chunk attribution *)
+      (match t.trace with
+      | Some tr when Chunksim.Trace.lifecycle tr ->
+        Chunksim.Trace.record tr ~time:(now t)
+          (Chunksim.Trace.Retransmit { flow = t.flow; idx = nc })
+      | Some _ | None -> ());
+      send_chunk t ~anticipated:false nc
+    end;
     if t.bp then begin
       (* closed loop: one new chunk per request *)
       if nc > t.highest_enqueued then begin

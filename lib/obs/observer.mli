@@ -11,9 +11,26 @@
 
 type t
 
-val create : ?sample_interval:float -> ?sinks:Sink.t list -> unit -> t
+val create :
+  ?sample_interval:float ->
+  ?sinks:Sink.t list ->
+  ?spans:Span.t ->
+  ?recorder:Recorder.t ->
+  ?profile:bool ->
+  ?clock:(unit -> float) ->
+  unit ->
+  t
 (** [sample_interval] overrides the runner's default sampling period
-    (seconds).  @raise Invalid_argument if non-positive. *)
+    (seconds).  [spans] and [recorder] are appended to [sinks] (as
+    {!Span.sink} / {!Recorder.sink}) and remembered so the runner can
+    enable lifecycle tracing, trigger flight dumps and the caller can
+    read them back.  [profile] asks the runner to run the engine
+    self-profiler (see {!Sim.Engine.profile_start}) and publish its
+    rows via {!profile_rows}.  [clock] is the wall clock used by the
+    profiler and the sampler's self-observation (e.g.
+    [Unix.gettimeofday]); without it the profiler falls back to the
+    engine's default clock and the sampler is untimed.
+    @raise Invalid_argument if [sample_interval] is non-positive. *)
 
 val registry : t -> Metric.t
 val sinks : t -> Sink.t list
@@ -35,6 +52,28 @@ val install_sampler : t -> eng:Sim.Engine.t -> default_interval:float -> Sampler
 val sampler : t -> Sampler.t option
 val series : t -> Series.t list
 (** [[]] before a sampler is installed. *)
+
+(** {1 Tracing, profiling, flight recording} *)
+
+val spans : t -> Span.t option
+(** When set, the runner enables chunk-lifecycle trace events (see
+    {!Chunksim.Trace.set_lifecycle}) and wires the per-interface
+    transmit taps, so the span collector sees the full causal
+    timeline. *)
+
+val recorder : t -> Recorder.t option
+(** When set, the runner dumps the flight ring on invariant violations
+    and unrecovered faults. *)
+
+val profile_requested : t -> bool
+val clock : t -> (unit -> float) option
+
+val set_profile_rows : t -> Profile.row list -> unit
+(** Called by the runner after the run with
+    [Sim.Engine.profile_rows eng]. *)
+
+val profile_rows : t -> Profile.row list
+(** [[]] unless [profile] was requested and the run finished. *)
 
 val find_series : t -> ?labels:Metric.labels -> string -> Series.t option
 val snapshot : t -> Metric.sample list

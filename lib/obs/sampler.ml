@@ -6,18 +6,20 @@ type probe = {
 type t = {
   eng : Sim.Engine.t;
   s_interval : float;
+  clock : (unit -> float) option;  (* wall clock for self-observation *)
   mutable probes : probe list;     (* reverse registration order *)
   mutable hooks : (unit -> unit) list;  (* reverse registration order *)
   mutable started : bool;
   mutable samples : int;
+  mutable probe_s : float;         (* cumulative wall time in sample_now *)
   mutable ticker : Sim.Engine.periodic option;
 }
 
-let create ~eng ~interval () =
+let create ~eng ~interval ?clock () =
   if interval <= 0. || Float.is_nan interval then
     invalid_arg "Sampler.create: interval <= 0";
-  { eng; s_interval = interval; probes = []; hooks = []; started = false;
-    samples = 0; ticker = None }
+  { eng; s_interval = interval; clock; probes = []; hooks = [];
+    started = false; samples = 0; probe_s = 0.; ticker = None }
 
 let interval t = t.s_interval
 
@@ -30,10 +32,14 @@ let on_sample t hook = t.hooks <- hook :: t.hooks
 
 let sample_now t =
   let now = Sim.Engine.now t.eng in
+  let t0 = match t.clock with Some c -> c () | None -> 0. in
   List.iter (fun h -> h ()) (List.rev t.hooks);
   List.iter
     (fun p -> Series.add p.series ~time:now (p.read ()))
     (List.rev t.probes);
+  (match t.clock with
+  | Some c -> t.probe_s <- t.probe_s +. (c () -. t0)
+  | None -> ());
   t.samples <- t.samples + 1
 
 let start ?(stop = fun () -> false) t =
@@ -69,3 +75,5 @@ let find t ?labels name =
     (series t)
 
 let ticks t = t.samples
+let probe_seconds t = t.probe_s
+let self_observing t = t.clock <> None

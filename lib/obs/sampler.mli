@@ -12,8 +12,14 @@
 
 type t
 
-val create : eng:Sim.Engine.t -> interval:float -> unit -> t
-(** @raise Invalid_argument if [interval <= 0.]. *)
+val create :
+  eng:Sim.Engine.t -> interval:float -> ?clock:(unit -> float) -> unit -> t
+(** [clock] (a wall clock, e.g. [Unix.gettimeofday]) turns on
+    self-observation: every {!sample_now} is timed and accumulated
+    into {!probe_seconds}, making the sampler's own overhead a
+    first-class measurement.  Without it, sampling is untimed and
+    {!probe_seconds} stays [0.].
+    @raise Invalid_argument if [interval <= 0.]. *)
 
 val interval : t -> float
 
@@ -46,3 +52,10 @@ val series : t -> Series.t list
 
 val find : t -> ?labels:Metric.labels -> string -> Series.t option
 val ticks : t -> int
+
+val probe_seconds : t -> float
+(** Cumulative wall-clock seconds spent inside {!sample_now} — [0.]
+    unless a [clock] was given to {!create}. *)
+
+val self_observing : t -> bool
+(** [true] iff a [clock] was given to {!create}. *)

@@ -9,7 +9,7 @@ let emit t ~time e = t.emit_fn time e
 let close t = t.close_fn ()
 let attach t tr = T.on_record tr t.emit_fn
 
-let callback f = { emit_fn = f; close_fn = ignore }
+let callback ?(close = ignore) f = { emit_fn = f; close_fn = close }
 
 let ring tr =
   { emit_fn = (fun time e -> T.record tr ~time e); close_fn = ignore }
@@ -49,6 +49,10 @@ let counter_tap registry =
   let phase_change = c "phase_change" and bp_signal = c "bp_signal" in
   let flow_complete = c "flow_complete" in
   let link_fault = c "link_fault" and node_fault = c "node_fault" in
+  let enqueued = c "enqueued" and tx_begin = c "tx_begin" in
+  let delivered = c "delivered" and retransmit = c "retransmit" in
+  let custody_evacuated = c "custody_evacuated" in
+  let custody_evicted = c "custody_evicted" in
   {
     emit_fn =
       (fun _time e ->
@@ -65,7 +69,13 @@ let counter_tap registry =
           | T.Bp_signal _ -> bp_signal
           | T.Flow_complete _ -> flow_complete
           | T.Link_fault _ -> link_fault
-          | T.Node_fault _ -> node_fault));
+          | T.Node_fault _ -> node_fault
+          | T.Enqueued _ -> enqueued
+          | T.Tx_begin _ -> tx_begin
+          | T.Delivered _ -> delivered
+          | T.Retransmit _ -> retransmit
+          | T.Custody_evacuated _ -> custody_evacuated
+          | T.Custody_evicted _ -> custody_evicted));
     close_fn = ignore;
   }
 

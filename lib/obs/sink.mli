@@ -19,7 +19,9 @@ val attach : t -> Chunksim.Trace.t -> unit
 
 (** {1 Constructors} *)
 
-val callback : (float -> Chunksim.Trace.event -> unit) -> t
+val callback :
+  ?close:(unit -> unit) -> (float -> Chunksim.Trace.event -> unit) -> t
+(** [close] (default no-op) runs on {!close}. *)
 
 val ring : Chunksim.Trace.t -> t
 (** Forward into {e another} bounded ring (e.g. a small recent-events

@@ -13,12 +13,19 @@ let kind = function
   | T.Flow_complete _ -> "flow_complete"
   | T.Link_fault _ -> "link_fault"
   | T.Node_fault _ -> "node_fault"
+  | T.Enqueued _ -> "enqueued"
+  | T.Tx_begin _ -> "tx_begin"
+  | T.Delivered _ -> "delivered"
+  | T.Retransmit _ -> "retransmit"
+  | T.Custody_evacuated _ -> "custody_evacuated"
+  | T.Custody_evicted _ -> "custody_evicted"
 
 let all_kinds =
   [
     "sent"; "received"; "dropped"; "cached"; "cache_hit"; "custody_released";
     "detoured"; "phase_change"; "bp_signal"; "flow_complete"; "link_fault";
-    "node_fault";
+    "node_fault"; "enqueued"; "tx_begin"; "delivered"; "retransmit";
+    "custody_evacuated"; "custody_evicted";
   ]
 
 let num i = Json.Num (float_of_int i)
@@ -45,6 +52,15 @@ let fields = function
     [ ("link", num link); ("up", Json.Bool up) ]
   | T.Node_fault { node; up } ->
     [ ("node", num node); ("up", Json.Bool up) ]
+  | T.Enqueued { node; link; flow; idx } ->
+    [ ("node", num node); ("link", num link); ("flow", num flow);
+      ("idx", num idx) ]
+  | T.Tx_begin { link; flow; idx } ->
+    [ ("link", num link); ("flow", num flow); ("idx", num idx) ]
+  | T.Delivered { node; flow; idx } | T.Custody_evacuated { node; flow; idx }
+  | T.Custody_evicted { node; flow; idx } ->
+    [ ("node", num node); ("flow", num flow); ("idx", num idx) ]
+  | T.Retransmit { flow; idx } -> [ ("flow", num flow); ("idx", num idx) ]
 
 let to_json ~time e =
   Json.Obj
@@ -61,6 +77,125 @@ let quote s =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
+
+(* ------------------------------------------------------------------ *)
+(* Decoding — the inverse of [to_json], used by the report CLI and the
+   round-trip tests *)
+
+let of_json j =
+  let ( let* ) r f = Result.bind r f in
+  let field name =
+    match Json.member name j with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "event: missing field %S" name)
+  in
+  let int_f name =
+    let* v = field name in
+    match Json.to_int v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "event: field %S is not an int" name)
+  in
+  let float_f name =
+    let* v = field name in
+    match v with
+    | Json.Num x -> Ok x
+    | Json.Null -> Ok Float.nan (* the printer writes NaN as null *)
+    | _ -> Error (Printf.sprintf "event: field %S is not a number" name)
+  in
+  let bool_f name =
+    let* v = field name in
+    match v with
+    | Json.Bool b -> Ok b
+    | _ -> Error (Printf.sprintf "event: field %S is not a bool" name)
+  in
+  let str_f name =
+    let* v = field name in
+    match Json.to_str v with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "event: field %S is not a string" name)
+  in
+  let* () =
+    match Json.member "type" j with
+    | Some (Json.Str "event") -> Ok ()
+    | _ -> Error "event: type is not \"event\""
+  in
+  let* time = float_f "t" in
+  let* k = str_f "kind" in
+  let* e =
+    match k with
+    | "sent" ->
+      let* node = int_f "node" in
+      let* link = int_f "link" in
+      let* packet = str_f "packet" in
+      Ok (T.Sent { node; link; packet })
+    | "received" ->
+      let* node = int_f "node" in
+      let* packet = str_f "packet" in
+      Ok (T.Received { node; packet })
+    | "dropped" ->
+      let* node = int_f "node" in
+      let* link = int_f "link" in
+      let* packet = str_f "packet" in
+      Ok (T.Dropped { node; link; packet })
+    | "cached" | "cache_hit" | "custody_released" | "delivered"
+    | "custody_evacuated" | "custody_evicted" ->
+      let* node = int_f "node" in
+      let* flow = int_f "flow" in
+      let* idx = int_f "idx" in
+      Ok
+        (match k with
+        | "cached" -> T.Cached { node; flow; idx }
+        | "cache_hit" -> T.Cache_hit { node; flow; idx }
+        | "custody_released" -> T.Custody_released { node; flow; idx }
+        | "delivered" -> T.Delivered { node; flow; idx }
+        | "custody_evacuated" -> T.Custody_evacuated { node; flow; idx }
+        | _ -> T.Custody_evicted { node; flow; idx })
+    | "detoured" ->
+      let* node = int_f "node" in
+      let* flow = int_f "flow" in
+      let* idx = int_f "idx" in
+      let* via = int_f "via" in
+      Ok (T.Detoured { node; flow; idx; via })
+    | "phase_change" ->
+      let* node = int_f "node" in
+      let* link = int_f "link" in
+      let* phase = str_f "phase" in
+      Ok (T.Phase_change { node; link; phase })
+    | "bp_signal" ->
+      let* node = int_f "node" in
+      let* flow = int_f "flow" in
+      let* engage = bool_f "engage" in
+      Ok (T.Bp_signal { node; flow; engage })
+    | "flow_complete" ->
+      let* flow = int_f "flow" in
+      let* fct = float_f "fct" in
+      Ok (T.Flow_complete { flow; fct })
+    | "link_fault" ->
+      let* link = int_f "link" in
+      let* up = bool_f "up" in
+      Ok (T.Link_fault { link; up })
+    | "node_fault" ->
+      let* node = int_f "node" in
+      let* up = bool_f "up" in
+      Ok (T.Node_fault { node; up })
+    | "enqueued" ->
+      let* node = int_f "node" in
+      let* link = int_f "link" in
+      let* flow = int_f "flow" in
+      let* idx = int_f "idx" in
+      Ok (T.Enqueued { node; link; flow; idx })
+    | "tx_begin" ->
+      let* link = int_f "link" in
+      let* flow = int_f "flow" in
+      let* idx = int_f "idx" in
+      Ok (T.Tx_begin { link; flow; idx })
+    | "retransmit" ->
+      let* flow = int_f "flow" in
+      let* idx = int_f "idx" in
+      Ok (T.Retransmit { flow; idx })
+    | k -> Error (Printf.sprintf "event: unknown kind %S" k)
+  in
+  Ok (time, e)
 
 let to_csv_row ~time e =
   let node, link, flow, idx, via, phase, engage, packet, fct =
@@ -90,6 +225,16 @@ let to_csv_row ~time e =
       (None, Some link, None, None, None, None, Some up, None, None)
     | T.Node_fault { node; up } ->
       (Some node, None, None, None, None, None, Some up, None, None)
+    | T.Enqueued { node; link; flow; idx } ->
+      (Some node, Some link, Some flow, Some idx, None, None, None, None, None)
+    | T.Tx_begin { link; flow; idx } ->
+      (None, Some link, Some flow, Some idx, None, None, None, None, None)
+    | T.Delivered { node; flow; idx }
+    | T.Custody_evacuated { node; flow; idx }
+    | T.Custody_evicted { node; flow; idx } ->
+      (Some node, None, Some flow, Some idx, None, None, None, None, None)
+    | T.Retransmit { flow; idx } ->
+      (None, None, Some flow, Some idx, None, None, None, None, None)
   in
   let i = function Some v -> string_of_int v | None -> "" in
   let s = function Some v -> quote v | None -> "" in

@@ -10,6 +10,11 @@ val to_json : time:float -> Chunksim.Trace.event -> Json.t
 (** [{"type":"event","t":...,"kind":...,...}] with only the fields the
     variant carries. *)
 
+val of_json : Json.t -> (float * Chunksim.Trace.event, string) result
+(** Inverse of {!to_json}: [(time, event)].  A [null] time parses as
+    NaN — the printer writes NaN as [null] (JSON has no NaN literal),
+    so the pair round-trips. *)
+
 val csv_header : string
 (** [t,kind,node,link,flow,idx,via,phase,engage,packet,fct] — fixed
     columns, empty when not applicable. *)

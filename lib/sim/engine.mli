@@ -96,3 +96,35 @@ val events_handled : t -> int
 val queue_stats : t -> Event_queue.stats
 (** Scheduling / cancellation / compaction counters of the underlying
     event queue. *)
+
+(** {1 Self-profiler}
+
+    Attribute wall-clock and minor-heap allocation per event kind.
+    Kinds are interned ids claimed by handlers: a handler calls
+    {!profile_mark} with its kind at the top of its closure, and the
+    run loop — only while profiling is on — measures the clock and
+    [Gc.minor_words] around each event and accrues the deltas under
+    the claimed kind (id 0, ["other"], when nothing marked).  While
+    profiling is off both [profile_mark] and the run loop cost one
+    branch per call and allocate nothing, so an unprofiled run is
+    bit-identical and alloc-identical to an uninstrumented one. *)
+
+val profile_kind : t -> string -> int
+(** Intern a kind name (setup time); returns its id.  Idempotent per
+    name. *)
+
+val profile_mark : t -> int -> unit
+(** Claim the currently executing event for the kind.  No-op while
+    profiling is off. *)
+
+val profile_start : ?clock:(unit -> float) -> t -> unit
+(** Enable measurement.  [clock] (default [Sys.time]) supplies wall
+    time; pass [Unix.gettimeofday] from layers that link unix. *)
+
+val profile_stop : t -> unit
+
+val profiling : t -> bool
+
+val profile_rows : t -> (string * int * float * float) list
+(** [(kind, events, wall_seconds, minor_words)] per kind with at least
+    one event, registration order. *)

@@ -442,6 +442,88 @@ let test_conservation_random_schedules () =
       Alcotest.failf "seed %d: %s" seed (Check.Invariant.report check)
   done
 
+(* A custody wipe mid-run must trigger the flight recorder: the dump
+   file gets a header naming the wipe plus the ring of events leading
+   up to it.  A clean replay of the same scenario (no faults) with the
+   same recorder wiring must leave no file at all — the recorder opens
+   its output lazily, on the first dump. *)
+let test_flight_recorder_on_custody_wipe () =
+  let b = Topology.Graph.Builder.create () in
+  let n0 = Topology.Graph.Builder.add_node b "sender" in
+  let n1 = Topology.Graph.Builder.add_node b "bottleneck" in
+  let n2 = Topology.Graph.Builder.add_node b "receiver" in
+  Topology.Graph.Builder.add_edge b ~capacity:10e6 ~delay:2e-3 n0 n1;
+  Topology.Graph.Builder.add_edge b ~capacity:2e6 ~delay:2e-3 n1 n2;
+  let g = Topology.Graph.Builder.build b in
+  let cfg =
+    {
+      Inrpp.Config.default with
+      Inrpp.Config.anticipation = 512;
+      cache_bits = 30. *. Inrpp.Config.default.Inrpp.Config.chunk_bits;
+      timeout_backoff = 2.;
+    }
+  in
+  let specs = [ flow ~src:n0 ~dst:n2 150 ] in
+  let run ~faults path =
+    let rc = Obs.Recorder.create ~path () in
+    let o = Obs.Observer.create ~recorder:rc () in
+    let r = Inrpp.Protocol.run ~cfg ~horizon:120. ~faults ~obs:o g specs in
+    Obs.Observer.close o;
+    r
+  in
+  let path = Filename.temp_file "flight_fault" ".ndjson" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      (* clean run first: recorder wired, nothing to dump *)
+      let clean = run ~faults:S.empty path in
+      Alcotest.(check int) "clean run completes" 1
+        clean.Inrpp.Protocol.completed;
+      Alcotest.(check bool) "clean run leaves no dump file" false
+        (Sys.file_exists path);
+      let faults =
+        S.of_list
+          [
+            ev 0.5 (S.Node_crash { node = n1; policy = S.Wipe_custody });
+            ev 2.0 (S.Node_restart { node = n1 });
+          ]
+      in
+      let r = run ~faults path in
+      Alcotest.(check bool) "custody wiped" true
+        (r.Inrpp.Protocol.chunks_lost_in_custody > 0);
+      Alcotest.(check bool) "wipe dumped the flight recorder" true
+        (Sys.file_exists path);
+      let ic = open_in path in
+      let header = input_line ic in
+      let events = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           match
+             Result.bind (Obs.Json.parse line) Obs.Trace_codec.of_json
+           with
+           | Ok _ -> incr events
+           | Error e -> Alcotest.failf "undecodable dump line %S: %s" line e
+         done
+       with End_of_file -> ());
+      close_in ic;
+      match Obs.Json.parse header with
+      | Error e -> Alcotest.failf "dump header: %s" e
+      | Ok j ->
+        Alcotest.(check (option string)) "header type" (Some "flight_dump")
+          (Option.bind (Obs.Json.member "type" j) Obs.Json.to_str);
+        (match Option.bind (Obs.Json.member "reason" j) Obs.Json.to_str with
+        | Some reason ->
+          Alcotest.(check bool)
+            (Printf.sprintf "reason names the wipe (%S)" reason)
+            true
+            (String.length reason >= 13
+            && String.sub reason 0 13 = "custody wiped")
+        | None -> Alcotest.fail "dump header without a reason");
+        Alcotest.(check bool) "ring contents follow the header" true
+          (!events > 0))
+
 (* ------------------------------------------------------------------ *)
 (* CI fault matrix: 3 schedules x 2 topologies, small horizons *)
 
@@ -510,6 +592,11 @@ let () =
             test_crash_preserve_custody;
           Alcotest.test_case "replay is deterministic" `Quick
             test_replay_deterministic;
+        ] );
+      ( "flight-recorder",
+        [
+          Alcotest.test_case "dump on custody wipe" `Quick
+            test_flight_recorder_on_custody_wipe;
         ] );
       ( "backoff",
         [
