@@ -35,6 +35,19 @@ let sidecar_emit ~experiment fields =
          (Obs.Json.Obj (("experiment", Obs.Json.Str experiment) :: fields)));
     output_char oc '\n'
 
+(* --domains N: sweep-shaped experiments fan their independent runs
+   across this many domains (default 1).  Join order is job-index
+   order and every order-sensitive effect (stdout, sidecar rows, the
+   base-fct table) happens at join in the main domain, so output is
+   byte-identical at any setting. *)
+let domains_ref = ref 1
+
+let set_domains d =
+  if d < 1 then invalid_arg "Experiments.set_domains: domains < 1";
+  domains_ref := d
+
+let domains () = !domains_ref
+
 (* ------------------------------------------------------------------ *)
 (* Table 1: available detour paths in real topologies *)
 
@@ -670,18 +683,17 @@ let loss () =
   Format.printf
     "@.(every transfer completes: the receiver's request timeout re-asks      for the lowest missing chunk and the sender retransmits on repeated Nc)@."
 
-let resilience () =
+let resilience_grid ?(stores = [ 100.; 400. ]) ?(levels = [ 0; 2; 4 ])
+    ?(isp = true) () =
   section "Extension — resilience: link outages and router crashes";
   Format.printf
     "(one fault schedule replays identically against every protocol; INRPP \
      recovers in-network — detour failover and custody — while the \
      baselines rely on end-to-end retransmission)@.@.";
   let chunk_bits = Inrpp.Config.default.Inrpp.Config.chunk_bits in
-  let stores = [ 100.; 400. ] in
-  let levels = [ 0; 2; 4 ] in
   let horizon = 90. in
-  let isp = Topology.Isp_zoo.Vsnl in
-  let isp_g = Topology.Isp_zoo.graph isp in
+  let isp_kind = Topology.Isp_zoo.Vsnl in
+  let isp_g = Topology.Isp_zoo.graph isp_kind in
   let isp_specs =
     (* deterministic routable pairs: outermost node ids pairing inward *)
     let n = Topology.Graph.node_count isp_g in
@@ -701,32 +713,90 @@ let resilience () =
   (* the schedule window must overlap the transfers, so each scenario
      names the rough no-fault completion time its faults land inside *)
   let scenarios =
-    [
-      ( "dumbbell, 4 flows over a shared 5 Mbps bottleneck",
-        Topology.Builders.dumbbell ~access_capacity:10e6
-          ~bottleneck_capacity:5e6 4,
-        List.init 4 (fun i ->
-            Inrpp.Protocol.flow_spec ~src:(2 + i) ~dst:(6 + i) 200),
-        12. );
-      ( Printf.sprintf "%s (synthetic ISP), %d flows"
-          (Topology.Isp_zoo.name isp) (List.length isp_specs),
-        isp_g,
-        isp_specs,
-        1. );
-    ]
+    ( "dumbbell, 4 flows over a shared 5 Mbps bottleneck",
+      Topology.Builders.dumbbell ~access_capacity:10e6 ~bottleneck_capacity:5e6
+        4,
+      List.init 4 (fun i -> Inrpp.Protocol.flow_spec ~src:(2 + i) ~dst:(6 + i) 200),
+      12. )
+    ::
+    (if isp then
+       [
+         ( Printf.sprintf "%s (synthetic ISP), %d flows"
+             (Topology.Isp_zoo.name isp_kind)
+             (List.length isp_specs),
+           isp_g,
+           isp_specs,
+           1. );
+       ]
+     else [])
   in
+  (* The whole grid is one flat job list: every (scenario, level,
+     protocol-variant) run is independent.  Jobs share only immutable
+     values — graphs are frozen after build, Fault.Schedule is an
+     immutable event list — so they fan out across [domains ()] via
+     Parallel.Pool, while everything order-sensitive (stdout, the
+     base-fct/inflation table, sidecar rows) happens here at join in
+     job-index order.  Output is byte-identical at any domain count. *)
+  let grid =
+    List.map
+      (fun (name, g, specs, sched_horizon) ->
+        let sched level =
+          if level = 0 then Fault.Schedule.empty
+          else
+            Fault.Schedule.random
+              ~seed:(Int64.of_int (31 + (7 * level)))
+              ~link_outages:level
+              ~crashes:(if level >= 4 then 1 else 0)
+              ~horizon:sched_horizon g
+        in
+        let runs =
+          List.concat_map
+            (fun level ->
+              let faults = sched level in
+              List.map
+                (fun store ->
+                  (* self-clocked Ac (default) rather than [bulk]'s
+                     open-loop push: recovery dynamics, not open-loop
+                     buffering, are what this experiment measures *)
+                  let cfg =
+                    {
+                      Inrpp.Config.default with
+                      Inrpp.Config.cache_bits = store *. chunk_bits;
+                      timeout_backoff = 2.;
+                    }
+                  in
+                  ( Printf.sprintf "INRPP store=%d" (int_of_float store),
+                    level,
+                    fun () ->
+                      Baselines.Comparison.run_one ~cfg ~horizon ~faults
+                        Baselines.Comparison.Inrpp_proto g specs ))
+                stores
+              @ List.map
+                  (fun p ->
+                    ( Baselines.Comparison.name p,
+                      level,
+                      fun () ->
+                        Baselines.Comparison.run_one ~horizon ~faults p g specs
+                    ))
+                  [
+                    Baselines.Comparison.Aimd_proto;
+                    Baselines.Comparison.Mptcp_proto;
+                  ])
+            levels
+        in
+        (name, runs))
+      scenarios
+  in
+  let results =
+    Parallel.Pool.run_jobs ~domains:(domains ())
+      (Array.of_list
+         (List.concat_map (fun (_, runs) -> List.map (fun (_, _, j) -> j) runs)
+            grid))
+  in
+  let cursor = ref 0 in
   List.iter
-    (fun (name, g, specs, sched_horizon) ->
+    (fun (name, runs) ->
       Format.printf "%s:@." name;
-      let sched level =
-        if level = 0 then Fault.Schedule.empty
-        else
-          Fault.Schedule.random
-            ~seed:(Int64.of_int (31 + (7 * level)))
-            ~link_outages:level
-            ~crashes:(if level >= 4 then 1 else 0)
-            ~horizon:sched_horizon g
-      in
       (* each protocol's no-fault mean fct is its inflation denominator *)
       let base_fct : (string, float) Hashtbl.t = Hashtbl.create 8 in
       let rows = ref [] in
@@ -764,45 +834,21 @@ let resilience () =
           :: !rows
       in
       List.iter
-        (fun level ->
-          let faults = sched level in
-          List.iter
-            (fun store ->
-              (* self-clocked Ac (default) rather than [bulk]'s
-                 open-loop push: recovery dynamics, not open-loop
-                 buffering, are what this experiment measures *)
-              let cfg =
-                {
-                  Inrpp.Config.default with
-                  Inrpp.Config.cache_bits = store *. chunk_bits;
-                  timeout_backoff = 2.;
-                }
-              in
-              let r =
-                Baselines.Comparison.run_one ~cfg ~horizon ~faults
-                  Baselines.Comparison.Inrpp_proto g specs
-              in
-              record
-                (Printf.sprintf "INRPP store=%d" (int_of_float store))
-                level r)
-            stores;
-          List.iter
-            (fun p ->
-              let r =
-                Baselines.Comparison.run_one ~horizon ~faults p g specs
-              in
-              record (Baselines.Comparison.name p) level r)
-            [ Baselines.Comparison.Aimd_proto; Baselines.Comparison.Mptcp_proto ])
-        levels;
+        (fun (key, level, _) ->
+          record key level results.(!cursor);
+          incr cursor)
+        runs;
       Metrics.Report.table
         ~header:[ "protocol"; "outages"; "done"; "mean fct"; "inflation" ]
         (List.rev !rows) Format.std_formatter ();
       Format.printf "@.")
-    scenarios;
+    grid;
   Format.printf
     "(custody holds chunks through an outage and detours route around it, \
      so INRPP completes where end-to-end recovery must re-probe after \
      every timeout)@."
+
+let resilience () = resilience_grid ()
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks *)

@@ -21,6 +21,24 @@ val close_sidecar : unit -> unit
 val sidecar_emit : experiment:string -> (string * Obs.Json.t) list -> unit
 (** Emit one sidecar row (no-op without a sidecar channel). *)
 
+val set_domains : int -> unit
+(** Fan sweep-shaped experiments (currently {e resilience}) across
+    this many domains via {!Parallel.Pool} (default 1).  Results are
+    joined in job-index order and all order-sensitive effects happen
+    at join, so output is byte-identical at any setting.
+    @raise Invalid_argument on [d < 1]. *)
+
+val domains : unit -> int
+
+val resilience_grid :
+  ?stores:float list -> ?levels:int list -> ?isp:bool -> unit -> unit
+(** The resilience experiment on a configurable grid — [stores]
+    (chunks of custody, default [[100.; 400.]]), [levels] (outage
+    counts, default [[0; 2; 4]]), [isp] (include the VSNL scenario
+    next to the dumbbell, default [true]).  The [resilience] entry in
+    {!all} runs the defaults; the parallel-determinism test captures a
+    reduced grid at several domain counts. *)
+
 val capture : (unit -> unit) -> string
 (** Run with stdout redirected to a temp file; return the bytes
     written.  [Format.std_formatter] is flushed around the redirect so

@@ -6,23 +6,38 @@
      dune exec bench/main.exe -- table1 fig3  # a selection
      dune exec bench/main.exe -- --list
      dune exec bench/main.exe -- protocols --sidecar runs.ndjson
+     dune exec bench/main.exe -- resilience --domains 4
+
+   --domains N fans sweep-shaped experiments (resilience) across N
+   domains; output is byte-identical at any N (jobs join in index
+   order), so it is pure wall-clock speedup.
 
    Experiment ids: table1 fig3 fig4a fig4b custody phases backpressure
    protocols ablation-detour ablation-ac micro.  See DESIGN.md §5 and
    EXPERIMENTS.md for the paper-vs-measured record. *)
 
 let () =
-  let rec strip_sidecar = function
+  let rec strip_flags = function
     | "--sidecar" :: file :: rest ->
       Experiments.set_sidecar (open_out file);
-      strip_sidecar rest
+      strip_flags rest
     | [ "--sidecar" ] ->
       prerr_endline "--sidecar needs a FILE argument";
       exit 1
-    | x :: rest -> x :: strip_sidecar rest
+    | "--domains" :: d :: rest ->
+      (match int_of_string_opt d with
+      | Some n when n >= 1 -> Experiments.set_domains n
+      | _ ->
+        prerr_endline "--domains needs a positive integer";
+        exit 1);
+      strip_flags rest
+    | [ "--domains" ] ->
+      prerr_endline "--domains needs an N argument";
+      exit 1
+    | x :: rest -> x :: strip_flags rest
     | [] -> []
   in
-  let args = strip_sidecar (List.tl (Array.to_list Sys.argv)) in
+  let args = strip_flags (List.tl (Array.to_list Sys.argv)) in
   (match args with
   | [] -> List.iter (fun (_, f) -> f ()) Experiments.all
   | [ "--list" ] ->

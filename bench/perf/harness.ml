@@ -6,7 +6,11 @@ type outcome = {
   minor_words : float;
 }
 
-let measure ?(repeat = 1) name f =
+let measure ?(repeat = 1) ?(domains = 1) name f =
+  (* each trial reads [Gc.minor_words] in its own domain — minor
+     counters are per-domain in OCaml 5, so trials running in sibling
+     domains cannot pollute each other's allocation figures and the
+     `--check` gate stays sound at any [domains] *)
   let one () =
     Gc.compact ();
     let minor0 = Gc.minor_words () in
@@ -16,13 +20,12 @@ let measure ?(repeat = 1) name f =
     let minor_words = Gc.minor_words () -. minor0 in
     { name; events; wall_s; chunks; minor_words }
   in
+  let trials =
+    Parallel.Pool.run_jobs ~domains (Array.init repeat (fun _ () -> one ()))
+  in
   (* best-of-n: the minimum wall time is the least noisy estimate *)
   let best a b = if a.wall_s <= b.wall_s then a else b in
-  let r = ref (one ()) in
-  for _ = 2 to repeat do
-    r := best !r (one ())
-  done;
-  !r
+  Array.fold_left best trials.(0) trials
 
 let outcome_json o =
   let per_event x = if o.events > 0 then x /. float_of_int o.events else 0. in

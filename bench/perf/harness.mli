@@ -10,10 +10,16 @@ type outcome = {
   minor_words : float;
 }
 
-val measure : ?repeat:int -> string -> (unit -> int * int) -> outcome
+val measure :
+  ?repeat:int -> ?domains:int -> string -> (unit -> int * int) -> outcome
 (** [measure name f] runs [f () = (events, chunks)] after a compaction
-    and reports the best (minimum wall time) of [repeat] runs
-    (default 1). *)
+    and reports the best (minimum wall time) of [repeat] trials
+    (default 1).  [domains] (default 1) spreads the trials across that
+    many domains via {!Parallel.Pool}; allocation is read with the
+    per-domain [Gc.minor_words] counter inside the trial's own domain,
+    so the figure is unaffected by sibling trials.  Note that
+    concurrent trials share cores, so wall-clock numbers from
+    [domains > 1] runs are comparative only. *)
 
 val outcome_json : outcome -> Obs.Json.t
 (** The BENCH_core.json per-benchmark object (derived rates

@@ -78,13 +78,13 @@ let queue_tie_order ~seed =
       detail = Printf.sprintf "seed %d: %s" seed (first 0 a b);
     }
 
-let sweep ~seeds f =
+let sweep ?(domains = 1) ~seeds f =
+  (* per-seed runs are independent; fan them across domains and fold
+     the verdicts in seed-list order so the summary (including which
+     divergence is "first") is identical at any domain count *)
+  let verdicts = Parallel.Pool.map_list ~domains (fun seed -> f ~seed) seeds in
   let failures =
-    List.filter_map
-      (fun seed ->
-        let v = f ~seed in
-        if v.equal then None else Some v.detail)
-      seeds
+    List.filter_map (fun v -> if v.equal then None else Some v.detail) verdicts
   in
   match failures with
   | [] -> { equal = true; detail = Printf.sprintf "%d seeds equal" (List.length seeds) }

@@ -21,5 +21,8 @@ val queue_tie_order : seed:int -> verdict
     [(time, epoch, parent, stamp, seq)] must produce the same pop
     sequence. *)
 
-val sweep : seeds:int list -> (seed:int -> verdict) -> verdict
-(** Run a differential over many seeds; equal iff every seed is. *)
+val sweep : ?domains:int -> seeds:int list -> (seed:int -> verdict) -> verdict
+(** Run a differential over many seeds; equal iff every seed is.
+    [domains] (default 1) spreads the per-seed runs across domains via
+    {!Parallel.Pool}; verdicts are folded in seed-list order, so the
+    summary is byte-identical at any setting. *)

@@ -6,12 +6,12 @@ type header =
       ac : int;
     }
   | Data of {
-      mutable flow : int;
-      mutable idx : int;
-      mutable anticipated : bool;
-      mutable via_detour : bool;
-      mutable detour_route : Topology.Node.id list;
-      mutable born : float;
+      flow : int;
+      idx : int;
+      anticipated : bool;
+      via_detour : bool;
+      detour_route : Topology.Node.id list;
+      born : float;
     }
   | Backpressure of {
       flow : int;
@@ -51,65 +51,6 @@ let is_data t =
   match t.header with
   | Data _ -> true
   | Request _ | Backpressure _ -> false
-
-module Pool = struct
-  type packet = t
-
-  type t = {
-    chunk_bits : float;
-    mutable slab : packet array;   (* free packets live in [0, top) *)
-    mutable top : int;
-    mutable fresh : int;
-    mutable reused : int;
-    mutable released : int;
-  }
-
-  (* never handed out: Array.make needs a fill value *)
-  let sentinel = { header = Backpressure { flow = -1; engage = false }; size = 1. }
-
-  let create ~chunk_bits () =
-    if chunk_bits <= 0. then invalid_arg "Packet.Pool.create: chunk_bits <= 0";
-    { chunk_bits; slab = Array.make 64 sentinel; top = 0;
-      fresh = 0; reused = 0; released = 0 }
-
-  let data ?(anticipated = false) t ~flow ~idx ~born =
-    if t.top = 0 then begin
-      t.fresh <- t.fresh + 1;
-      data ~anticipated ~flow ~idx ~born t.chunk_bits
-    end
-    else begin
-      t.top <- t.top - 1;
-      let p = t.slab.(t.top) in
-      t.slab.(t.top) <- sentinel;
-      t.reused <- t.reused + 1;
-      (match p.header with
-      | Data d ->
-        d.flow <- flow;
-        d.idx <- idx;
-        d.anticipated <- anticipated;
-        d.via_detour <- false;
-        d.detour_route <- [];
-        d.born <- born
-      | Request _ | Backpressure _ -> assert false);
-      p
-    end
-
-  let release t (p : packet) =
-    match p.header with
-    | Data _ when p.size = t.chunk_bits ->
-      t.released <- t.released + 1;
-      let n = Array.length t.slab in
-      if t.top = n then begin
-        let slab = Array.make (2 * n) sentinel in
-        Array.blit t.slab 0 slab 0 n;
-        t.slab <- slab
-      end;
-      t.slab.(t.top) <- p;
-      t.top <- t.top + 1
-    | Data _ | Request _ | Backpressure _ -> ()
-
-  let stats t = (t.fresh, t.reused, t.released)
-end
 
 let pp ppf t =
   match t.header with

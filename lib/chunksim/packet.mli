@@ -22,12 +22,12 @@ type header =
       ac : int;        (** last anticipated chunk (>= nc) *)
     }
   | Data of {
-      mutable flow : int;
-      mutable idx : int;                  (** chunk index within the flow *)
-      mutable anticipated : bool;         (** pushed ahead of an explicit request *)
-      mutable via_detour : bool;
-      mutable detour_route : Topology.Node.id list; (** remaining detour nodes to visit *)
-      mutable born : float;               (** sender timestamp (RTT sampling) *)
+      flow : int;
+      idx : int;                  (** chunk index within the flow *)
+      anticipated : bool;         (** pushed ahead of an explicit request *)
+      via_detour : bool;
+      detour_route : Topology.Node.id list; (** remaining detour nodes to visit *)
+      born : float;               (** sender timestamp (RTT sampling) *)
     }
   | Backpressure of {
       flow : int;
@@ -61,46 +61,3 @@ val request_bits : float
 
 val backpressure_bits : float
 (** Wire size of a back-pressure notification (50 bytes). *)
-
-(** Opt-in freelist for data packets.
-
-    Each transmission is one [Data] record flowing hop-to-hop, so its
-    lifetime is linear: allocated at the sender (or an ICN cache-hit
-    synthesis), owned by exactly one queue/custody table/handler at a
-    time, dead at delivery or drop.  The pool recycles those records
-    instead of leaving them to the minor GC — data packets dominate
-    allocation on the chunk hot path.
-
-    Ownership contract: [release] may only be called by the packet's
-    last owner (consumer delivery, a router drop, or the post-copy
-    original of a detoured chunk).  Releasing a packet that is still
-    referenced — custodied, queued on an interface, or in flight —
-    corrupts the run: the pool will hand the same record to a new
-    chunk while the old reference still reads it.  The pooled-vs-
-    unpooled differential sweep in [test_validation] is the guard.
-
-    Packets destroyed by fault injection (killed wires, flushed
-    queues, crash wipes) are simply not returned; the pool refills
-    with fresh allocations.  [Data] fields are mutable solely for the
-    pool's benefit; all other code treats packets as immutable. *)
-module Pool : sig
-  type packet = t
-  type t
-
-  val create : chunk_bits:float -> unit -> t
-  (** One pool per run; recycles only data packets of exactly
-      [chunk_bits] (others are ignored by {!release}).
-      @raise Invalid_argument if [chunk_bits <= 0.]. *)
-
-  val data : ?anticipated:bool -> t -> flow:int -> idx:int -> born:float -> packet
-  (** A data packet of [chunk_bits] — recycled when the freelist is
-      non-empty, freshly allocated otherwise.  [via_detour] and
-      [detour_route] always start cleared. *)
-
-  val release : t -> packet -> unit
-  (** Return a dead data packet to the freelist.  No-op on requests,
-      back-pressure packets, and foreign chunk sizes. *)
-
-  val stats : t -> int * int * int
-  (** [(fresh, reused, released)] counters. *)
-end

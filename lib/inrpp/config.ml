@@ -19,7 +19,6 @@ type t = {
   speed_factor : float;
   drr_scheduler : bool;
   icn_caching : bool;
-  packet_pool : bool;
 }
 
 let default =
@@ -44,7 +43,6 @@ let default =
     speed_factor = 1.;
     drr_scheduler = false;
     icn_caching = false;
-    packet_pool = false;
   }
 
 let validate c =

@@ -63,13 +63,6 @@ type t = {
       answer later requests for the same content locally.  Off by
       default: the paper's experiments concern the custody role of
       storage; the [icn-cache] bench shows the two roles composing. *)
-  packet_pool : bool;
-  (** recycle data-packet records through a {!Chunksim.Packet.Pool}
-      shared by the run's senders and routers instead of allocating
-      one per transmission.  Results are identical (the pooled-vs-
-      unpooled differential sweep is the guard); off by default until
-      the [bench/perf] [minor_words_per_event] column justifies
-      graduating it. *)
 }
 
 val default : t

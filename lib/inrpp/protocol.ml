@@ -110,17 +110,9 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
     | Some s -> not (Fault.Schedule.is_empty s)
     | None -> false
   in
-  (* one pool per run, shared by every sender and router: a data
-     packet's lifetime is linear (sender → wires → delivery or drop),
-     so whichever node sees it die returns it for the next chunk *)
-  let pool =
-    if cfg.Config.packet_pool then
-      Some (Packet.Pool.create ~chunk_bits:cfg.Config.chunk_bits ())
-    else None
-  in
   let routers =
     Array.init (Graph.node_count g) (fun node ->
-        Router.create ~cfg ~net ~node ~detours ~link_state ?trace ?pool ())
+        Router.create ~cfg ~net ~node ~detours ~link_state ?trace ())
   in
   (* wire-time span taps: the interface hands back each data packet's
      virtual transmission start (possibly earlier than now — see
@@ -440,7 +432,7 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
         base
       in
       let sender =
-        Sender.create ~cfg ~eng ?pool ?trace ~flow:flow_id
+        Sender.create ~cfg ~eng ?trace ~flow:flow_id
           ~total_chunks:spec.chunks ~pace_rate ~transmit ()
       in
       Hashtbl.replace (endpoint_table producers spec.src) flow_id sender;
@@ -510,13 +502,8 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
                 ~time:(Sim.Engine.now eng) ~flow ~idx
             | _ -> ())
           | None -> ());
-          (match Hashtbl.find_opt recvs (Packet.flow p) with
+          match Hashtbl.find_opt recvs (Packet.flow p) with
           | Some r -> Receiver.handle_data r p
-          | None -> ());
-          (* delivery is the end of a data packet's life: the receiver
-             only reads it, so it can go back to the pool *)
-          match pool with
-          | Some pl -> Packet.Pool.release pl p
           | None -> ())
     | None -> ());
     Net.set_handler net node (Router.handler router)

@@ -79,7 +79,6 @@ type t = {
   detours : Detour_table.t;
   link_state : Topology.Link_state.t option;
   trace : Trace.t option;
-  pool : Packet.Pool.t option;
   flows : (int, flow_entry) Hashtbl.t;
   (* dense mirror of [flows] for the per-packet lookup; [flows] stays
      the iteration structure (drain/fault/crash walk it), so artefact-
@@ -99,7 +98,7 @@ type t = {
   mutable crashed : bool;
 }
 
-let create ~cfg ~net ~node ~detours ?link_state ?trace ?pool () =
+let create ~cfg ~net ~node ~detours ?link_state ?trace () =
   {
     cfg;
     net;
@@ -107,7 +106,6 @@ let create ~cfg ~net ~node ~detours ?link_state ?trace ?pool () =
     detours;
     link_state;
     trace;
-    pool;
     flows = Hashtbl.create 16;
     flow_arr = [||];
     store =
@@ -180,16 +178,6 @@ let record_evacuated t ~flow ~idx =
     Trace.record tr ~time:(now t)
       (Trace.Custody_evacuated { node = t.node_id; flow; idx })
   | Some _ | None -> ()
-
-let release_pkt t (p : Packet.t) =
-  match t.pool with
-  | Some pool -> Packet.Pool.release pool p
-  | None -> ()
-
-let make_data t ~flow ~idx ~born =
-  match t.pool with
-  | Some pool -> Packet.Pool.data pool ~flow ~idx ~born
-  | None -> Packet.data ~flow ~idx ~born t.cfg.Config.chunk_bits
 
 let estimator t (l : Link.t) =
   match Hashtbl.find t.estimators l.Link.id with
@@ -475,8 +463,7 @@ let custody t entry flow (p : Packet.t) =
          store space until the end of the run.  Drop it; the
          custodied copy is already scheduled to move on. *)
       t.c.dropped <- t.c.dropped + 1;
-      record_drop t ~link:(-1) p;
-      release_pkt t p
+      record_drop t ~link:(-1) p
     end
     else
       match Cache.put_custody t.store ~flow ~idx ~bits:p.Packet.size with
@@ -493,8 +480,7 @@ let custody t entry flow (p : Packet.t) =
            paper's back-pressure exists to prevent *)
         engage_local t entry ~flow ~slot:`Custody;
         t.c.dropped <- t.c.dropped + 1;
-        record_drop t ~link:(-1) p;
-        release_pkt t p
+        record_drop t ~link:(-1) p
   end
   | Packet.Request _ | Packet.Backpressure _ -> ()
 
@@ -535,7 +521,6 @@ let send_detour t flow (c : dcand) (p : Packet.t) =
     `Queued
   | `Dropped ->
     t.c.dropped <- t.c.dropped + 1;
-    if p' != p then release_pkt t p';
     `Dropped
 
 (* Deflect [p] onto the best usable detour around [l]; prefers the
@@ -565,7 +550,7 @@ let try_detour t entry flow (l : Link.t) (p : Packet.t) =
       | Flowlet.Primary -> first
     in
     match send_detour t flow chosen p with
-    | `Queued -> release_pkt t p (* the detour copy went out; [p] is dead *)
+    | `Queued -> () (* the detour copy went out; [p] is dead *)
     | `Dropped -> custody t entry flow p
   end
 
@@ -595,9 +580,7 @@ let forward_primary_path t entry flow (p : Packet.t) =
   | None -> begin
     match t.local_consumer with
     | Some consumer -> consumer p
-    | None ->
-      t.c.dropped <- t.c.dropped + 1;
-      release_pkt t p
+    | None -> t.c.dropped <- t.c.dropped + 1
   end
   | Some l -> begin
     let h = hot_of t entry l in
@@ -631,9 +614,7 @@ let handle_data t (p : Packet.t) =
     | next :: rest -> begin
       (* mid-detour: source-routed towards the rejoin node *)
       match Topology.Graph.find_link (Net.graph t.net) t.node_id next with
-      | None ->
-        t.c.dropped <- t.c.dropped + 1;
-        release_pkt t p
+      | None -> t.c.dropped <- t.c.dropped + 1
       | Some l ->
         let p' =
           { p with Packet.header = Packet.Data { d with detour_route = rest } }
@@ -642,18 +623,12 @@ let handle_data t (p : Packet.t) =
         (match Net.send t.net ~via:l p' with
         | `Queued ->
           t.c.forwarded_data <- t.c.forwarded_data + 1;
-          record_enqueued t ~link:l.Link.id p';
-          release_pkt t p
-        | `Dropped ->
-          t.c.dropped <- t.c.dropped + 1;
-          release_pkt t p';
-          release_pkt t p)
+          record_enqueued t ~link:l.Link.id p'
+        | `Dropped -> t.c.dropped <- t.c.dropped + 1)
     end
     | [] -> begin
       match flow_find t flow with
-      | None ->
-        t.c.dropped <- t.c.dropped + 1;
-        release_pkt t p
+      | None -> t.c.dropped <- t.c.dropped + 1
       | Some entry -> forward_primary_path t entry flow p
     end
   end
@@ -676,7 +651,9 @@ let handle_request t (p : Packet.t) =
       then begin
         t.c.cache_hits <- t.c.cache_hits + 1;
         record t (Trace.Cache_hit { node = t.node_id; flow; idx = nc });
-        let data = make_data t ~flow ~idx:nc ~born:(now t) in
+        let data =
+          Packet.data ~flow ~idx:nc ~born:(now t) t.cfg.Config.chunk_bits
+        in
         forward_primary_path t entry flow data
       end
       else begin
@@ -819,8 +796,7 @@ let drain t =
                     | `Queued ->
                       (* custody left this node sideways, not down the
                          primary: the recovery path's evacuation signal *)
-                      record_evacuated t ~flow ~idx;
-                      release_pkt t p
+                      record_evacuated t ~flow ~idx
                     | `Dropped -> custody t entry flow p
                   end));
                 true

@@ -31,17 +31,11 @@ type counters = {
 val create :
   cfg:Config.t -> net:Chunksim.Net.t -> node:Topology.Node.id ->
   detours:Detour_table.t -> ?link_state:Topology.Link_state.t ->
-  ?trace:Chunksim.Trace.t -> ?pool:Chunksim.Packet.Pool.t -> unit -> t
+  ?trace:Chunksim.Trace.t -> unit -> t
 (** [link_state] makes the router outage-aware: detour candidates with
     a down hop are unusable, and a down primary interface routes
     through the detour set.  Without it every link is assumed up
-    (pre-fault behaviour, bit-identical).
-
-    [pool] opts the router into data-packet recycling: packets it
-    drops, and originals it replaced with a detour copy, are returned
-    to the pool (see {!Chunksim.Packet.Pool} for the ownership
-    contract).  Without it, dead packets are left to the GC —
-    behaviour is identical either way. *)
+    (pre-fault behaviour, bit-identical). *)
 
 val install_flow :
   t -> ?content:int -> flow:int -> data_link:Topology.Link.t option ->

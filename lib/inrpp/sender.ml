@@ -1,7 +1,6 @@
 type t = {
   cfg : Config.t;
   eng : Sim.Engine.t;
-  pool : Chunksim.Packet.Pool.t option;
   trace : Chunksim.Trace.t option;
   flow : int;
   total_chunks : int;
@@ -18,13 +17,12 @@ type t = {
   retx_at : (int, float) Hashtbl.t;
 }
 
-let create ~cfg ~eng ?pool ?trace ~flow ~total_chunks ~pace_rate ~transmit () =
+let create ~cfg ~eng ?trace ~flow ~total_chunks ~pace_rate ~transmit () =
   if total_chunks <= 0 then invalid_arg "Sender.create: total_chunks <= 0";
   if pace_rate <= 0. then invalid_arg "Sender.create: pace_rate <= 0";
   {
     cfg;
     eng;
-    pool;
     trace;
     flow;
     total_chunks;
@@ -45,13 +43,8 @@ let now t = Sim.Engine.now t.eng
 
 let send_chunk t ~anticipated idx =
   let p =
-    match t.pool with
-    | Some pool ->
-      Chunksim.Packet.Pool.data ~anticipated pool ~flow:t.flow ~idx
-        ~born:(now t)
-    | None ->
-      Chunksim.Packet.data ~anticipated ~flow:t.flow ~idx ~born:(now t)
-        t.cfg.Config.chunk_bits
+    Chunksim.Packet.data ~anticipated ~flow:t.flow ~idx ~born:(now t)
+      t.cfg.Config.chunk_bits
   in
   t.tx_count <- t.tx_count + 1;
   if idx > t.highest_sent then t.highest_sent <- idx;

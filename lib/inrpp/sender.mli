@@ -15,16 +15,14 @@
 type t
 
 val create :
-  cfg:Config.t -> eng:Sim.Engine.t -> ?pool:Chunksim.Packet.Pool.t ->
+  cfg:Config.t -> eng:Sim.Engine.t ->
   ?trace:Chunksim.Trace.t ->
   flow:int -> total_chunks:int -> pace_rate:float ->
   transmit:(Chunksim.Packet.t -> unit) -> unit -> t
 (** [pace_rate]: bits per second at which the backlog drains —
     normally the capacity of the producer's outgoing link.
-    [transmit] hands a data packet to the local router.  [pool]
-    recycles data-packet records (every transmission — first send or
-    retransmit — still gets its own packet).  [trace] receives
-    lifecycle-gated [Retransmit] events (see
+    [transmit] hands a data packet to the local router.  [trace]
+    receives lifecycle-gated [Retransmit] events (see
     {!Chunksim.Trace.set_lifecycle}).
     @raise Invalid_argument if [total_chunks <= 0] or
     [pace_rate <= 0.]. *)

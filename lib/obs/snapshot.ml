@@ -1,0 +1,85 @@
+let merge_hist name (a : Metric.hist_summary) (b : Metric.hist_summary) :
+    Metric.hist_summary =
+  let edges_match =
+    List.length a.Metric.buckets = List.length b.Metric.buckets
+    && List.for_all2
+         (fun (lo1, hi1, _) (lo2, hi2, _) -> lo1 = lo2 && hi1 = hi2)
+         a.Metric.buckets b.Metric.buckets
+  in
+  if not edges_match then
+    invalid_arg
+      (Printf.sprintf "Obs.Snapshot.merge: histogram %s bucket edges differ"
+         name);
+  let count = a.Metric.count + b.Metric.count in
+  let sum = a.Metric.sum +. b.Metric.sum in
+  {
+    Metric.count;
+    sum;
+    (* mirrors Sim.Stats.Running.mean: 0. when empty *)
+    mean = (if count = 0 then 0. else sum /. float_of_int count);
+    min_v = Float.min a.Metric.min_v b.Metric.min_v;
+    max_v = Float.max a.Metric.max_v b.Metric.max_v;
+    buckets =
+      List.map2
+        (fun (lo, hi, c1) (_, _, c2) -> (lo, hi, c1 + c2))
+        a.Metric.buckets b.Metric.buckets;
+  }
+
+let merge_value name a b =
+  match (a, b) with
+  | Metric.Counter_v x, Metric.Counter_v y -> Metric.Counter_v (x + y)
+  | Metric.Gauge_v x, Metric.Gauge_v y -> Metric.Gauge_v (Float.max x y)
+  | Metric.Histogram_v x, Metric.Histogram_v y ->
+    Metric.Histogram_v (merge_hist name x y)
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Obs.Snapshot.merge: %s has mismatched value kinds" name)
+
+let merge snapshots =
+  (* first-occurrence order across the run list, so the merged output
+     is independent of job completion order *)
+  let index : (string * Metric.labels, int) Hashtbl.t = Hashtbl.create 64 in
+  let merged : Metric.sample array ref = ref (Array.make 0 Metric.{ name = ""; labels = []; value = Counter_v 0 }) in
+  let n = ref 0 in
+  let push (s : Metric.sample) =
+    let key = (s.Metric.name, s.Metric.labels) in
+    match Hashtbl.find_opt index key with
+    | Some i ->
+      let prev = !merged.(i) in
+      !merged.(i) <-
+        {
+          prev with
+          Metric.value =
+            merge_value s.Metric.name prev.Metric.value s.Metric.value;
+        }
+    | None ->
+      if !n = Array.length !merged then begin
+        let grown =
+          Array.make
+            (max 16 (2 * Array.length !merged))
+            Metric.{ name = ""; labels = []; value = Counter_v 0 }
+        in
+        Array.blit !merged 0 grown 0 !n;
+        merged := grown
+      end;
+      !merged.(!n) <- s;
+      Hashtbl.add index key !n;
+      incr n
+  in
+  List.iter (List.iter push) snapshots;
+  Array.to_list (Array.sub !merged 0 !n)
+
+let merge_series runs =
+  List.concat_map
+    (fun (label, series) ->
+      List.map
+        (fun s ->
+          let copy =
+            Series.create
+              ~labels:(("run", label) :: Series.labels s)
+              (Series.name s)
+          in
+          Series.iter (fun ~time v -> Series.add copy ~time v) s;
+          copy)
+        series)
+    runs

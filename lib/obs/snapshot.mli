@@ -1,0 +1,32 @@
+(** Merging the observable output of several independent runs into one
+    aggregate — the join step of a domain-parallel sweep
+    ({!Parallel.Pool} customers take one snapshot per run {e inside}
+    the owning domain, then merge at the join).
+
+    Merge semantics, per [(name, labels)] instrument identity:
+    - {e counters} sum;
+    - {e histograms} sum (bucket counts, totals; min/max combine) —
+      every run must have registered the histogram with identical
+      bucket edges;
+    - {e gauges} (and callback gauges) keep the {e maximum} across
+      runs: a gauge is an instantaneous level (queue depth, custody
+      bits), so the merged value reads as "peak across runs".  Callers
+      needing a different gauge aggregation should merge the per-run
+      snapshots themselves.
+
+    Order is deterministic: instruments appear in the order they first
+    occur across the run list (run 0's instruments first, then any
+    new ones from run 1, ...), independent of how the runs were
+    scheduled. *)
+
+val merge : Metric.sample list list -> Metric.sample list
+(** Merge per-run snapshots ([Metric.snapshot] output).
+    @raise Invalid_argument if the same [(name, labels)] instrument
+    appears with different value kinds or different histogram bucket
+    edges across runs. *)
+
+val merge_series : (string * Series.t list) list -> Series.t list
+(** [merge_series [(label, series_of_run); ...]] concatenates the
+    per-run series lists in run order; each series is copied with a
+    [("run", label)] pair prepended to its labels so same-named series
+    from different runs stay distinguishable in exports. *)

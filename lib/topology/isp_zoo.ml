@@ -209,14 +209,21 @@ let generate s =
   done;
   Graph.Builder.build b
 
+(* the memo table is the one piece of global mutable state parallel
+   sweep jobs can reach (every job calls [graph]), so it is
+   mutex-protected; generation is deterministic, so racing domains
+   would compute equal graphs either way — the lock just keeps the
+   Hashtbl itself coherent *)
 let cache : (isp, Graph.t) Hashtbl.t = Hashtbl.create 9
+let cache_lock = Mutex.create ()
 
 let graph isp =
-  match Hashtbl.find_opt cache isp with
-  | Some g -> g
-  | None ->
-    let g = generate (spec isp) in
-    Hashtbl.add cache isp g;
-    g
+  Mutex.protect cache_lock (fun () ->
+      match Hashtbl.find_opt cache isp with
+      | Some g -> g
+      | None ->
+        let g = generate (spec isp) in
+        Hashtbl.add cache isp g;
+        g)
 
 let fig4_isps = [ Telstra; Exodus; Tiscali ]

@@ -5,11 +5,17 @@
 
      RUN_SOAK=1 dune runtest test/soak
      RUN_SOAK=1 SOAK_NDJSON=/tmp/soak.ndjson dune runtest test/soak
+     RUN_SOAK=1 SOAK_DOMAINS=4 dune runtest test/soak
 
    With SOAK_NDJSON set, the large run's sampled series, metric
    snapshot and per-scale measurement outcomes are written there as
-   NDJSON (the nightly CI job uploads it as an artifact).  Without
-   RUN_SOAK=1 the test prints a skip notice and exits 0. *)
+   NDJSON (the nightly CI job uploads it as an artifact).
+   SOAK_DOMAINS=D (D >= 2) additionally runs one independent
+   distinct-seed EBONE soak per domain — all checkers on, one
+   Obs.Observer per run with its snapshot taken inside the owning
+   domain — and merges the observable output with Obs.Snapshot at the
+   join.  Without RUN_SOAK=1 the test prints a skip notice and
+   exits 0. *)
 
 let chunks_per_flow = 120
 
@@ -172,6 +178,67 @@ let run_fault_soak () =
     | Some t -> Printf.sprintf "%.3fs" t
     | None -> "-")
 
+(* SOAK_DOMAINS multi-seed mode: one full-checker EBONE soak per
+   domain, each on its own seed (disjoint from the scale runs' 97).
+   Every job owns its engine, RNG, checkers and Observer; the snapshot
+   is taken inside the owning domain (the Metric registry is per-run
+   state) and only the immutable results cross back to the join, where
+   they merge in job-index order. *)
+let run_parallel_soak ~domains =
+  let nflows = 120 in
+  let jobs =
+    Array.init domains (fun i () ->
+        let seed = 211 + i in
+        let g = Topology.Isp_zoo.graph Topology.Isp_zoo.Ebone in
+        let specs = make_specs g ~nflows ~seed in
+        let chk = Check.Invariant.create () in
+        let obs = Obs.Observer.create ~sinks:[] () in
+        let r =
+          Inrpp.Protocol.run ~cfg ~horizon:600. ~obs ~check:chk g specs
+        in
+        let snap = Obs.Observer.snapshot obs in
+        let series = Obs.Observer.series obs in
+        Obs.Observer.close obs;
+        (seed, r, chk, snap, series))
+  in
+  let runs = Parallel.Pool.run_jobs ~domains jobs in
+  Array.iter
+    (fun (seed, (r : Inrpp.Protocol.result), chk, _, _) ->
+      if not (Check.Invariant.ok chk) then
+        failwith
+          (Printf.sprintf "parallel soak seed %d: invariant violations\n%s"
+             seed (Check.Invariant.report chk));
+      if r.Inrpp.Protocol.completed <> nflows then
+        failwith
+          (Printf.sprintf
+             "parallel soak seed %d: %d of %d flows completed by the horizon"
+             seed r.Inrpp.Protocol.completed nflows))
+    runs;
+  let per_run = Array.to_list (Array.map (fun (_, _, _, s, _) -> s) runs) in
+  let merged = Obs.Snapshot.merge per_run in
+  (* merge keeps instrument identity: no per-run snapshot can have
+     more instruments than the union *)
+  List.iter
+    (fun snap ->
+      if List.length snap > List.length merged then
+        failwith "parallel soak: merged snapshot lost instruments")
+    per_run;
+  let merged_series =
+    Obs.Snapshot.merge_series
+      (Array.to_list
+         (Array.map (fun (seed, _, _, _, ss) -> (string_of_int seed, ss)) runs))
+  in
+  let total_series =
+    Array.fold_left (fun acc (_, _, _, _, ss) -> acc + List.length ss) 0 runs
+  in
+  if List.length merged_series <> total_series then
+    failwith
+      (Printf.sprintf "parallel soak: %d merged series, expected %d"
+         (List.length merged_series) total_series);
+  Printf.printf
+    "par    %4d seeds  %d merged instruments  %d run-labelled series\n%!"
+    domains (List.length merged) (List.length merged_series)
+
 let soak () =
   let small = run_scale ~label:"small" ~nflows:120 ~sinks:[] in
   let large = run_scale ~label:"large" ~nflows:360 ~sinks:[] in
@@ -197,6 +264,14 @@ let soak () =
       (Printf.sprintf
          "sampler overhead not sub-linear: ticks grew %.2fx vs events %.2fx"
          tick_ratio event_ratio);
+  (match Sys.getenv_opt "SOAK_DOMAINS" with
+  | Some d ->
+    (match int_of_string_opt d with
+    | Some n when n >= 2 -> run_parallel_soak ~domains:n
+    | Some _ -> ()
+    | None ->
+      failwith (Printf.sprintf "SOAK_DOMAINS wants an integer, got %s" d))
+  | None -> ());
   (match Sys.getenv_opt "SOAK_NDJSON" with
   | Some path when path <> "" -> write_ndjson path small large
   | _ -> ());

@@ -197,8 +197,16 @@ let test_custody_ledger_probe () =
 
 let seeds n = List.init n (fun i -> i)
 
+(* sweep seeds across a couple of domains so the ordinary test run
+   also exercises the parallel path; verdict folding is seed-ordered,
+   so the result is identical to a sequential sweep *)
+let sweep_domains = 2
+
 let check_sweep name differential =
-  let v = Check.Differential.sweep ~seeds:(seeds 50) differential in
+  let v =
+    Check.Differential.sweep ~domains:sweep_domains ~seeds:(seeds 50)
+      differential
+  in
   if not v.Check.Differential.equal then
     Alcotest.failf "%s diverged: %s" name v.Check.Differential.detail
 
@@ -271,76 +279,6 @@ let test_protocol_fast_vs_legacy () =
   Alcotest.(check bool) "event counts differ across paths" true
     (fast.Inrpp.Protocol.engine_events
     < legacy.Inrpp.Protocol.engine_events)
-
-(* Pooled vs unpooled packet paths must be bit-identical: the pool
-   only recycles records whose lifetime has ended, so every protocol
-   observable — FCTs (compared as hex bit patterns), chunk/request
-   counts, custody and back-pressure activity, even engine event
-   counts — matches exactly.  Seeds vary topology width, bottleneck
-   capacity, start times, chunk counts, the interface scheduler and
-   ICN caching, so the sweep crosses custody, detour, duplicate-drop
-   and cache-hit release points. *)
-let protocol_digest (r : Inrpp.Protocol.result) =
-  let flow (f : Inrpp.Protocol.flow_result) =
-    Printf.sprintf "fct=%s chunks=%d dup=%d req=%d"
-      (match f.Inrpp.Protocol.fct with
-      | Some x -> Printf.sprintf "%h" x
-      | None -> "-")
-      f.Inrpp.Protocol.chunks_received f.Inrpp.Protocol.duplicates
-      f.Inrpp.Protocol.requests_sent
-  in
-  String.concat ";"
-    (Printf.sprintf
-       "completed=%d time=%h drops=%d fwd=%d det=%d cs=%d cr=%d be=%d br=%d \
-        hits=%d pt=%d peak=%h goodput=%h ev=%d"
-       r.Inrpp.Protocol.completed r.Inrpp.Protocol.sim_time
-       r.Inrpp.Protocol.total_drops r.Inrpp.Protocol.forwarded_data
-       r.Inrpp.Protocol.detoured r.Inrpp.Protocol.custody_stored
-       r.Inrpp.Protocol.custody_released r.Inrpp.Protocol.bp_engages
-       r.Inrpp.Protocol.bp_releases r.Inrpp.Protocol.cache_hits
-       r.Inrpp.Protocol.phase_transitions r.Inrpp.Protocol.peak_custody_bits
-       r.Inrpp.Protocol.goodput r.Inrpp.Protocol.engine_events
-    :: List.map flow (Array.to_list r.Inrpp.Protocol.flows))
-
-let pooled_vs_unpooled ~seed =
-  let rng = Sim.Rng.create (Int64.of_int (0xB00B5 + seed)) in
-  let pairs = 2 + Sim.Rng.int rng 3 in
-  let bneck = float_of_int (1 + Sim.Rng.int rng 4) *. 1e6 in
-  let g =
-    Topology.Builders.dumbbell ~access_capacity:10e6
-      ~bottleneck_capacity:bneck pairs
-  in
-  let specs =
-    List.init pairs (fun i ->
-        Inrpp.Protocol.flow_spec ~src:(2 + i) ~dst:(2 + pairs + i)
-          ~start:(0.05 *. float_of_int (Sim.Rng.int rng 4))
-          (60 + Sim.Rng.int rng 120))
-  in
-  let cfg pool =
-    {
-      bulk with
-      Inrpp.Config.packet_pool = pool;
-      Inrpp.Config.drr_scheduler = seed mod 2 = 1;
-      Inrpp.Config.icn_caching = seed mod 3 = 0;
-    }
-  in
-  let plain = protocol_digest (Inrpp.Protocol.run ~cfg:(cfg false) g specs) in
-  let pooled = protocol_digest (Inrpp.Protocol.run ~cfg:(cfg true) g specs) in
-  if String.equal plain pooled then
-    {
-      Check.Differential.equal = true;
-      detail = Printf.sprintf "seed %d: pooled = unpooled" seed;
-    }
-  else
-    {
-      Check.Differential.equal = false;
-      detail =
-        Printf.sprintf "seed %d:\n  unpooled %s\n  pooled   %s" seed plain
-          pooled;
-    }
-
-let test_differential_pooled_vs_unpooled () =
-  check_sweep "pooled vs unpooled" pooled_vs_unpooled
 
 let checked_run ?cfg ?loss_rate g specs =
   let chk = Inv.create () in
@@ -433,8 +371,6 @@ let () =
             test_differential_fast_vs_legacy;
           Alcotest.test_case "queue tie order x50" `Quick
             test_differential_queue_tie_order;
-          Alcotest.test_case "pooled vs unpooled x50" `Quick
-            test_differential_pooled_vs_unpooled;
           Alcotest.test_case "scenarios drop" `Quick
             test_scenarios_exercise_contention;
         ] );
