@@ -22,10 +22,11 @@ val sidecar_emit : experiment:string -> (string * Obs.Json.t) list -> unit
 (** Emit one sidecar row (no-op without a sidecar channel). *)
 
 val set_domains : int -> unit
-(** Fan sweep-shaped experiments (currently {e resilience}) across
-    this many domains via {!Parallel.Pool} (default 1).  Results are
-    joined in job-index order and all order-sensitive effects happen
-    at join, so output is byte-identical at any setting.
+(** Fan sweep-shaped experiments (currently {e resilience} and
+    {e popularity}) across this many domains via {!Parallel.Pool}
+    (default 1).  Results are joined in job-index order and all
+    order-sensitive effects happen at join, so output is
+    byte-identical at any setting.
     @raise Invalid_argument on [d < 1]. *)
 
 val domains : unit -> int
@@ -38,6 +39,15 @@ val resilience_grid :
     next to the dumbbell, default [true]).  The [resilience] entry in
     {!all} runs the defaults; the parallel-determinism test captures a
     reduced grid at several domain counts. *)
+
+val popularity_grid :
+  ?alphas:float list -> ?stores:float list -> unit -> unit
+(** The popularity experiment on a configurable grid — [alphas]
+    (catalogue skews, default [[0.4; 0.8; 1.2]]) and [stores] (custody
+    store sizes in chunks, default [[60.; 240.]]).  One
+    {!Workload.Gen} request mix per skew (same seed), replayed through
+    INRPP with ICN caching on and through the AIMD pull baseline.  The
+    [popularity] entry in {!all} runs the defaults. *)
 
 val capture : (unit -> unit) -> string
 (** Run with stdout redirected to a temp file; return the bytes

@@ -8,13 +8,14 @@
      dune exec bench/main.exe -- protocols --sidecar runs.ndjson
      dune exec bench/main.exe -- resilience --domains 4
 
-   --domains N fans sweep-shaped experiments (resilience) across N
-   domains; output is byte-identical at any N (jobs join in index
-   order), so it is pure wall-clock speedup.
+   --domains N fans sweep-shaped experiments (resilience, popularity)
+   across N domains; output is byte-identical at any N (jobs join in
+   index order), so it is pure wall-clock speedup.
 
    Experiment ids: table1 fig3 fig4a fig4b custody phases backpressure
-   protocols ablation-detour ablation-ac micro.  See DESIGN.md §5 and
-   EXPERIMENTS.md for the paper-vs-measured record. *)
+   protocols resilience popularity ablation-detour ablation-ac micro.
+   See DESIGN.md §5 and EXPERIMENTS.md for the paper-vs-measured
+   record. *)
 
 let () =
   let rec strip_flags = function

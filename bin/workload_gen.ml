@@ -1,0 +1,200 @@
+(* CLI: generate, inspect and replay NDJSON workload traces.
+
+     # generate a trace to stdout
+     dune exec bin/workload_gen.exe -- --topology dumbbell --alpha 1.1 \
+       --rate 20 --horizon 10 --seed 42
+
+     # generate to a file, then replay it through INRPP
+     dune exec bin/workload_gen.exe -- --topology dumbbell -o trace.ndjson
+     dune exec bin/workload_gen.exe -- --topology dumbbell \
+       --replay trace.ndjson --run
+
+   Generation is a pure function of (spec, topology): the same flags
+   always produce the same bytes, so traces never need to be checked
+   in — only their parameters do.
+*)
+
+open Cmdliner
+
+let topo_of = function
+  | "fig3" -> Topology.Builders.fig3 ()
+  | "line" -> Topology.Builders.line ~capacity:10e6 ~delay:2e-3 4
+  | "dumbbell" ->
+    Topology.Builders.dumbbell ~access_capacity:10e6 ~bottleneck_capacity:5e6 4
+  | "vsnl" -> Topology.Isp_zoo.graph Topology.Isp_zoo.Vsnl
+  | "ebone" -> Topology.Isp_zoo.graph Topology.Isp_zoo.Ebone
+  | s ->
+    prerr_endline ("unknown topology: " ^ s);
+    exit 1
+
+let parse_burst s =
+  match String.split_on_char ':' s with
+  | [ at; duration; boost ] -> begin
+    match (float_of_string_opt at, float_of_string_opt duration,
+           float_of_string_opt boost)
+    with
+    | Some at, Some duration, Some boost ->
+      Workload.Arrivals.burst ~at ~duration ~boost
+    | _ ->
+      prerr_endline ("bad burst (want AT:DURATION:BOOST): " ^ s);
+      exit 1
+  end
+  | _ ->
+    prerr_endline ("bad burst (want AT:DURATION:BOOST): " ^ s);
+    exit 1
+
+let summarise requests =
+  let n = List.length requests in
+  let chunks =
+    List.fold_left (fun a (r : Workload.Request.t) -> a + r.chunks) 0 requests
+  in
+  let objects =
+    List.sort_uniq compare
+      (List.map (fun (r : Workload.Request.t) -> r.content) requests)
+  in
+  let last =
+    List.fold_left (fun a (r : Workload.Request.t) -> max a r.start) 0. requests
+  in
+  Printf.eprintf
+    "%d requests, %d chunks, %d distinct objects, last arrival at %.3fs\n" n
+    chunks (List.length objects) last
+
+let replay_requests file topo =
+  match
+    try Workload.Trace.load_file file with Sys_error e -> Error e
+  with
+  | Error e ->
+    Printf.eprintf "%s: %s\n" file e;
+    exit 1
+  | Ok requests -> begin
+    match Workload.Trace.validate topo requests with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" file e;
+      exit 1
+    | Ok () -> requests
+  end
+
+let run_inrpp topo requests =
+  let specs =
+    List.map
+      (fun (r : Workload.Request.t) ->
+        Inrpp.Protocol.flow_spec ~start:r.start ~content:r.content ~src:r.src
+          ~dst:r.dst r.chunks)
+      requests
+  in
+  let cfg = { Inrpp.Config.default with Inrpp.Config.icn_caching = true } in
+  let result = Inrpp.Protocol.run ~cfg ~horizon:600. topo specs in
+  Format.printf "%a@." Inrpp.Protocol.pp_result result
+
+let main topology seed horizon max_requests objects alpha chunk_min chunk_max
+    chunk_shape rate diurnal_amplitude diurnal_period bursts out replay run =
+  let topo = topo_of topology in
+  let requests =
+    match replay with
+    | Some file -> replay_requests file topo
+    | None ->
+      let spec =
+        {
+          Workload.Gen.default with
+          Workload.Gen.seed = Int64.of_int seed;
+          horizon;
+          max_requests;
+          objects;
+          alpha;
+          chunk_min;
+          chunk_max;
+          chunk_shape;
+          rate;
+          diurnal_amplitude;
+          diurnal_period;
+          bursts = List.map parse_burst bursts;
+        }
+      in
+      Workload.Gen.requests spec topo
+  in
+  summarise requests;
+  (match out with
+  | Some file -> Workload.Trace.save_file file requests
+  | None -> if replay = None && not run then Workload.Trace.save stdout requests);
+  if run then run_inrpp topo requests
+
+let topology =
+  Arg.(value & opt string "dumbbell"
+       & info [ "topology" ] ~docv:"T"
+           ~doc:"fig3 | line | dumbbell | vsnl | ebone.")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"RNG seed.")
+
+let horizon =
+  Arg.(value & opt float 10.
+       & info [ "horizon" ] ~docv:"SECS" ~doc:"Arrival window.")
+
+let max_requests =
+  Arg.(value & opt int 256
+       & info [ "max-requests" ] ~docv:"N" ~doc:"Stream length cap.")
+
+let objects =
+  Arg.(value & opt int 64 & info [ "objects" ] ~docv:"N" ~doc:"Catalogue size.")
+
+let alpha =
+  Arg.(value & opt float 0.8
+       & info [ "alpha" ] ~docv:"A" ~doc:"Zipf popularity exponent.")
+
+let chunk_min =
+  Arg.(value & opt int 4
+       & info [ "chunk-min" ] ~docv:"C" ~doc:"Smallest object, in chunks.")
+
+let chunk_max =
+  Arg.(value & opt int 64
+       & info [ "chunk-max" ] ~docv:"C" ~doc:"Largest object, in chunks.")
+
+let chunk_shape =
+  Arg.(value & opt float 1.2
+       & info [ "chunk-shape" ] ~docv:"A"
+           ~doc:"Bounded-Pareto tail exponent for object sizes.")
+
+let rate =
+  Arg.(value & opt float 8.
+       & info [ "rate" ] ~docv:"R" ~doc:"Base sessions per second.")
+
+let diurnal_amplitude =
+  Arg.(value & opt float 0.
+       & info [ "diurnal-amplitude" ] ~docv:"A"
+           ~doc:"Sinusoidal rate modulation depth in [0, 1).")
+
+let diurnal_period =
+  Arg.(value & opt float 86_400.
+       & info [ "diurnal-period" ] ~docv:"SECS"
+           ~doc:"Sinusoidal modulation period.")
+
+let bursts =
+  Arg.(value & opt_all string []
+       & info [ "burst" ] ~docv:"AT:DURATION:BOOST"
+           ~doc:"Flash crowd: multiply the rate by BOOST for DURATION \
+                 seconds starting at AT.  Repeatable.")
+
+let out =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the NDJSON trace here instead of stdout.")
+
+let replay =
+  Arg.(value & opt (some string) None
+       & info [ "replay" ] ~docv:"FILE"
+           ~doc:"Load and validate an existing trace instead of generating.")
+
+let run =
+  Arg.(value & flag
+       & info [ "run" ]
+           ~doc:"Run INRPP (ICN caching on) over the requests and print the \
+                 protocol result.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "workload_gen"
+       ~doc:"Generate, inspect and replay NDJSON workload traces")
+    Term.(const main $ topology $ seed $ horizon $ max_requests $ objects
+          $ alpha $ chunk_min $ chunk_max $ chunk_shape $ rate
+          $ diurnal_amplitude $ diurnal_period $ bursts $ out $ replay $ run)
+
+let () = exit (Cmd.eval cmd)

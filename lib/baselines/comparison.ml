@@ -28,8 +28,24 @@ let inrpp_as_run_result ~cfg ~(specs : Inrpp.Protocol.flow_spec list)
          0 r.Inrpp.Protocol.flows)
     ~sim_time:r.Inrpp.Protocol.sim_time
 
+(* the workload is resolved to a concrete flow list up front — every
+   protocol must see the same flows, so generation happens once here
+   (per call) rather than inside each protocol's runner *)
+let resolve_specs ?workload g specs =
+  match workload with
+  | None -> specs
+  | Some w ->
+    specs
+    @ List.map
+        (fun (r : Workload.Request.t) ->
+          Inrpp.Protocol.flow_spec ~start:r.Workload.Request.start
+            ~content:r.Workload.Request.content ~src:r.Workload.Request.src
+            ~dst:r.Workload.Request.dst r.Workload.Request.chunks)
+        (Workload.Gen.requests w g)
+
 let run_one ?(cfg = Inrpp.Config.default) ?(horizon = 120.) ?obs ?faults
-    protocol g specs =
+    ?workload protocol g specs =
+  let specs = resolve_specs ?workload g specs in
   let chunk_bits = cfg.Inrpp.Config.chunk_bits in
   let queue_bits = cfg.Inrpp.Config.queue_bits in
   match protocol with
@@ -43,7 +59,9 @@ let run_one ?(cfg = Inrpp.Config.default) ?(horizon = 120.) ?obs ?faults
   | Rcp_proto -> Rcp.run ~chunk_bits ~queue_bits ~horizon ?obs ?faults g specs
   | Hbh_proto -> Hbh.run ~chunk_bits ~queue_bits ~horizon ?obs ?faults g specs
 
-let run_all ?cfg ?horizon ?(protocols = all) ?observe ?faults g specs =
+let run_all ?cfg ?horizon ?(protocols = all) ?observe ?faults ?workload g
+    specs =
+  let specs = resolve_specs ?workload g specs in
   List.map
     (fun p ->
       let obs =

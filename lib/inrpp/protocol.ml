@@ -60,10 +60,29 @@ let phase_value = function
 let phase_names = [| "push"; "detour"; "backpressure" |]
 
 let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
-    ?loss_rate ?obs ?check ?faults g specs =
+    ?loss_rate ?obs ?check ?faults ?workload g specs =
   (match Config.validate cfg with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("Protocol.run: " ^ msg));
+  (* generated flows ride behind the static list so existing scenarios
+     keep their flow ids; generation is a pure function of (spec,
+     graph), so a run with a workload is as replayable as one without *)
+  let specs =
+    match workload with
+    | None -> specs
+    | Some w ->
+      specs
+      @ List.map
+          (fun (r : Workload.Request.t) ->
+            {
+              src = r.Workload.Request.src;
+              dst = r.Workload.Request.dst;
+              chunks = r.Workload.Request.chunks;
+              start = r.Workload.Request.start;
+              content = Some r.Workload.Request.content;
+            })
+          (Workload.Gen.requests w g)
+  in
   if specs = [] then invalid_arg "Protocol.run: no flows";
   if horizon <= 0. then invalid_arg "Protocol.run: horizon <= 0";
   let eng = Sim.Engine.create () in

@@ -61,7 +61,7 @@ type result = {
 val run :
   ?cfg:Config.t -> ?horizon:float -> ?collect_trace:bool ->
   ?loss_rate:float -> ?obs:Obs.Observer.t -> ?check:Check.Invariant.t ->
-  ?faults:Fault.Schedule.t ->
+  ?faults:Fault.Schedule.t -> ?workload:Workload.Gen.spec ->
   Topology.Graph.t -> flow_spec list -> result
 (** [horizon] (default 60 s) bounds the run; the engine also stops as
     soon as every flow completes.  [loss_rate] injects seeded random
@@ -95,7 +95,16 @@ val run :
     [check] is given) rather than reported as leaks.  An empty or
     absent schedule leaves the run bit-identical to a build without
     fault support.
-    @raise Invalid_argument on an invalid config, an empty flow list,
-    or an unroutable flow. *)
+
+    [workload] appends generated flows (Zipf catalogue, open-loop
+    Poisson sessions — see {!Workload.Gen}) behind the static list;
+    each request's catalogue object becomes the flow's [content] key,
+    so a hot catalogue exercises the popularity region of the content
+    stores when [cfg.icn_caching] is on.  Generation is a pure
+    function of [(workload, g)], so runs stay bit-replayable.  The
+    static list may be empty when a workload is given.
+    @raise Invalid_argument on an invalid config, no flows at all
+    (empty static list and no or empty workload), or an unroutable
+    flow. *)
 
 val pp_result : Format.formatter -> result -> unit

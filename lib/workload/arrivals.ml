@@ -1,0 +1,64 @@
+type burst = { at : float; duration : float; boost : float }
+
+let burst ~at ~duration ~boost =
+  if at < 0. then invalid_arg "Arrivals.burst: at < 0";
+  if duration <= 0. then invalid_arg "Arrivals.burst: duration <= 0";
+  if boost < 1. then invalid_arg "Arrivals.burst: boost < 1";
+  { at; duration; boost }
+
+type t = {
+  rate : float;
+  amplitude : float;
+  period : float;
+  bursts : burst list;
+  peak : float;
+  rng : Sim.Rng.t;
+  mutable now : float;
+}
+
+let create ?(diurnal_amplitude = 0.) ?(diurnal_period = 86_400.)
+    ?(bursts = []) ~rate ~seed () =
+  if rate <= 0. then invalid_arg "Arrivals.create: rate <= 0";
+  if diurnal_amplitude < 0. || diurnal_amplitude >= 1. then
+    invalid_arg "Arrivals.create: diurnal_amplitude outside [0, 1)";
+  if diurnal_period <= 0. then invalid_arg "Arrivals.create: period <= 0";
+  (* envelope: assume every burst is active at the diurnal crest — a
+     loose but safe thinning bound (overlaps compound) *)
+  let boost_bound =
+    List.fold_left (fun acc b -> acc *. b.boost) 1. bursts
+  in
+  {
+    rate;
+    amplitude = diurnal_amplitude;
+    period = diurnal_period;
+    bursts;
+    peak = rate *. (1. +. diurnal_amplitude) *. boost_bound;
+    rng = Sim.Rng.create seed;
+    now = 0.;
+  }
+
+let rate_at t time =
+  let diurnal =
+    1. +. (t.amplitude *. sin (2. *. Float.pi *. time /. t.period))
+  in
+  let boost =
+    List.fold_left
+      (fun acc b ->
+        if time >= b.at && time < b.at +. b.duration then acc *. b.boost
+        else acc)
+      1. t.bursts
+  in
+  t.rate *. diurnal *. boost
+
+let peak_rate t = t.peak
+
+(* Lewis–Shedler: candidate gaps at the envelope rate, accepted with
+   probability rate(t)/peak — an exact sample of the inhomogeneous
+   process for any rate function below the envelope *)
+let next t =
+  let rec step () =
+    t.now <- t.now +. Sim.Rng.exponential t.rng ~mean:(1. /. t.peak);
+    if Sim.Rng.float t.rng 1. <= rate_at t t.now /. t.peak then t.now
+    else step ()
+  in
+  step ()

@@ -1,0 +1,44 @@
+(** Open-loop session arrivals: a non-homogeneous Poisson process with
+    a diurnal rate curve and optional flash-crowd bursts, sampled by
+    Lewis–Shedler thinning so the stream is exact for any bounded rate
+    function.
+
+    The generator is a pure function of its parameters and [seed]: two
+    generators built with equal arguments emit identical streams, and a
+    parallel sweep that builds one per job reproduces the sequential
+    bytes at any domain count. *)
+
+type burst = {
+  at : float;        (** burst onset, seconds *)
+  duration : float;  (** seconds the boost lasts *)
+  boost : float;     (** rate multiplier while active, [>= 1.] *)
+}
+
+val burst : at:float -> duration:float -> boost:float -> burst
+(** @raise Invalid_argument if [at < 0.], [duration <= 0.] or
+    [boost < 1.]. *)
+
+type t
+
+val create :
+  ?diurnal_amplitude:float -> ?diurnal_period:float -> ?bursts:burst list ->
+  rate:float -> seed:int64 -> unit -> t
+(** [rate] is the base session arrival rate (sessions per second).
+    [diurnal_amplitude] in [[0, 1)] (default 0: homogeneous Poisson)
+    modulates it as [rate * (1 + a * sin (2πt / period))] with
+    [diurnal_period] (default 86400 s); bursts multiply the modulated
+    rate while active (overlapping bursts compound).
+    @raise Invalid_argument if [rate <= 0.], [diurnal_amplitude]
+    outside [[0, 1)] or [diurnal_period <= 0.]. *)
+
+val rate_at : t -> float -> float
+(** Instantaneous arrival rate at an absolute time. *)
+
+val peak_rate : t -> float
+(** The thinning envelope: an upper bound on {!rate_at} over all
+    times (base × diurnal crest × compounded burst boosts). *)
+
+val next : t -> float
+(** The next arrival time, strictly after the previous one (the
+    generator starts at time 0).  Unbounded — callers cut the stream
+    at their horizon. *)

@@ -1,0 +1,101 @@
+type spec = {
+  seed : int64;
+  horizon : float;
+  max_requests : int;
+  objects : int;
+  alpha : float;
+  chunk_min : int;
+  chunk_max : int;
+  chunk_shape : float;
+  rate : float;
+  diurnal_amplitude : float;
+  diurnal_period : float;
+  bursts : Arrivals.burst list;
+  producers : Topology.Node.role list;
+  consumers : Topology.Node.role list;
+}
+
+let default =
+  {
+    seed = 1L;
+    horizon = 10.;
+    max_requests = 256;
+    objects = 64;
+    alpha = 0.8;
+    chunk_min = 4;
+    chunk_max = 64;
+    chunk_shape = 1.2;
+    rate = 8.;
+    diurnal_amplitude = 0.;
+    diurnal_period = 86_400.;
+    bursts = [];
+    producers = [];
+    consumers = [];
+  }
+
+let requests spec g =
+  if spec.horizon <= 0. then invalid_arg "Gen.requests: horizon <= 0";
+  if spec.max_requests < 0 then invalid_arg "Gen.requests: max_requests < 0";
+  (* four independent sub-seeds derived from the one spec seed: the
+     draws of one component never shift another's stream *)
+  let root = Sim.Rng.create spec.seed in
+  let sub () = Sim.Rng.next_int64 root in
+  let catalog_seed = sub () in
+  let arrival_seed = sub () in
+  let session_seed = sub () in
+  let object_seed = sub () in
+  let catalog =
+    Catalog.create ~alpha:spec.alpha ~chunk_shape:spec.chunk_shape
+      ~chunk_min:spec.chunk_min ~chunk_max:spec.chunk_max
+      ~objects:spec.objects ~seed:catalog_seed ()
+  in
+  let arrivals =
+    Arrivals.create ~diurnal_amplitude:spec.diurnal_amplitude
+      ~diurnal_period:spec.diurnal_period ~bursts:spec.bursts
+      ~rate:spec.rate ~seed:arrival_seed ()
+  in
+  let session =
+    Session.create ~producers:spec.producers ~consumers:spec.consumers
+      ~seed:session_seed g
+  in
+  let object_rng = Sim.Rng.create object_seed in
+  let rec go acc n =
+    if n >= spec.max_requests then List.rev acc
+    else begin
+      let at = Arrivals.next arrivals in
+      if at >= spec.horizon then List.rev acc
+      else begin
+        let content = Catalog.draw catalog object_rng in
+        let src, dst = Session.draw session in
+        let r =
+          {
+            Request.start = at;
+            src;
+            dst;
+            content;
+            chunks = Catalog.chunks catalog content;
+          }
+        in
+        go (r :: acc) (n + 1)
+      end
+    end
+  in
+  go [] 0
+
+let offered_chunks spec =
+  (* base-rate expectation with the catalogue's expected chunk count:
+     E[chunks] under the bounded Pareto, not a sampled mean *)
+  let lo = float_of_int spec.chunk_min
+  and hi_excl = float_of_int (spec.chunk_max + 1)
+  and a = spec.chunk_shape in
+  let mean =
+    if spec.chunk_min = spec.chunk_max then lo
+    else if Float.abs (a -. 1.) < 1e-9 then
+      (* shape 1: E[X] = log(H/L) * L*H/(H-L) for the truncated law *)
+      lo *. hi_excl /. (hi_excl -. lo) *. log (hi_excl /. lo)
+    else
+      let c = 1. -. ((lo /. hi_excl) ** a) in
+      a /. (a -. 1.) /. c
+      *. (lo -. (hi_excl *. ((lo /. hi_excl) ** a)))
+  in
+  spec.rate *. spec.horizon *. mean

@@ -1,0 +1,45 @@
+(** Scenario generation: ties {!Catalog}, {!Arrivals} and {!Session}
+    into a bounded stream of {!Request.t}.
+
+    A {!spec} is an immutable parameter record — safe to share across
+    domains — and {!requests} is a {e pure function} of [(spec,
+    graph)]: it builds fresh sub-generators from seeds derived off
+    [spec.seed], so two calls (in the same domain or different ones)
+    return identical lists.  This is the property the workload
+    determinism suite pins at [--domains 1/2/4]. *)
+
+type spec = {
+  seed : int64;
+  horizon : float;        (** generate arrivals in [[0, horizon)] *)
+  max_requests : int;     (** hard cap on the stream length *)
+  (* catalogue *)
+  objects : int;
+  alpha : float;          (** Zipf exponent *)
+  chunk_min : int;
+  chunk_max : int;
+  chunk_shape : float;    (** bounded-Pareto tail exponent *)
+  (* arrivals *)
+  rate : float;           (** base sessions per second *)
+  diurnal_amplitude : float;
+  diurnal_period : float;
+  bursts : Arrivals.burst list;
+  (* session endpoints *)
+  producers : Topology.Node.role list;
+  consumers : Topology.Node.role list;
+}
+
+val default : spec
+(** Seed 1, 10 s horizon, 256-request cap, 64-object catalogue at
+    α = 0.8, chunks Pareto(1.2) on [4, 64], 8 sessions/s, no diurnal
+    modulation or bursts, any-role endpoints. *)
+
+val requests : spec -> Topology.Graph.t -> Request.t list
+(** The generated stream, in arrival order.  Pure: equal arguments
+    give equal (structurally and byte-identical) lists.
+    @raise Invalid_argument on invalid parameters (see {!Catalog},
+    {!Arrivals}, {!Session}) or a graph with no routable pair. *)
+
+val offered_chunks : spec -> float
+(** Expected chunks injected over the horizon at the {e base} rate —
+    a sizing aid for store/horizon choices, not an exact load figure
+    (diurnal curves and bursts shift it). *)

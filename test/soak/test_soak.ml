@@ -178,6 +178,50 @@ let run_fault_soak () =
     | Some t -> Printf.sprintf "%.3fs" t
     | None -> "-")
 
+(* workload-driven soak: an open-loop generated schedule (hot Zipf
+   catalogue, Poisson sessions, one flash crowd) against EBONE with
+   ICN caching on and every checker attached — the request mix the
+   workload engine produces, not the hand-built hotspot pattern of
+   [make_specs].  A hot catalogue over a modest object set guarantees
+   repeat fetches, so the popularity region must actually serve
+   hits. *)
+let run_workload_soak () =
+  let g = Topology.Isp_zoo.graph Topology.Isp_zoo.Ebone in
+  let workload =
+    {
+      Workload.Gen.default with
+      Workload.Gen.seed = 443L;
+      horizon = 6.;
+      max_requests = 150;
+      objects = 32;
+      alpha = 1.0;
+      chunk_min = 4;
+      chunk_max = 64;
+      rate = 12.;
+      bursts = [ Workload.Arrivals.burst ~at:2. ~duration:2. ~boost:3. ];
+    }
+  in
+  let cfg = { cfg with Inrpp.Config.icn_caching = true } in
+  let chk = Check.Invariant.create () in
+  let r = Inrpp.Protocol.run ~cfg ~horizon:600. ~check:chk ~workload g [] in
+  if not (Check.Invariant.ok chk) then
+    failwith
+      (Printf.sprintf "workload soak: invariant violations\n%s"
+         (Check.Invariant.report chk));
+  let nflows = Array.length r.Inrpp.Protocol.flows in
+  if r.Inrpp.Protocol.completed <> nflows then
+    failwith
+      (Printf.sprintf "workload soak: %d of %d flows completed by the horizon"
+         r.Inrpp.Protocol.completed nflows);
+  if r.Inrpp.Protocol.cache_hits = 0 then
+    failwith
+      "workload soak: a hot catalogue produced no on-path cache hits";
+  Printf.printf
+    "wload  %4d flows  %d cache hits  custody %d  bp %d/%d  drops %d\n%!"
+    nflows r.Inrpp.Protocol.cache_hits r.Inrpp.Protocol.custody_stored
+    r.Inrpp.Protocol.bp_engages r.Inrpp.Protocol.bp_releases
+    r.Inrpp.Protocol.total_drops
+
 (* SOAK_DOMAINS multi-seed mode: one full-checker EBONE soak per
    domain, each on its own seed (disjoint from the scale runs' 97).
    Every job owns its engine, RNG, checkers and Observer; the snapshot
@@ -243,6 +287,7 @@ let soak () =
   let small = run_scale ~label:"small" ~nflows:120 ~sinks:[] in
   let large = run_scale ~label:"large" ~nflows:360 ~sinks:[] in
   run_fault_soak ();
+  run_workload_soak ();
   (* a soak that never leaves push-data is not soaking anything *)
   if
     large.result.Inrpp.Protocol.custody_stored = 0

@@ -197,6 +197,42 @@ let test_cache_custody_evicts_popular () =
   Alcotest.(check bool) "popular gone" false
     (Chunksim.Cache.lookup_popular c ~flow:0 ~idx:0)
 
+(* Regression for the custody-vs-popularity audit (workload PR): a
+   router holding custody for a hot object must keep every custody
+   chunk while the same object's forwarded copies churn the LRU —
+   [insert_popular]'s make-room only ever reclaims popularity bytes,
+   and the two regions' accounting stays exact under the churn.  (The
+   router keys custody by flow id and popularity by content id, so
+   one hot object exercises both keyspaces against one byte budget.) *)
+let test_cache_custody_survives_popularity_churn () =
+  let c = cache () in
+  List.iter
+    (fun idx ->
+      Alcotest.(check bool) "stored" true
+        (Chunksim.Cache.put_custody c ~flow:7 ~idx ~bits:100. = `Stored))
+    [ 0; 1; 2 ];
+  (* 50 later chunks of the same object (content id 42), 5x the whole
+     store: every insertion that needs room must evict LRU entries,
+     never custody *)
+  for idx = 0 to 49 do
+    Chunksim.Cache.insert_popular c ~flow:42 ~idx ~bits:100.
+  done;
+  Alcotest.(check int) "custody backlog intact" 3
+    (Chunksim.Cache.custody_backlog c ~flow:7);
+  Alcotest.(check (float 1e-9)) "custody bytes intact" 300.
+    (Chunksim.Cache.custody_occupancy c);
+  Alcotest.(check bool) "popularity confined to the leftover budget" true
+    (Chunksim.Cache.popular_occupancy c <= 700.);
+  Alcotest.(check (float 1e-9)) "regions account for the whole store"
+    (Chunksim.Cache.custody_occupancy c +. Chunksim.Cache.popular_occupancy c)
+    (Chunksim.Cache.occupancy c);
+  (match Chunksim.Cache.take_custody c ~flow:7 with
+  | Some (0, bits) -> Alcotest.(check (float 1e-9)) "fifo head bits" 100. bits
+  | Some (idx, _) -> Alcotest.failf "fifo order broken: got idx %d" idx
+  | None -> Alcotest.fail "custody emptied by popularity churn");
+  Alcotest.(check int) "backlog after take" 2
+    (Chunksim.Cache.custody_backlog c ~flow:7)
+
 let test_cache_holding_time () =
   (* the paper's §3.3 envelope: 10 GB behind 40 Gbps holds 2 s *)
   let c = Chunksim.Cache.create ~capacity:(Sim.Units.gigabytes 10.) () in
@@ -656,6 +692,8 @@ let () =
           Alcotest.test_case "watermarks" `Quick test_cache_watermarks;
           Alcotest.test_case "lru" `Quick test_cache_lru;
           Alcotest.test_case "custody evicts popular" `Quick test_cache_custody_evicts_popular;
+          Alcotest.test_case "custody survives popularity churn" `Quick
+            test_cache_custody_survives_popularity_churn;
           Alcotest.test_case "paper holding time" `Quick test_cache_holding_time;
           Alcotest.test_case "validation" `Quick test_cache_validation;
         ] );

@@ -206,6 +206,128 @@ let test_json_nonfinite () =
   | Error e -> Alcotest.failf "reparse failed: %s" e
 
 (* ------------------------------------------------------------------ *)
+(* Incremental NDJSON reader *)
+
+(* drain a reader into ([Ok] values, first [Error]) *)
+let drain r =
+  let rec loop acc =
+    match J.Reader.next r with
+    | None -> (List.rev acc, None)
+    | Some (Ok v) -> loop (v :: acc)
+    | Some (Error e) -> (List.rev acc, Some e)
+  in
+  loop []
+
+let test_reader_basics () =
+  let input = {|{"a":1}
+[1,2,3]
+
+"hello"
+|} in
+  (* tiny chunk so every line spans several refills *)
+  let r = J.Reader.of_string ~chunk_size:3 input in
+  let values, err = drain r in
+  Alcotest.(check (option string)) "no error" None err;
+  Alcotest.(check int) "three values (blank skipped)" 3 (List.length values);
+  Alcotest.(check int) "line count includes the blank" 4 (J.Reader.line_no r);
+  match values with
+  | [ J.Obj [ ("a", J.Num 1.) ]; J.List _; J.Str "hello" ] -> ()
+  | _ -> Alcotest.fail "unexpected values"
+
+let test_reader_long_line () =
+  (* one line far beyond the default 8 KiB chunk: memory is bounded by
+     the longest line, and the line must reassemble across refills *)
+  let big = String.make 70_000 'x' in
+  let v = J.Obj [ ("payload", J.Str big); ("n", J.Num 7.) ] in
+  let input = J.to_string v ^ "\n" ^ {|{"tail":true}|} ^ "\n" in
+  Alcotest.(check bool) "line really exceeds 64 KiB" true
+    (String.length (J.to_string v) > 65_536);
+  let values, err = drain (J.Reader.of_string input) in
+  Alcotest.(check (option string)) "no error" None err;
+  (match values with
+  | [ v'; J.Obj [ ("tail", J.Bool true) ] ] ->
+    if v' <> v then Alcotest.fail "long line changed in transit"
+  | _ -> Alcotest.fail "unexpected shape");
+  (* same input through a pathologically small buffer *)
+  let values2, err2 = drain (J.Reader.of_string ~chunk_size:1 input) in
+  Alcotest.(check (option string)) "no error (1-byte chunks)" None err2;
+  Alcotest.(check bool) "chunk size is invisible" true (values = values2)
+
+let test_reader_truncated_tail () =
+  (* a writer died mid-line: the complete lines parse, the torn tail
+     surfaces as an Error carrying its line number *)
+  let input = "{\"a\":1}\n{\"b\":2}\n{\"c\":" in
+  let values, err = drain (J.Reader.of_string input) in
+  Alcotest.(check int) "complete lines parsed" 2 (List.length values);
+  (match err with
+  | Some e ->
+    Alcotest.(check bool) ("error names line 3: " ^ e) true
+      (String.length e >= 7 && String.sub e 0 7 = "line 3:")
+  | None -> Alcotest.fail "truncated tail must error");
+  (* a trailing newline-terminated stream has no torn tail *)
+  let _, err' = drain (J.Reader.of_string "{\"a\":1}\n") in
+  Alcotest.(check (option string)) "terminated stream clean" None err'
+
+let test_reader_crlf () =
+  let input = "{\"a\":1}\r\n{\"b\":2}\r\n" in
+  let values, err = drain (J.Reader.of_string ~chunk_size:2 input) in
+  Alcotest.(check (option string)) "no error" None err;
+  match values with
+  | [ J.Obj [ ("a", J.Num 1.) ]; J.Obj [ ("b", J.Num 2.) ] ] -> ()
+  | _ -> Alcotest.fail "CRLF lines must parse like LF lines"
+
+let test_reader_of_channel () =
+  let path = Filename.temp_file "obs_reader" ".ndjson" in
+  let oc = open_out path in
+  output_string oc "{\"x\":1}\n\n{\"y\":[1,2]}\n";
+  close_out oc;
+  let ic = open_in path in
+  let values, err = drain (J.Reader.of_channel ~chunk_size:4 ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check (option string)) "no error" None err;
+  Alcotest.(check int) "two values" 2 (List.length values)
+
+(* equivalence sweep: anything the in-memory parser round-trips, the
+   incremental reader must round-trip identically — including the
+   non-finite encodings the Export layer leans on *)
+let test_reader_matches_parse () =
+  let cases =
+    [
+      J.Null;
+      J.Bool false;
+      J.Num 0.1;
+      J.Num (-1. /. 3.);
+      J.Num 1e-9;
+      J.Num infinity;
+      J.Str "quote \" slash \\ newline \n tab \t";
+      J.List [ J.Null; J.Bool true; J.Num (-0.) ];
+      J.Obj [ ("nested", J.Obj [ ("deep", J.List [ J.Num 1. ]) ]) ];
+      Obs.Export.sample_to_json
+        { M.name = "c"; labels = [ ("node", "3") ]; value = M.Counter_v 17 };
+    ]
+  in
+  let input =
+    String.concat "" (List.map (fun v -> J.to_string v ^ "\n") cases)
+  in
+  List.iter
+    (fun chunk_size ->
+      let values, err = drain (J.Reader.of_string ~chunk_size input) in
+      Alcotest.(check (option string)) "no error" None err;
+      let expected =
+        List.map
+          (fun v ->
+            match J.parse (J.to_string v) with
+            | Ok v' -> v'
+            | Error e -> Alcotest.failf "in-memory parse failed: %s" e)
+          cases
+      in
+      if values <> expected then
+        Alcotest.failf "reader disagrees with J.parse at chunk_size %d"
+          chunk_size)
+    [ 1; 2; 7; 4096 ]
+
+(* ------------------------------------------------------------------ *)
 (* Export round-trips *)
 
 let test_export_sample_round_trip () =
@@ -558,6 +680,17 @@ let () =
           Alcotest.test_case "round trip" `Quick test_json_round_trip;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
           Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite;
+        ] );
+      ( "reader",
+        [
+          Alcotest.test_case "basics" `Quick test_reader_basics;
+          Alcotest.test_case "long line" `Quick test_reader_long_line;
+          Alcotest.test_case "truncated tail" `Quick
+            test_reader_truncated_tail;
+          Alcotest.test_case "crlf" `Quick test_reader_crlf;
+          Alcotest.test_case "of_channel" `Quick test_reader_of_channel;
+          Alcotest.test_case "matches in-memory parser" `Quick
+            test_reader_matches_parse;
         ] );
       ( "export",
         [
