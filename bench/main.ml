@@ -8,12 +8,13 @@
      dune exec bench/main.exe -- protocols --sidecar runs.ndjson
      dune exec bench/main.exe -- resilience --domains 4
 
-   --domains N fans sweep-shaped experiments (resilience, popularity)
-   across N domains; output is byte-identical at any N (jobs join in
-   index order), so it is pure wall-clock speedup.
+   --domains N fans sweep-shaped experiments (resilience, popularity,
+   overload) across N domains; output is byte-identical at any N (jobs
+   join in index order), so it is pure wall-clock speedup.
 
    Experiment ids: table1 fig3 fig4a fig4b custody phases backpressure
-   protocols resilience popularity ablation-detour ablation-ac micro.
+   protocols resilience popularity overload ablation-detour
+   ablation-ac micro.
    See DESIGN.md §5 and EXPERIMENTS.md for the paper-vs-measured
    record. *)
 

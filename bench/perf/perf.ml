@@ -70,7 +70,15 @@ let alloc_baseline =
   [
     ("engine_churn", 38.0);
     ("dumbbell", 58.3);
-    ("isp_zoo", 148.7);
+    (* isp_zoo re-frozen (148.7 -> 150.6) with the peek-then-commit
+       custody drain: the two-step handoff keeps evacuating chunks
+       charged against the store at the cost of one extra lookup's
+       allocation per release *)
+    ("isp_zoo", 150.6);
+    (* isp_zoo with Overload.Config.default: admission checks build one
+       pressure record per custody offer, but shedding also avoids
+       work, so the net per-event figure sits near isp_zoo's *)
+    ("overload", 147.6);
   ]
 
 (* smoke iteration counts are tiny, so one-off setup allocation
@@ -83,7 +91,8 @@ let alloc_baseline_smoke =
   [
     ("engine_churn", 38.1);
     ("dumbbell", 58.9);
-    ("isp_zoo", 681.5);
+    ("isp_zoo", 682.4);
+    ("overload", 691.0);
   ]
 
 let alloc_slack = 2.0
@@ -186,7 +195,7 @@ let dumbbell ~packets () =
   Sim.Engine.run eng;
   (Sim.Engine.events_handled eng, !delivered)
 
-let isp_zoo ?obs ~chunks () =
+let isp_zoo ?obs ?overload ~chunks () =
   let g = Topology.Isp_zoo.graph Topology.Isp_zoo.Ebone in
   let n = Topology.Graph.node_count g in
   let specs =
@@ -199,7 +208,7 @@ let isp_zoo ?obs ~chunks () =
         else None)
       (List.init 8 Fun.id)
   in
-  let r = Inrpp.Protocol.run ~cfg:bulk ?obs ~horizon:600. g specs in
+  let r = Inrpp.Protocol.run ~cfg:bulk ?obs ?overload ~horizon:600. g specs in
   (r.Inrpp.Protocol.engine_events, received r)
 
 (* --profile: one extra isp_zoo run with the engine self-profiler on,
@@ -449,6 +458,11 @@ let () =
       measure ~repeat ~domains "engine_churn" (engine_churn ~total:churn_total);
       measure ~repeat ~domains "dumbbell" (dumbbell ~packets:dumbbell_packets);
       measure ~repeat ~domains "isp_zoo" (isp_zoo ~chunks:zoo_chunks);
+      (* same protocol macro-benchmark with the graceful-degradation
+         layer on: its allocation delta over isp_zoo is the hot-path
+         cost of admission checks, pressure records and the breaker *)
+      measure ~repeat ~domains "overload"
+        (isp_zoo ~overload:Overload.Config.default ~chunks:zoo_chunks);
     ]
   in
   let j = report ~smoke:!smoke ~trials:repeat ~domains outcomes in

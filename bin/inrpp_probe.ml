@@ -147,7 +147,7 @@ let fault_schedules =
   ]
 
 let run list scenario_name fmt out interval horizon no_events fault_name
-    spans perfetto profile profile_out flight =
+    spans perfetto profile profile_out flight overload =
   if list then begin
     List.iter (fun s -> Printf.printf "%-14s %s\n" s.name s.doc) scenarios;
     Printf.printf "\nfault schedules (--fault NAME):\n";
@@ -200,7 +200,8 @@ let run list scenario_name fmt out interval horizon no_events fault_name
       ?recorder ~profile ?clock ()
   in
   Obs.Observer.add_sink o (Obs.Sink.counter_tap (Obs.Observer.registry o));
-  let r = Inrpp.Protocol.run ~cfg ~horizon ~obs:o ?faults g flows in
+  let ov = if overload then Some Overload.Config.default else None in
+  let r = Inrpp.Protocol.run ~cfg ~horizon ~obs:o ?faults ?overload:ov g flows in
   (* the profile rides the machine-readable stream as one more NDJSON
      object so obs_report can render it from the same file *)
   (if profile && fmt = `Ndjson then
@@ -268,6 +269,16 @@ let run list scenario_name fmt out interval horizon no_events fault_name
       | _ -> "")
   | None -> ());
   Format.eprintf "%s: %a@." scen.name Inrpp.Protocol.pp_result r;
+  if overload then
+    Format.eprintf
+      "overload (%s admission): %d shed, %d detours refused, %d collapse \
+       episode(s), recovery %s@."
+      (Overload.Config.admission_name Overload.Config.default)
+      r.Inrpp.Protocol.shed r.Inrpp.Protocol.detours_refused
+      r.Inrpp.Protocol.collapse_episodes
+      (match r.Inrpp.Protocol.collapse_recovery_time with
+      | Some tr -> Printf.sprintf "%.3fs" tr
+      | None -> "-");
   if faults <> None then
     Format.eprintf
       "faults: %d failovers, %d custody chunks lost, mean recovery %s@."
@@ -345,12 +356,19 @@ let flight =
                  to FILE as NDJSON on invariant violations and \
                  unrecovered faults (no file is created on a clean run).")
 
+let overload_flag =
+  Arg.(value & flag
+       & info [ "overload" ]
+           ~doc:"Run with the default overload-control configuration \
+                 (custody admission, load shedding, circuit breaker, \
+                 collapse watchdog) and print its counters (stderr).")
+
 let cmd =
   Cmd.v
     (Cmd.info "inrpp_probe"
        ~doc:"Run an instrumented INRPP scenario and emit its telemetry")
     Term.(const run $ list_flag $ scenario $ format_ $ out $ interval
           $ horizon $ no_events $ fault_name $ spans_flag $ perfetto
-          $ profile_flag $ profile_out $ flight)
+          $ profile_flag $ profile_out $ flight $ overload_flag)
 
 let () = exit (Cmd.eval cmd)

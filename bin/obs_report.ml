@@ -70,6 +70,14 @@ type acc = {
   mutable sampler_ticks : float option;
   mutable sampler_probe_s : float option;
   mutable flight_dumps : int;
+  (* overload-control counters: per-node shed / refused-detour totals
+     and the collapse-watchdog summary metrics *)
+  mutable shed : (string * float) list;
+  mutable detours_refused : (string * float) list;
+  mutable wd_episodes : float option;
+  mutable wd_in_collapse : float option;
+  mutable wd_recovery_s : float option;
+  mutable wd_peak : float option;
   mutable events : int;
   mutable metrics : int;
   mutable skipped : int;
@@ -127,10 +135,19 @@ let on_sidecar acc j =
 
 let on_metric acc j =
   acc.metrics <- acc.metrics + 1;
+  let node () = Option.value (label j "node") ~default:"?" in
   match (str j "name", num j "value") with
   | Some "sampler_ticks_total", Some v -> acc.sampler_ticks <- Some v
   | Some "sampler_probe_seconds_total", Some v ->
     acc.sampler_probe_s <- Some v
+  | Some "router_shed_total", Some v -> acc.shed <- (node (), v) :: acc.shed
+  | Some "router_detours_refused_total", Some v ->
+    acc.detours_refused <- (node (), v) :: acc.detours_refused
+  | Some "watchdog_collapse_episodes", Some v -> acc.wd_episodes <- Some v
+  | Some "watchdog_in_collapse", Some v -> acc.wd_in_collapse <- Some v
+  | Some "watchdog_recovery_seconds_total", Some v ->
+    acc.wd_recovery_s <- Some v
+  | Some "watchdog_goodput_peak_bps", Some v -> acc.wd_peak <- Some v
   | _ -> ()
 
 let on_line acc line =
@@ -267,6 +284,46 @@ let sidecar_table ppf acc =
       rows ppf ();
     Format.fprintf ppf "@."
 
+(* Overload-control section: only rendered when the stream came from
+   a run with the overload layer on (the metrics are absent
+   otherwise). *)
+let overload_report ppf acc =
+  let total = List.fold_left (fun a (_, v) -> a +. v) 0. in
+  let have_counters = acc.shed <> [] || acc.detours_refused <> [] in
+  let have_watchdog = acc.wd_episodes <> None in
+  if have_counters || have_watchdog then begin
+    Format.fprintf ppf "Overload control@.@.";
+    if have_counters then begin
+      Format.fprintf ppf
+        "  %.0f custody admission(s) shed, %.0f detour(s) refused@."
+        (total acc.shed) (total acc.detours_refused);
+      let hot =
+        List.filter (fun (_, v) -> v > 0.) (List.rev acc.shed)
+      in
+      if hot <> [] then
+        Metrics.Report.bar_chart ~header:"  Shed per node"
+          (List.map (fun (n, v) -> ("node " ^ n, v)) hot)
+          ppf ()
+    end;
+    (match (acc.wd_episodes, acc.wd_in_collapse) with
+    | Some eps, in_c ->
+      Format.fprintf ppf
+        "  watchdog: %.0f collapse episode(s)%s, recovery time %s, peak \
+         goodput %s@."
+        eps
+        (match in_c with
+        | Some v when v > 0. -> " (still collapsed at end of run)"
+        | _ -> "")
+        (match acc.wd_recovery_s with
+        | Some s when s > 0. -> Printf.sprintf "%.3fs" s
+        | _ -> "-")
+        (match acc.wd_peak with
+        | Some p -> Printf.sprintf "%.3g bps" p
+        | None -> "-")
+    | None, _ -> ());
+    Format.fprintf ppf "@."
+  end
+
 let span_report ppf acc =
   if Obs.Span.chunk_count acc.span > 0 then begin
     Format.fprintf ppf "Chunk critical path@.@.";
@@ -401,6 +458,8 @@ let () =
     { ifaces = Hashtbl.create 16; nodes = Hashtbl.create 16;
       span = Obs.Span.create (); runs = []; profile = None;
       sampler_ticks = None; sampler_probe_s = None; flight_dumps = 0;
+      shed = []; detours_refused = []; wd_episodes = None;
+      wd_in_collapse = None; wd_recovery_s = None; wd_peak = None;
       events = 0; metrics = 0; skipped = 0 }
   in
   (try
@@ -412,6 +471,7 @@ let () =
   let ppf = Format.std_formatter in
   phase_table ppf acc;
   custody_report ppf acc;
+  overload_report ppf acc;
   span_report ppf acc;
   profile_report ppf acc;
   sidecar_table ppf acc;

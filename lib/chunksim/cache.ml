@@ -5,6 +5,60 @@ type lru_entry = {
   mutable older : lru_entry option;
 }
 
+type pressure = {
+  capacity : float;
+  free : float;
+  custody_bits : float;
+  flow_bits : float;
+  flow_backlog : int;
+  incoming_bits : float;
+  flows : int;
+}
+
+module type POLICY = sig
+  val name : string
+  val admit : pressure -> bool
+end
+
+type policy = (module POLICY)
+
+module Drop_tail = struct
+  let name = "drop-tail"
+  let admit _ = true
+end
+
+let drop_tail : policy = (module Drop_tail)
+
+let object_runs ?(threshold = 0.5) () : policy =
+  if not (0. < threshold && threshold <= 1.) then
+    invalid_arg "Cache.object_runs: threshold must be in (0, 1]";
+  (module struct
+    let name = Printf.sprintf "object-runs(%.2f)" threshold
+
+    (* Object-granularity admission: chunks continuing a run the store
+       already committed to are always worth keeping (a partial object
+       is useless downstream); new runs are admitted only while custody
+       pressure is below the threshold fraction. *)
+    let admit p =
+      p.flow_backlog > 0
+      || p.custody_bits +. p.incoming_bits <= threshold *. p.capacity
+  end)
+
+let fair_share ?(share = 1.0) () : policy =
+  if share <= 0. then invalid_arg "Cache.fair_share: share <= 0";
+  (module struct
+    let name = Printf.sprintf "fair-share(%.2f)" share
+
+    (* Per-flow fairness cap: no flow may grow its custody footprint
+       past [share] times an equal split of the whole store across the
+       flows currently holding custody.  A flow with no footprint yet
+       always gets its first chunk in (the cap never starves). *)
+    let admit p =
+      let active = max 1 p.flows in
+      let cap = share *. p.capacity /. float_of_int active in
+      p.flow_bits = 0. || p.flow_bits +. p.incoming_bits <= cap
+  end)
+
 type t = {
   cap : float;
   high : float;
@@ -19,9 +73,11 @@ type t = {
   mutable oldest : lru_entry option;
   mutable hit_count : int;
   mutable miss_count : int;
+  (* admission policy; [None] is the legacy always-admit hot path *)
+  policy : policy option;
 }
 
-let create ?(high_water = 0.7) ?(low_water = 0.3) ~capacity () =
+let create ?(high_water = 0.7) ?(low_water = 0.3) ?policy ~capacity () =
   if capacity <= 0. then invalid_arg "Cache.create: capacity <= 0";
   if not (0. <= low_water && low_water < high_water && high_water <= 1.) then
     invalid_arg "Cache.create: watermarks must satisfy 0 <= low < high <= 1";
@@ -37,6 +93,7 @@ let create ?(high_water = 0.7) ?(low_water = 0.3) ~capacity () =
     oldest = None;
     hit_count = 0;
     miss_count = 0;
+    policy;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -74,7 +131,35 @@ let evict_oldest t =
 
 let free_bits t = t.cap -. t.custody_bits -. t.popular_bits
 
+let custody_bits_of_flow t ~flow =
+  match Hashtbl.find_opt t.custody flow with
+  | None -> 0.
+  | Some q -> Queue.fold (fun acc (_, bits) -> acc +. bits) 0. q
+
+let pressure_of t ~flow ~bits =
+  let flow_bits, flow_backlog =
+    match Hashtbl.find_opt t.custody flow with
+    | None -> (0., 0)
+    | Some q -> (Queue.fold (fun acc (_, b) -> acc +. b) 0. q, Queue.length q)
+  in
+  {
+    capacity = t.cap;
+    free = free_bits t;
+    custody_bits = t.custody_bits;
+    flow_bits;
+    flow_backlog;
+    incoming_bits = bits;
+    flows = Hashtbl.length t.custody;
+  }
+
 let put_custody t ~flow ~idx ~bits =
+  let rejected =
+    match t.policy with
+    | None -> false
+    | Some (module P) -> not (P.admit (pressure_of t ~flow ~bits))
+  in
+  if rejected then `Rejected
+  else
   (* custody may displace popularity content: evict LRU until it fits *)
   let rec make_room () =
     if free_bits t >= bits then true
@@ -106,6 +191,21 @@ let take_custody t ~flow =
       t.custody_bits <- t.custody_bits -. bits;
       if Queue.is_empty q then Hashtbl.remove t.custody flow;
       Some (idx, bits))
+
+let peek_custody t ~flow =
+  match Hashtbl.find_opt t.custody flow with
+  | None -> None
+  | Some q -> Queue.peek_opt q
+
+let commit_custody t ~flow =
+  match Hashtbl.find_opt t.custody flow with
+  | None -> invalid_arg "Cache.commit_custody: flow holds no custody"
+  | Some q ->
+    (match Queue.take_opt q with
+    | None -> invalid_arg "Cache.commit_custody: flow holds no custody"
+    | Some (_, bits) ->
+      t.custody_bits <- t.custody_bits -. bits;
+      if Queue.is_empty q then Hashtbl.remove t.custody flow)
 
 let custody_backlog t ~flow =
   match Hashtbl.find_opt t.custody flow with
@@ -161,6 +261,7 @@ let popular_occupancy t = t.popular_bits
 
 let occupancy t = t.custody_bits +. t.popular_bits
 let capacity t = t.cap
+let policy_name t = Option.map (fun ((module P : POLICY)) -> P.name) t.policy
 let hits t = t.hit_count
 let misses t = t.miss_count
 

@@ -15,22 +15,92 @@
 
 type t
 
+(** {1 Admission policy}
+
+    Custody admission is policy-pluggable: a first-class module decides
+    whether an offered chunk may enter the custody region, given a
+    snapshot of store pressure.  [None] (the default) is the legacy
+    always-admit path — byte-identical behaviour, no pressure snapshot
+    computed. *)
+
+type pressure = {
+  capacity : float;       (** total store budget, bits *)
+  free : float;           (** unallocated bits (both regions) *)
+  custody_bits : float;   (** custody-region occupancy, bits *)
+  flow_bits : float;      (** custody bits held for the offering flow *)
+  flow_backlog : int;     (** custody chunks held for the offering flow *)
+  incoming_bits : float;  (** size of the offered chunk *)
+  flows : int;            (** flows currently holding custody *)
+}
+(** Store state at the moment of an admission decision. *)
+
+module type POLICY = sig
+  val name : string
+  val admit : pressure -> bool
+end
+
+type policy = (module POLICY)
+
+val drop_tail : policy
+(** Always admit (capacity still bounds, via [`Full]) — the legacy
+    behaviour, as an explicit policy. *)
+
+val object_runs : ?threshold:float -> unit -> policy
+(** Object-granularity admission (after {e Object-oriented Packet
+    Caching for ICN}): chunks continuing a custody run the store
+    already holds for the flow are always admitted — a partial object
+    is useless downstream — while {e new} runs are refused once custody
+    occupancy would exceed [threshold] (fraction of capacity, default
+    0.5).
+    @raise Invalid_argument unless [0 < threshold <= 1]. *)
+
+val fair_share : ?share:float -> unit -> policy
+(** Per-flow fairness cap (after {e FairCache}): a flow may not grow
+    its custody footprint past [share] times an equal split of the
+    store across the flows currently holding custody (default share
+    1.0).  A flow with no footprint always gets its first chunk.
+    @raise Invalid_argument if [share <= 0.]. *)
+
 val create :
-  ?high_water:float -> ?low_water:float -> capacity:float -> unit -> t
+  ?high_water:float ->
+  ?low_water:float ->
+  ?policy:policy ->
+  capacity:float ->
+  unit ->
+  t
 (** [capacity] in bits.  Watermarks are fractions of capacity
-    (defaults 0.7 and 0.3).
+    (defaults 0.7 and 0.3).  [policy] guards custody admission; omit it
+    for the legacy always-admit path.
     @raise Invalid_argument if [capacity <= 0.] or the watermarks are
     not [0 <= low < high <= 1]. *)
 
+val policy_name : t -> string option
+(** Name of the installed admission policy, if any. *)
+
 (** {1 Custody region} *)
 
-val put_custody : t -> flow:int -> idx:int -> bits:float -> [ `Stored | `Full ]
+val put_custody :
+  t -> flow:int -> idx:int -> bits:float -> [ `Stored | `Full | `Rejected ]
 (** [`Full] when the whole store cannot take the chunk — the caller
     must then drop (congestion collapse would follow; tests assert we
-    engage back-pressure well before). *)
+    engage back-pressure well before).  [`Rejected] when the admission
+    policy refused the chunk (store may still have room); never
+    returned without an installed policy. *)
 
 val take_custody : t -> flow:int -> (int * float) option
 (** Oldest held chunk of the flow, removed: [(idx, bits)]. *)
+
+val peek_custody : t -> flow:int -> (int * float) option
+(** Oldest held chunk of the flow, {e not} removed.  Pair with
+    {!commit_custody} to keep an in-flight handoff charged against the
+    store budget until it is known to succeed. *)
+
+val commit_custody : t -> flow:int -> unit
+(** Removes the chunk {!peek_custody} returned, releasing its budget.
+    @raise Invalid_argument if the flow holds no custody chunk. *)
+
+val custody_bits_of_flow : t -> flow:int -> float
+(** Custody bits currently held for one flow (O(backlog)). *)
 
 val custody_backlog : t -> flow:int -> int
 (** Chunks currently held for the flow. *)

@@ -47,6 +47,10 @@ type result = {
   chunks_lost_in_custody : int;
   failovers : int;
   recovery_time : float option;
+  shed : int;
+  detours_refused : int;
+  collapse_episodes : int;
+  collapse_recovery_time : float option;
   trace : Chunksim.Trace.t option;
 }
 
@@ -60,28 +64,35 @@ let phase_value = function
 let phase_names = [| "push"; "detour"; "backpressure" |]
 
 let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
-    ?loss_rate ?obs ?check ?faults ?workload g specs =
+    ?loss_rate ?obs ?check ?faults ?workload ?overload g specs =
   (match Config.validate cfg with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("Protocol.run: " ^ msg));
+  (match overload with
+  | Some ov -> Overload.Config.validate ov
+  | None -> ());
   (* generated flows ride behind the static list so existing scenarios
      keep their flow ids; generation is a pure function of (spec,
-     graph), so a run with a workload is as replayable as one without *)
+     graph), so a run with a workload is as replayable as one without.
+     The generator is consumed as a lazy stream in one pass — no
+     materialised request list, no intermediate append — so very long
+     workloads cost only the final spec list. *)
   let specs =
     match workload with
     | None -> specs
     | Some w ->
-      specs
-      @ List.map
-          (fun (r : Workload.Request.t) ->
-            {
-              src = r.Workload.Request.src;
-              dst = r.Workload.Request.dst;
-              chunks = r.Workload.Request.chunks;
-              start = r.Workload.Request.start;
-              content = Some r.Workload.Request.content;
-            })
-          (Workload.Gen.requests w g)
+      List.of_seq
+        (Seq.append (List.to_seq specs)
+           (Seq.map
+              (fun (r : Workload.Request.t) ->
+                {
+                  src = r.Workload.Request.src;
+                  dst = r.Workload.Request.dst;
+                  chunks = r.Workload.Request.chunks;
+                  start = r.Workload.Request.start;
+                  content = Some r.Workload.Request.content;
+                })
+              (Workload.Gen.requests_seq w g)))
   in
   if specs = [] then invalid_arg "Protocol.run: no flows";
   if horizon <= 0. then invalid_arg "Protocol.run: horizon <= 0";
@@ -131,7 +142,41 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
   in
   let routers =
     Array.init (Graph.node_count g) (fun node ->
-        Router.create ~cfg ~net ~node ~detours ~link_state ?trace ())
+        Router.create ~cfg ~net ~node ~detours ~link_state ?trace ?overload ())
+  in
+  (* neighbour-pressure oracle for detour refusal: each router can ask
+     any node's custody occupancy fraction.  Installed only when the
+     overload config would ever consult it. *)
+  (match overload with
+  | Some ov when ov.Overload.Config.neighbor_pressure < infinity ->
+    let pressure node =
+      let cache = Router.cache routers.(node) in
+      Chunksim.Cache.custody_occupancy cache /. Chunksim.Cache.capacity cache
+    in
+    Array.iter (fun r -> Router.set_neighbor_pressure r pressure) routers
+  | Some _ | None -> ());
+  (* collapse watchdog: sliding-window goodput over consumer
+     deliveries; a collapse dumps the flight recorder (when armed) so
+     the events leading into the episode are on disk for post-mortem *)
+  let watchdog =
+    match overload with
+    | Some ov when Overload.Config.watchdog_enabled ov ->
+      Some
+        (Obs.Watchdog.create ~window:ov.Overload.Config.watchdog_window
+           ~collapse_ratio:ov.Overload.Config.collapse_ratio
+           ~recovery_ratio:ov.Overload.Config.recovery_ratio
+           ~on_collapse:(fun ~time ~rate ~peak ->
+             match recorder with
+             | Some rc ->
+               Obs.Recorder.dump rc
+                 ~reason:
+                   (Printf.sprintf
+                      "goodput collapse: %.3g bps in window (peak %.3g)" rate
+                      peak)
+                 ~time
+             | None -> ())
+           ())
+    | Some _ | None -> None
   in
   (* wire-time span taps: the interface hands back each data packet's
      virtual transmission start (possibly earlier than now — see
@@ -470,6 +515,7 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
               Trace.record tr ~time:(Sim.Engine.now eng)
                 (Trace.Flow_complete { flow = flow_id; fct })
             | None -> ())
+          ?overload ()
       in
       receivers.(flow_id) <- Some receiver;
       Hashtbl.replace (endpoint_table consumers spec.dst) flow_id receiver)
@@ -521,6 +567,14 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
                 ~time:(Sim.Engine.now eng) ~flow ~idx
             | _ -> ())
           | None -> ());
+          (match watchdog with
+          | Some wd -> (
+            match p.Packet.header with
+            | Packet.Data _ ->
+              Obs.Watchdog.note_delivery wd ~time:(Sim.Engine.now eng)
+                ~bits:p.Packet.size
+            | _ -> ())
+          | None -> ());
           match Hashtbl.find_opt recvs (Packet.flow p) with
           | Some r -> Receiver.handle_data r p
           | None -> ())
@@ -555,9 +609,26 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
         fi "router_phase_transitions_total" (fun () ->
             Router.phase_transitions r);
         fi "router_bp_active_flows" (fun () -> Router.bp_active_flows r);
+        (* overload counters exist only when the control layer is on,
+           so default runs export byte-identical metric sets *)
+        if Option.is_some overload then begin
+          fi "router_shed_total" (fun () -> c.Router.shed);
+          fi "router_detours_refused_total" (fun () -> c.Router.detours_refused)
+        end;
         Obs.Metric.callback reg ~labels "router_custody_occupancy_bits"
           (fun () -> Chunksim.Cache.custody_occupancy (Router.cache r)))
       routers;
+    (match watchdog with
+    | Some wd ->
+      Obs.Metric.callback reg "watchdog_collapse_episodes" (fun () ->
+          float_of_int (Obs.Watchdog.episodes wd));
+      Obs.Metric.callback reg "watchdog_in_collapse" (fun () ->
+          if Obs.Watchdog.in_collapse wd then 1. else 0.);
+      Obs.Metric.callback reg "watchdog_recovery_seconds_total" (fun () ->
+          Obs.Watchdog.total_recovery_time wd);
+      Obs.Metric.callback reg "watchdog_goodput_peak_bps" (fun () ->
+          Obs.Watchdog.peak wd)
+    | None -> ());
     Net.iter_ifaces net (fun i ->
         let l = Chunksim.Iface.link i in
         let labels =
@@ -710,6 +781,12 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
       (match check with
       | Some chk -> Check.Invariant.probe chk ~time:(Sim.Engine.now eng)
       | None -> ());
+      (* the watchdog needs a heartbeat: a total stall delivers nothing,
+         so without ticks there would be no edge to detect it on *)
+      (match watchdog with
+      | Some wd when not (all_done ()) ->
+        Obs.Watchdog.tick wd ~time:(Sim.Engine.now eng)
+      | Some _ | None -> ());
       not (all_done ()));
   ignore
   @@ Sim.Engine.schedule_periodic eng ~interval:(cfg.Config.ti /. 4.)
@@ -823,6 +900,19 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
       (if !recovery_count > 0 then
          Some (!recovery_total /. float_of_int !recovery_count)
        else None);
+    shed = sum (fun c -> c.Router.shed);
+    detours_refused = sum (fun c -> c.Router.detours_refused);
+    collapse_episodes =
+      (match watchdog with Some wd -> Obs.Watchdog.episodes wd | None -> 0);
+    collapse_recovery_time =
+      (match watchdog with
+      | Some wd -> begin
+        match Obs.Watchdog.recovery_times wd with
+        | [] -> None
+        | ts ->
+          Some (List.fold_left ( +. ) 0. ts /. float_of_int (List.length ts))
+      end
+      | None -> None);
     trace;
   }
 

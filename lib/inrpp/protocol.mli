@@ -55,6 +55,17 @@ type result = {
   recovery_time : float option;
   (** mean time from a disruption (link down / node crash) to the next
       chunk delivery anywhere; [None] when no faults fired *)
+  shed : int;
+  (** custody admissions refused by overload control (threshold
+      shedding + policy rejections); 0 without [?overload] *)
+  detours_refused : int;
+  (** detour candidates refused because the neighbour was pressured;
+      0 without [?overload] *)
+  collapse_episodes : int;
+  (** collapse episodes the watchdog declared; 0 without a watchdog *)
+  collapse_recovery_time : float option;
+  (** mean time-to-recovery across recovered collapse episodes;
+      [None] when no episode recovered (or no watchdog ran) *)
   trace : Chunksim.Trace.t option;
 }
 
@@ -62,6 +73,7 @@ val run :
   ?cfg:Config.t -> ?horizon:float -> ?collect_trace:bool ->
   ?loss_rate:float -> ?obs:Obs.Observer.t -> ?check:Check.Invariant.t ->
   ?faults:Fault.Schedule.t -> ?workload:Workload.Gen.spec ->
+  ?overload:Overload.Config.t ->
   Topology.Graph.t -> flow_spec list -> result
 (** [horizon] (default 60 s) bounds the run; the engine also stops as
     soon as every flow completes.  [loss_rate] injects seeded random
@@ -102,7 +114,18 @@ val run :
     so a hot catalogue exercises the popularity region of the content
     stores when [cfg.icn_caching] is on.  Generation is a pure
     function of [(workload, g)], so runs stay bit-replayable.  The
-    static list may be empty when a workload is given.
+    static list may be empty when a workload is given.  The request
+    stream is consumed lazily ({!Workload.Gen.requests_seq}), so very
+    long workloads never materialise an intermediate request list.
+
+    [overload] switches on the graceful-degradation layer
+    ({!Overload.Config}): pluggable custody admission at every router,
+    load shedding and early back-pressure above the configured store
+    pressures, refusal of detours into pressured neighbours, the
+    receiver-side retransmission circuit breaker, and the collapse
+    watchdog (whose episodes dump the observer's flight recorder when
+    one is armed).  Absent — or set to {!Overload.Config.off} — the
+    run is bit-identical to the pre-overload protocol.
     @raise Invalid_argument on an invalid config, no flows at all
     (empty static list and no or empty workload), or an unroutable
     flow. *)

@@ -12,9 +12,12 @@ type t = {
   mutable last_progress : float;
   mutable timeout_armed : bool;
   mutable timeout_scale : float;  (* exponential backoff multiplier *)
+  (* retransmission circuit breaker (overload control); None = legacy *)
+  breaker : Overload.Breaker.t option;
 }
 
-let create ~cfg ~eng ~flow ~total_chunks ~send_request ~on_complete =
+let create ~cfg ~eng ~flow ~total_chunks ~send_request ~on_complete
+    ?overload () =
   {
     cfg;
     eng;
@@ -29,6 +32,12 @@ let create ~cfg ~eng ~flow ~total_chunks ~send_request ~on_complete =
     last_progress = 0.;
     timeout_armed = false;
     timeout_scale = 1.;
+    breaker =
+      Option.map
+        (fun (ov : Overload.Config.t) ->
+          Overload.Breaker.create ~budget:ov.retry_budget
+            ~probe_interval:ov.probe_interval)
+        overload;
   }
 
 let request t =
@@ -59,11 +68,23 @@ let rec arm_timeout t =
            if t.completed = None then begin
              let now = Sim.Engine.now t.eng in
              if now -. t.last_progress >= delay -. 1e-9 then begin
-               request t;
-               t.timeout_scale <-
-                 Float.min
-                   (t.timeout_scale *. t.cfg.Config.timeout_backoff)
-                   t.cfg.Config.timeout_backoff_cap
+               let action =
+                 match t.breaker with
+                 | None -> `Retry
+                 | Some b -> Overload.Breaker.on_timeout b ~now
+               in
+               match action with
+               | `Retry ->
+                 request t;
+                 t.timeout_scale <-
+                   Float.min
+                     (t.timeout_scale *. t.cfg.Config.timeout_backoff)
+                     t.cfg.Config.timeout_backoff_cap
+               | `Probe ->
+                 (* half-open: exactly one probe, no backoff growth —
+                    the breaker's probe interval is the pacing now *)
+                 request t
+               | `Wait -> ()
              end;
              arm_timeout t
            end))
@@ -100,6 +121,9 @@ let handle_data t (p : Chunksim.Packet.t) =
       | `New ->
         t.last_progress <- now;
         t.timeout_scale <- 1.;
+        (match t.breaker with
+        | Some b -> Overload.Breaker.on_progress b
+        | None -> ());
         if Session.is_complete t.sess then begin
           t.completed <- Some now;
           let fct =
@@ -116,6 +140,7 @@ let handle_data t (p : Chunksim.Packet.t) =
     ()
 
 let session t = t.sess
+let breaker t = t.breaker
 let requests_sent t = t.req_count
 let duplicates t = t.dup_count
 let started_at t = t.started

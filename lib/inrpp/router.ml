@@ -17,6 +17,8 @@ type counters = {
   mutable cache_hits : int;
   mutable failovers : int;
   mutable custody_wiped : int;
+  mutable shed : int;
+  mutable detours_refused : int;
 }
 
 (* A detour candidate with everything the per-packet usability scan
@@ -96,9 +98,12 @@ type t = {
   mutable local_producer : (Packet.t -> unit) option;
   mutable local_consumer : (Packet.t -> unit) option;
   mutable crashed : bool;
+  (* overload control; [None] is the legacy path throughout *)
+  overload : Overload.Config.t option;
+  mutable neighbor_pressure : (Topology.Node.id -> float) option;
 }
 
-let create ~cfg ~net ~node ~detours ?link_state ?trace () =
+let create ~cfg ~net ~node ~detours ?link_state ?trace ?overload () =
   {
     cfg;
     net;
@@ -111,6 +116,7 @@ let create ~cfg ~net ~node ~detours ?link_state ?trace () =
     store =
       Cache.create ~high_water:cfg.Config.cache_high_water
         ~low_water:cfg.Config.cache_low_water
+        ?policy:(Option.bind overload (fun ov -> Overload.Config.policy ov))
         ~capacity:cfg.Config.cache_bits ();
     custody_packets = Hashtbl.create 64;
     estimators = Hashtbl.create 8;
@@ -129,13 +135,19 @@ let create ~cfg ~net ~node ~detours ?link_state ?trace () =
         cache_hits = 0;
         failovers = 0;
         custody_wiped = 0;
+        shed = 0;
+        detours_refused = 0;
       };
     ls_gen = 0;
     bp_locals = 0;
     local_producer = None;
     local_consumer = None;
     crashed = false;
+    overload;
+    neighbor_pressure = None;
   }
+
+let set_neighbor_pressure t f = t.neighbor_pressure <- Some f
 
 let now t = Sim.Engine.now (Net.engine t.net)
 
@@ -309,26 +321,44 @@ let dcache_of t (l : Link.t) =
   refresh_dcache t l dk;
   dk
 
-let cand_ok (c : dcand) =
+(* Detour refusal into pressured neighbours: with overload control on,
+   a candidate whose first hop lands on a neighbour already above the
+   configured custody-occupancy fraction is unusable — deflecting load
+   into a store that is itself shedding only spreads the collapse.
+   The pressure function is installed by the protocol layer (it owns
+   the router array); queue room is still checked first so the counter
+   only counts candidates refused {e solely} because of pressure. *)
+let cand_pressure_ok t (c : dcand) =
+  match t.overload, t.neighbor_pressure with
+  | Some ov, Some pressure_of
+    when ov.Overload.Config.neighbor_pressure < infinity ->
+    if pressure_of c.dc_via >= ov.Overload.Config.neighbor_pressure then begin
+      t.c.detours_refused <- t.c.detours_refused + 1;
+      false
+    end
+    else true
+  | (Some _ | None), _ -> true
+
+let cand_ok t (c : dcand) =
   let n = Array.length c.dc_ifaces in
   let rec ok i =
     i >= n
     || (Iface.queue_occupancy c.dc_ifaces.(i) < c.dc_limits.(i) && ok (i + 1))
   in
-  ok 0
+  ok 0 && cand_pressure_ok t c
 
-let first_usable dk =
+let first_usable t dk =
   let n = Array.length dk.dk_cands in
   let rec go i =
-    if i >= n then -1 else if cand_ok dk.dk_cands.(i) then i else go (i + 1)
+    if i >= n then -1 else if cand_ok t dk.dk_cands.(i) then i else go (i + 1)
   in
   go 0
 
-let usable_with_via dk via =
+let usable_with_via t dk via =
   let n = Array.length dk.dk_cands in
   let rec go i =
     if i >= n then -1
-    else if dk.dk_cands.(i).dc_via = via && cand_ok dk.dk_cands.(i) then i
+    else if dk.dk_cands.(i).dc_via = via && cand_ok t dk.dk_cands.(i) then i
     else go (i + 1)
   in
   go 0
@@ -451,6 +481,28 @@ let reroute_flow t ?content ~flow ~data_link ~req_link () =
 (* ------------------------------------------------------------------ *)
 (* Custody *)
 
+(* Load shedding (overload control only): above [shed_threshold]
+   custody occupancy, refuse the admission outright — new chunks are
+   shed {e before} in-custody chunks are endangered, and the upstream
+   hears about it immediately instead of at store exhaustion. *)
+let shed_admission t =
+  match t.overload with
+  | Some ov when ov.Overload.Config.shed_threshold < infinity ->
+    Cache.custody_occupancy t.store
+    >= ov.Overload.Config.shed_threshold *. Cache.capacity t.store
+  | Some _ | None -> false
+
+(* Early back-pressure (overload control only): escalate upstream at
+   [early_bp_threshold] occupancy, before the store's high watermark —
+   under a flash crowd the watermark fires too late to stop the wave
+   already in flight. *)
+let early_bp t =
+  match t.overload with
+  | Some ov when ov.Overload.Config.early_bp_threshold < infinity ->
+    Cache.custody_occupancy t.store
+    >= ov.Overload.Config.early_bp_threshold *. Cache.capacity t.store
+  | Some _ | None -> false
+
 let custody t entry flow (p : Packet.t) =
   match p.Packet.header with
   | Packet.Data { idx; _ } -> begin
@@ -465,6 +517,12 @@ let custody t entry flow (p : Packet.t) =
       t.c.dropped <- t.c.dropped + 1;
       record_drop t ~link:(-1) p
     end
+    else if shed_admission t then begin
+      t.c.shed <- t.c.shed + 1;
+      engage_local t entry ~flow ~slot:`Custody;
+      t.c.dropped <- t.c.dropped + 1;
+      record_drop t ~link:(-1) p
+    end
     else
       match Cache.put_custody t.store ~flow ~idx ~bits:p.Packet.size with
       | `Stored ->
@@ -473,8 +531,15 @@ let custody t entry flow (p : Packet.t) =
         record t (Trace.Cached { node = t.node_id; flow; idx });
         (* back-pressure engages at the high watermark, not on the first
            stored chunk — small excursions are what the store is for *)
-        if Cache.above_high t.store then
+        if Cache.above_high t.store || early_bp t then
           engage_local t entry ~flow ~slot:`Custody
+      | `Rejected ->
+        (* the admission policy refused the chunk: shed it and make the
+           upstream slow down, exactly as for threshold shedding *)
+        t.c.shed <- t.c.shed + 1;
+        engage_local t entry ~flow ~slot:`Custody;
+        t.c.dropped <- t.c.dropped + 1;
+        record_drop t ~link:(-1) p
       | `Full ->
         (* the store itself overflowed: the congestion-collapse guard the
            paper's back-pressure exists to prevent *)
@@ -530,7 +595,7 @@ let send_detour t flow (c : dcand) (p : Packet.t) =
    arrivals, or an interface that just went down). *)
 let try_detour t entry flow (l : Link.t) (p : Packet.t) =
   let dk = entry_dcache t entry l in
-  let fi = first_usable dk in
+  let fi = first_usable t dk in
   if fi < 0 then custody t entry flow p
   else begin
     let first = dk.dk_cands.(fi) in
@@ -543,7 +608,7 @@ let try_detour t entry flow (l : Link.t) (p : Packet.t) =
       | Flowlet.Via via ->
         if via = first.dc_via then first
         else begin
-          let vi = usable_with_via dk via in
+          let vi = usable_with_via t dk via in
           if vi >= 0 then dk.dk_cands.(vi)
           else first (* pinned detour filled up; re-route *)
         end
@@ -688,7 +753,7 @@ let handle_backpressure t (p : Packet.t) =
            notification towards the sender *)
         let can_absorb =
           match entry.data_link with
-          | Some l -> first_usable (entry_dcache t entry l) >= 0
+          | Some l -> first_usable t (entry_dcache t entry l) >= 0
           | None -> false
         in
         if can_absorb then entry.detour_override <- true
@@ -730,7 +795,7 @@ let tick t =
         let before = Phase.current ph in
         let after =
           Phase.update ph ~ratio:(Rate_estimator.ratio est)
-            ~detour_usable:(first_usable (dcache_of t l) >= 0)
+            ~detour_usable:(first_usable t (dcache_of t l) >= 0)
             ~custody_pressure:(Cache.above_high t.store)
             ~custody_drained:(Cache.below_low t.store)
         in
@@ -762,44 +827,69 @@ let drain t =
               then `Primary
               else begin
                 let dk = hot_dcache t h in
-                let fi = first_usable dk in
+                let fi = first_usable t dk in
                 if fi >= 0 then `Detour dk.dk_cands.(fi) else `None
               end
             in
             match out with
             | `None -> false
             | (`Primary | `Detour _) as out -> begin
-              match Cache.take_custody t.store ~flow with
+              (* peek-then-commit: the chunk stays charged against the
+                 store budget until the handoff is known to have
+                 succeeded, so nothing can be admitted into the
+                 transient gap a failed evacuation used to open (the
+                 old take-then-re-put also double-counted
+                 [custody_stored] and could lose the chunk outright if
+                 the re-put found the store full) *)
+              match Cache.peek_custody t.store ~flow with
               | None -> false
               | Some (idx, _bits) -> begin
                 t.c.custody_released <- t.c.custody_released + 1;
                 record t
                   (Trace.Custody_released { node = t.node_id; flow; idx });
                 let key = Chunk_key.pack ~flow ~idx in
-                (match Hashtbl.find t.custody_packets key with
-                | exception Not_found -> ()
+                match Hashtbl.find t.custody_packets key with
+                | exception Not_found ->
+                  (* store entry without a payload cannot be handed off;
+                     discharge it so drain cannot spin on the flow *)
+                  Cache.commit_custody t.store ~flow;
+                  true
                 | p ->
-                  Hashtbl.remove t.custody_packets key;
-                  (match out with
-                  | `Primary -> begin
-                    match Net.send t.net ~via:l p with
-                    | `Queued ->
-                      t.c.forwarded_data <- t.c.forwarded_data + 1;
-                      record_enqueued t ~link:l.Link.id p
-                    | `Dropped ->
-                      (* raced with new arrivals, or the interface just
-                         went down; back into custody — never leak *)
-                      custody t entry flow p
+                  let sent =
+                    match out with
+                    | `Primary -> begin
+                      match Net.send t.net ~via:l p with
+                      | `Queued ->
+                        t.c.forwarded_data <- t.c.forwarded_data + 1;
+                        record_enqueued t ~link:l.Link.id p;
+                        true
+                      | `Dropped -> false
+                    end
+                    | `Detour cand -> begin
+                      match send_detour t flow cand p with
+                      | `Queued ->
+                        (* custody left this node sideways, not down the
+                           primary: the recovery path's evacuation
+                           signal *)
+                        record_evacuated t ~flow ~idx;
+                        true
+                      | `Dropped -> false
+                    end
+                  in
+                  if sent then begin
+                    Cache.commit_custody t.store ~flow;
+                    Hashtbl.remove t.custody_packets key;
+                    true
                   end
-                  | `Detour cand -> begin
-                    match send_detour t flow cand p with
-                    | `Queued ->
-                      (* custody left this node sideways, not down the
-                         primary: the recovery path's evacuation signal *)
-                      record_evacuated t ~flow ~idx
-                    | `Dropped -> custody t entry flow p
-                  end));
-                true
+                  else begin
+                    (* raced with new arrivals, or the interface just
+                       went down: the chunk never left custody, so undo
+                       the release accounting and stop draining this
+                       flow for the round — never leak, never
+                       double-admit *)
+                    t.c.custody_released <- t.c.custody_released - 1;
+                    false
+                  end
               end
             end
         end
@@ -836,7 +926,7 @@ let on_link_down t _link_id =
       (fun flow entry ->
         match entry.data_link with
         | Some l when not (link_is_up t l) ->
-          if first_usable (entry_dcache t entry l) >= 0 then begin
+          if first_usable t (entry_dcache t entry l) >= 0 then begin
             if not entry.failed_over then begin
               entry.failed_over <- true;
               t.c.failovers <- t.c.failovers + 1
@@ -859,7 +949,7 @@ let on_link_up t _link_id =
             entry.failed_over <- false;
             if entry.bp_outage then release_local t entry ~flow ~slot:`Outage
           end
-          else if first_usable (entry_dcache t entry l) >= 0 then begin
+          else if first_usable t (entry_dcache t entry l) >= 0 then begin
             (* primary still down but a detour came back *)
             if entry.bp_outage then release_local t entry ~flow ~slot:`Outage;
             if not entry.failed_over then begin

@@ -26,16 +26,32 @@ type counters = {
   mutable cache_hits : int;
   mutable failovers : int;      (* flows moved onto detours by an outage *)
   mutable custody_wiped : int;  (* custody chunks lost to crashes *)
+  mutable shed : int;           (* admissions refused by overload control *)
+  mutable detours_refused : int;(* detour candidates refused: neighbour pressure *)
 }
 
 val create :
   cfg:Config.t -> net:Chunksim.Net.t -> node:Topology.Node.id ->
   detours:Detour_table.t -> ?link_state:Topology.Link_state.t ->
-  ?trace:Chunksim.Trace.t -> unit -> t
+  ?trace:Chunksim.Trace.t -> ?overload:Overload.Config.t -> unit -> t
 (** [link_state] makes the router outage-aware: detour candidates with
     a down hop are unusable, and a down primary interface routes
     through the detour set.  Without it every link is assumed up
-    (pre-fault behaviour, bit-identical). *)
+    (pre-fault behaviour, bit-identical).  [overload] switches on
+    overload control: the config's admission policy guards the custody
+    store, admissions shed above [shed_threshold], back-pressure
+    engages early at [early_bp_threshold], and detours into pressured
+    neighbours are refused (see {!set_neighbor_pressure}).  Without it
+    (or with {!Overload.Config.off}) behaviour is bit-identical to the
+    legacy path. *)
+
+val set_neighbor_pressure : t -> (Topology.Node.id -> float) -> unit
+(** Install the neighbour custody-occupancy oracle (fraction of store
+    capacity, by node id) used to refuse detours into pressured
+    neighbours.  Installed by the protocol layer, which owns the
+    router array; stands in for the paper's periodic utilisation
+    exchange between one-hop neighbours.  Only consulted when
+    [overload] is active with a finite [neighbor_pressure]. *)
 
 val install_flow :
   t -> ?content:int -> flow:int -> data_link:Topology.Link.t option ->

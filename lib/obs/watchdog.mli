@@ -1,0 +1,63 @@
+(** Collapse watchdog: sliding-window goodput detector.
+
+    Feed it every delivery ({!note_delivery}) and a periodic {!tick};
+    it maintains goodput over a sliding [window] and a {e decaying}
+    peak reference — the peak windowed rate, aged exponentially with
+    time constant [peak_tau] so that a one-off startup burst cannot
+    anchor the thresholds forever.  When the windowed rate falls below
+    [collapse_ratio × peak] it declares a collapse episode — firing
+    [on_collapse] {e exactly once} per episode — and the episode ends
+    only when the rate recovers past [recovery_ratio × peak]
+    ([on_recover], with the measured time-to-recovery).  The reference
+    keeps decaying through an episode: recovery is judged against an
+    aging memory of pre-collapse goodput, so a long outage's bar
+    relaxes towards what the recovered system can actually sustain
+    instead of demanding a return to a stale burst level.  The gap
+    between the two ratios is the hysteresis that keeps a rate
+    hovering at the threshold from generating an episode per sample.
+
+    Pure data structure: no clock, no engine dependency — callers pass
+    simulation time in. *)
+
+type t
+
+val create :
+  ?window:float ->
+  ?collapse_ratio:float ->
+  ?recovery_ratio:float ->
+  ?min_peak:float ->
+  ?peak_tau:float ->
+  on_collapse:(time:float -> rate:float -> peak:float -> unit) ->
+  ?on_recover:(time:float -> elapsed:float -> unit) ->
+  unit ->
+  t
+(** Defaults: [window] 1 s, ratios 0.3 / 0.7, [peak_tau] 8 × window.
+    [min_peak] (bits/s) suppresses the detector until the peak
+    windowed rate has reached it — keeps slow ramp-ups from reading as
+    collapses (default [0.]: armed from the first delivery); the decay
+    can drop the reference back below [min_peak], disarming the
+    detector until the rate pushes it up again.  [peak_tau = infinity]
+    recovers the undecayed all-time peak.
+    @raise Invalid_argument unless [window > 0.], [peak_tau > 0.] and
+    [0 < collapse_ratio < recovery_ratio <= 1]. *)
+
+val note_delivery : t -> time:float -> bits:float -> unit
+(** A chunk reached its consumer. *)
+
+val tick : t -> time:float -> unit
+(** Periodic evaluation — required to detect a collapse during which
+    {e nothing} is delivered (no deliveries means no [note_delivery]
+    edges to observe it on). *)
+
+val in_collapse : t -> bool
+val episodes : t -> int
+val peak : t -> float
+(** Current (decayed) peak-goodput reference, bits/s. *)
+
+val rate : t -> float
+(** Current windowed goodput, bits/s (as of the last note/tick). *)
+
+val recovery_times : t -> float list
+(** Per-episode time-to-recovery, episode order; open episodes absent. *)
+
+val total_recovery_time : t -> float

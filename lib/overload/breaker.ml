@@ -1,0 +1,62 @@
+type state = Closed | Open | Half_open
+
+type t = {
+  budget : int;
+  probe_interval : float;
+  mutable state : state;
+  mutable barren : int;
+  mutable last_probe : float;
+  mutable trips : int;
+  mutable probes : int;
+}
+
+let create ~budget ~probe_interval =
+  if budget < 0 then invalid_arg "Breaker.create: budget < 0";
+  if probe_interval <= 0. then invalid_arg "Breaker.create: probe_interval <= 0";
+  {
+    budget;
+    probe_interval;
+    state = Closed;
+    barren = 0;
+    last_probe = neg_infinity;
+    trips = 0;
+    probes = 0;
+  }
+
+let state t = t.state
+let trips t = t.trips
+let probes t = t.probes
+
+let on_progress t =
+  t.state <- Closed;
+  t.barren <- 0
+
+(* A barren timeout fired.  [`Retry] — retransmit as before (budget not
+   exhausted).  [`Probe] — the breaker is half-open: send exactly one
+   probe retransmission.  [`Wait] — the breaker is open and the probe
+   interval has not elapsed; send nothing. *)
+let on_timeout t ~now =
+  match t.state with
+  | Closed ->
+    if t.barren < t.budget then begin
+      t.barren <- t.barren + 1;
+      `Retry
+    end
+    else begin
+      t.state <- Open;
+      t.trips <- t.trips + 1;
+      t.last_probe <- now;
+      `Wait
+    end
+  | Half_open ->
+    (* the previous probe went unanswered: back to open *)
+    t.state <- Open;
+    `Wait
+  | Open ->
+    if now -. t.last_probe >= t.probe_interval -. 1e-9 then begin
+      t.state <- Half_open;
+      t.last_probe <- now;
+      t.probes <- t.probes + 1;
+      `Probe
+    end
+    else `Wait

@@ -39,6 +39,15 @@ val requests : spec -> Topology.Graph.t -> Request.t list
     @raise Invalid_argument on invalid parameters (see {!Catalog},
     {!Arrivals}, {!Session}) or a graph with no routable pair. *)
 
+val requests_seq : spec -> Topology.Graph.t -> Request.t Seq.t
+(** The same stream, lazily: element [n] is generated at its first
+    force, so consuming a prefix costs only that prefix — million-
+    request overload runs stay memory-bounded.  Memoized, hence
+    persistent: forcing any prefix twice returns identical requests
+    (the generator state is imperative underneath), and
+    [List.of_seq (requests_seq spec g) = requests spec g] always.
+    Argument validation is eager; generation is not. *)
+
 val offered_chunks : spec -> float
 (** Expected chunks injected over the horizon at the {e base} rate —
     a sizing aid for store/horizon choices, not an exact load figure

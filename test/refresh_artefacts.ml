@@ -12,7 +12,7 @@
 let artefacts =
   [
     "table1"; "fig3"; "fig4a"; "fig4b"; "custody"; "phases"; "backpressure";
-    "protocols"; "popularity";
+    "protocols"; "popularity"; "overload";
   ]
 
 let () =

@@ -222,6 +222,63 @@ let run_workload_soak () =
     r.Inrpp.Protocol.bp_engages r.Inrpp.Protocol.bp_releases
     r.Inrpp.Protocol.total_drops
 
+(* chaos soak: a flash-crowd workload composed (Fault.Schedule.merge)
+   with deterministic bottleneck-ish outages AND random background
+   faults, run with the full overload-control layer on and every
+   checker attached.  The point is the composition: admission
+   shedding, the circuit breaker and the collapse watchdog must not
+   break conservation or custody accounting while faults fire mid
+   crowd, and the run must still drain to completion. *)
+let run_chaos_soak () =
+  let g = Topology.Isp_zoo.graph Topology.Isp_zoo.Ebone in
+  let workload =
+    {
+      Workload.Gen.default with
+      Workload.Gen.seed = 577L;
+      horizon = 6.;
+      max_requests = 150;
+      objects = 32;
+      alpha = 1.0;
+      chunk_min = 4;
+      chunk_max = 64;
+      rate = 12.;
+      bursts = [ Workload.Arrivals.burst ~at:2. ~duration:2. ~boost:6. ];
+    }
+  in
+  let faults =
+    Fault.Schedule.merge
+      (Fault.Schedule.random ~seed:31L ~link_outages:2 ~bursts:1 ~horizon:20.
+         g)
+      (Fault.Schedule.random ~seed:32L ~link_outages:1 ~crashes:1 ~horizon:25.
+         g)
+  in
+  let overload =
+    { Overload.Config.default with Overload.Config.retry_budget = 16 }
+  in
+  let chk = Check.Invariant.create () in
+  let r =
+    Inrpp.Protocol.run ~cfg ~horizon:600. ~check:chk ~workload ~faults
+      ~overload g []
+  in
+  if not (Check.Invariant.ok chk) then
+    failwith
+      (Printf.sprintf "chaos soak: invariant violations\n%s"
+         (Check.Invariant.report chk));
+  let nflows = Array.length r.Inrpp.Protocol.flows in
+  if r.Inrpp.Protocol.completed <> nflows then
+    failwith
+      (Printf.sprintf "chaos soak: %d of %d flows completed by the horizon"
+         r.Inrpp.Protocol.completed nflows);
+  Printf.printf
+    "chaos  %4d flows  %d shed  %d failovers  %d collapse(s)  recovery %s  \
+     drops %d\n%!"
+    nflows r.Inrpp.Protocol.shed r.Inrpp.Protocol.failovers
+    r.Inrpp.Protocol.collapse_episodes
+    (match r.Inrpp.Protocol.collapse_recovery_time with
+    | Some t -> Printf.sprintf "%.3fs" t
+    | None -> "-")
+    r.Inrpp.Protocol.total_drops
+
 (* SOAK_DOMAINS multi-seed mode: one full-checker EBONE soak per
    domain, each on its own seed (disjoint from the scale runs' 97).
    Every job owns its engine, RNG, checkers and Observer; the snapshot
@@ -288,6 +345,7 @@ let soak () =
   let large = run_scale ~label:"large" ~nflows:360 ~sinks:[] in
   run_fault_soak ();
   run_workload_soak ();
+  run_chaos_soak ();
   (* a soak that never leaves push-data is not soaking anything *)
   if
     large.result.Inrpp.Protocol.custody_stored = 0

@@ -62,7 +62,7 @@ let check_artefact id () =
 let ids =
   [
     "table1"; "fig3"; "fig4a"; "fig4b"; "custody"; "phases"; "backpressure";
-    "protocols"; "popularity";
+    "protocols"; "popularity"; "overload";
   ]
 
 let () =

@@ -294,6 +294,67 @@ let test_crash_preserve_custody () =
     r.Inrpp.Protocol.chunks_lost_in_custody;
   Alcotest.(check int) "completes" 1 r.Inrpp.Protocol.completed
 
+(* Satellite regression: evacuation-in-flight chunks stay charged
+   against the store budget.  The drain is peek-then-commit — between
+   the peek and the successful handoff the chunk still counts, so a
+   concurrent arrival cannot be admitted into the transient gap the
+   old take-then-re-put opened (which could also lose the chunk
+   outright if the re-put found the store full). *)
+let test_evacuation_budget_charged () =
+  let chunk = 80_000. in
+  let c = Chunksim.Cache.create ~capacity:(2. *. chunk) () in
+  Alcotest.(check bool) "fill 1" true
+    (Chunksim.Cache.put_custody c ~flow:0 ~idx:0 ~bits:chunk = `Stored);
+  Alcotest.(check bool) "fill 2" true
+    (Chunksim.Cache.put_custody c ~flow:1 ~idx:0 ~bits:chunk = `Stored);
+  (* evacuation of flow 0 begins: peek, handoff in flight *)
+  (match Chunksim.Cache.peek_custody c ~flow:0 with
+  | Some (0, b) -> check_close "peeked bits" 0. chunk b
+  | _ -> Alcotest.fail "expected flow 0's oldest chunk");
+  (* the in-flight chunk still holds its budget: nothing fits *)
+  Alcotest.(check bool) "no admission into the transient gap" true
+    (Chunksim.Cache.put_custody c ~flow:2 ~idx:0 ~bits:chunk = `Full);
+  (* handoff failed (link went down mid-drain): nothing lost, nothing
+     leaked — the chunk is still there and still charged *)
+  (match Chunksim.Cache.peek_custody c ~flow:0 with
+  | Some (0, _) -> ()
+  | _ -> Alcotest.fail "failed handoff must leave custody untouched");
+  check_close "occupancy unchanged" 0. (2. *. chunk)
+    (Chunksim.Cache.custody_occupancy c);
+  (* handoff succeeded on retry: commit releases, the next admit fits *)
+  Chunksim.Cache.commit_custody c ~flow:0;
+  Alcotest.(check bool) "admitted after commit" true
+    (Chunksim.Cache.put_custody c ~flow:2 ~idx:0 ~bits:chunk = `Stored)
+
+(* The protocol-level face of the same regression: a primary that
+   flaps three times mid-transfer forces repeated evacuation attempts
+   against a small store, some of which race the outages and fail.
+   Every checker stays green and the flow completes — the old drain
+   could leak a chunk (conservation) or stall the flow (lost chunk
+   never re-requested from custody). *)
+let test_evacuation_under_flapping_primary () =
+  let g = diamond () in
+  let specs = [ flow ~src:0 ~dst:3 300 ] in
+  let cfg =
+    {
+      Inrpp.Config.default with
+      Inrpp.Config.cache_bits =
+        20. *. Inrpp.Config.default.Inrpp.Config.chunk_bits;
+    }
+  in
+  let faults =
+    S.of_list
+      (List.concat_map
+         (fun (down, up) -> both_directions g 1 3 `Drop_queued down ~up)
+         [ (0.1, 0.4); (0.6, 0.9); (1.1, 1.4) ])
+  in
+  let check = Check.Invariant.create () in
+  let r = Inrpp.Protocol.run ~cfg ~horizon:60. ~faults ~check g specs in
+  Alcotest.(check int) "completes across the flaps" 1
+    r.Inrpp.Protocol.completed;
+  if not (Check.Invariant.ok check) then
+    Alcotest.fail (Check.Invariant.report check)
+
 let test_replay_deterministic () =
   let g = Topology.Builders.fig3 () in
   let faults =
@@ -590,6 +651,10 @@ let () =
             test_crash_wipes_custody;
           Alcotest.test_case "crash preserves custody" `Quick
             test_crash_preserve_custody;
+          Alcotest.test_case "evacuation-in-flight stays charged" `Quick
+            test_evacuation_budget_charged;
+          Alcotest.test_case "evacuation under flapping primary" `Quick
+            test_evacuation_under_flapping_primary;
           Alcotest.test_case "replay is deterministic" `Quick
             test_replay_deterministic;
         ] );

@@ -338,6 +338,7 @@ let test_receiver_flow_balance () =
     Inrpp.Receiver.create ~cfg ~eng ~flow:0 ~total_chunks:3
       ~send_request:(fun p -> requests := p :: !requests)
       ~on_complete:(fun ~fct -> completed := Some fct)
+      ()
   in
   Inrpp.Receiver.start r;
   Alcotest.(check int) "initial request" 1 (List.length !requests);
@@ -362,6 +363,7 @@ let test_receiver_timeout_rerequests () =
     Inrpp.Receiver.create ~cfg ~eng ~flow:0 ~total_chunks:5
       ~send_request:(fun _ -> incr requests)
       ~on_complete:(fun ~fct -> ignore fct)
+      ()
   in
   Inrpp.Receiver.start r;
   (* nothing ever arrives: the timeout must keep re-asking *)

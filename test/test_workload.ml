@@ -291,6 +291,54 @@ let test_domains_identical () =
         got)
     [ 2; 4 ]
 
+(* ------------------------------------------------------------------ *)
+(* Lazy stream: requests_seq is the primitive, requests the wrapper *)
+
+(* the contract in gen.mli: List.of_seq (requests_seq spec g) =
+   requests spec g, byte for byte *)
+let test_seq_matches_list seed =
+  let g = graph () in
+  let spec = spec_of_seed seed in
+  let from_seq = List.of_seq (Workload.Gen.requests_seq spec g) in
+  let from_list = Workload.Gen.requests spec g in
+  Alcotest.(check int) "same length" (List.length from_list)
+    (List.length from_seq);
+  Alcotest.(check string) "same bytes" (to_bytes from_list)
+    (to_bytes from_seq)
+
+(* memoization makes the imperative generator state persistent: forcing
+   a prefix twice (or a prefix then the whole stream) must not misdraw *)
+let test_seq_persistent seed =
+  let g = graph () in
+  let spec = spec_of_seed seed in
+  let s = Workload.Gen.requests_seq spec g in
+  let prefix1 = List.of_seq (Seq.take 5 s) in
+  let prefix2 = List.of_seq (Seq.take 5 s) in
+  Alcotest.(check string) "prefix forced twice" (to_bytes prefix1)
+    (to_bytes prefix2);
+  let full = List.of_seq s in
+  Alcotest.(check string) "partial forcing does not shift the tail"
+    (to_bytes (Workload.Gen.requests spec g))
+    (to_bytes full)
+
+(* lazy consumption: taking n of an (effectively) unbounded stream
+   yields exactly the n requests a generator capped at n produces —
+   the consumer, not the spec, can bound the traversal *)
+let test_seq_prefix seed =
+  let g = graph () in
+  let unbounded =
+    { (spec_of_seed seed) with
+      Workload.Gen.max_requests = 1_000_000;
+      horizon = 1e6 }
+  in
+  let capped = { unbounded with Workload.Gen.max_requests = 7 } in
+  let prefix =
+    List.of_seq (Seq.take 7 (Workload.Gen.requests_seq unbounded g))
+  in
+  Alcotest.(check string) "take 7 = max_requests 7"
+    (to_bytes (Workload.Gen.requests capped g))
+    (to_bytes prefix)
+
 let test_catalog_pure seed =
   let mk () =
     Workload.Catalog.create ~alpha:0.9 ~chunk_min:2 ~chunk_max:128
@@ -389,6 +437,10 @@ let () =
             Alcotest.test_case "byte-identical at domains 1/2/4" `Quick
               test_domains_identical;
           ] );
+      ( "seq",
+        at_seeds "of_seq = requests" test_seq_matches_list
+        @ at_seeds "memoized prefix is persistent" test_seq_persistent
+        @ at_seeds "lazy prefix = capped list" test_seq_prefix );
       ( "trace",
         at_seeds "round trip" test_trace_round_trip
         @ [
