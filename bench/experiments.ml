@@ -610,6 +610,93 @@ let ablation_sched () =
     ~header:[ "scheduler"; "fct A"; "fct B"; "jain(rate)"; "drops" ]
     rows Format.std_formatter ()
 
+(* PIT-less ablation: the same transfers with Config.pitless on — no
+   per-flow router state at all, forwarding rides in the packets as
+   source-routed label stacks — against the stateful default.  The
+   delta is the price of statelessness: everything the paper builds on
+   per-flow state (custody, detours, back-pressure) is structurally
+   unavailable, so congestion turns into queue drops and timeouts. *)
+let ablation_pitless () =
+  section "Ablation — PIT-less forwarding vs per-flow state";
+  Format.printf
+    "(Config.pitless stamps the full path onto every packet as a label@.\
+     stack — routers keep zero flow state, and with it lose custody,@.\
+     detours and back-pressure)@.@.";
+  let scenarios =
+    [
+      ("bottleneck 5x overload",
+       bottleneck_graph (),
+       [ Inrpp.Protocol.flow_spec ~src:0 ~dst:2 200 ]);
+      ("fig3, detour available",
+       Topology.Builders.fig3 (),
+       [ Inrpp.Protocol.flow_spec ~src:0 ~dst:3 300 ]);
+    ]
+  in
+  List.iter
+    (fun (label, g, specs) ->
+      Format.printf "%s:@." label;
+      let rows =
+        List.map
+          (fun (variant, pitless) ->
+            let cfg = { bulk with Inrpp.Config.pitless } in
+            let r = Inrpp.Protocol.run ~cfg ~horizon:120. g specs in
+            let fct =
+              match r.Inrpp.Protocol.flows.(0).Inrpp.Protocol.fct with
+              | Some f -> Printf.sprintf "%.2fs" f
+              | None -> "-"
+            in
+            let requests =
+              Array.fold_left
+                (fun acc (fr : Inrpp.Protocol.flow_result) ->
+                  acc + fr.Inrpp.Protocol.requests_sent)
+                0 r.Inrpp.Protocol.flows
+            in
+            sidecar_emit ~experiment:"pitless"
+              [
+                ("scenario", Obs.Json.Str label);
+                ("variant", Obs.Json.Str variant);
+                ( "completed",
+                  Obs.Json.Num (float_of_int r.Inrpp.Protocol.completed) );
+                ( "fct",
+                  match r.Inrpp.Protocol.flows.(0).Inrpp.Protocol.fct with
+                  | Some f -> Obs.Json.Num f
+                  | None -> Obs.Json.Null );
+                ("goodput_bps", Obs.Json.Num r.Inrpp.Protocol.goodput);
+                ( "drops",
+                  Obs.Json.Num (float_of_int r.Inrpp.Protocol.total_drops) );
+                ( "detoured",
+                  Obs.Json.Num (float_of_int r.Inrpp.Protocol.detoured) );
+                ( "custody_stored",
+                  Obs.Json.Num (float_of_int r.Inrpp.Protocol.custody_stored)
+                );
+                ( "flow_table_bytes",
+                  Obs.Json.Num (float_of_int r.Inrpp.Protocol.flow_table_bytes)
+                );
+                ("requests_sent", Obs.Json.Num (float_of_int requests));
+              ];
+            [
+              variant;
+              fct;
+              Format.asprintf "%a" Sim.Units.pp_rate r.Inrpp.Protocol.goodput;
+              string_of_int r.Inrpp.Protocol.total_drops;
+              string_of_int r.Inrpp.Protocol.detoured;
+              string_of_int r.Inrpp.Protocol.custody_stored;
+              string_of_int r.Inrpp.Protocol.flow_table_bytes;
+              string_of_int requests;
+            ])
+          [ ("stateful", false); ("PIT-less", true) ]
+      in
+      Metrics.Report.table
+        ~header:
+          [ "variant"; "fct"; "goodput"; "drops"; "detoured"; "custody";
+            "flow-state B"; "requests" ]
+        rows Format.std_formatter ())
+    scenarios;
+  Format.printf
+    "@.(the stateful rows absorb the overload in custody and detours —@.\
+     zero drops; PIT-less pays with drops, re-requests and a longer@.\
+     fct, but its routers hold ~0 flow-state bytes)@."
+
 let fct () =
   section "Extension — flow completion time under churn (DES)";
   Format.printf
@@ -1471,6 +1558,7 @@ let all =
     ("ablation-detour", ablation_detour);
     ("ablation-sched", ablation_sched);
     ("ablation-ac", ablation_ac);
+    ("ablation-pitless", ablation_pitless);
     ("micro", micro);
   ]
 

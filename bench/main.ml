@@ -14,7 +14,7 @@
 
    Experiment ids: table1 fig3 fig4a fig4b custody phases backpressure
    protocols resilience popularity overload ablation-detour
-   ablation-ac micro.
+   ablation-ac ablation-pitless micro.
    See DESIGN.md §5 and EXPERIMENTS.md for the paper-vs-measured
    record. *)
 

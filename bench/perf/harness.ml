@@ -4,6 +4,11 @@ type outcome = {
   wall_s : float;
   chunks : int;
   minor_words : float;
+  (* memory-benchmark fields (schema v4): 0 for benchmarks that do not
+     measure them — the runner patches them in from the scenario's own
+     probes (Gc live-words delta, /proc VmHWM) *)
+  bytes_per_flow : float;
+  peak_rss_bytes : float;
 }
 
 let measure ?(repeat = 1) ?(domains = 1) name f =
@@ -18,7 +23,15 @@ let measure ?(repeat = 1) ?(domains = 1) name f =
     let events, chunks = f () in
     let wall_s = Unix.gettimeofday () -. t0 in
     let minor_words = Gc.minor_words () -. minor0 in
-    { name; events; wall_s; chunks; minor_words }
+    {
+      name;
+      events;
+      wall_s;
+      chunks;
+      minor_words;
+      bytes_per_flow = 0.;
+      peak_rss_bytes = 0.;
+    }
   in
   let trials =
     Parallel.Pool.run_jobs ~domains (Array.init repeat (fun _ () -> one ()))
@@ -39,4 +52,6 @@ let outcome_json o =
       ("chunks_delivered", Obs.Json.Num (float_of_int o.chunks));
       ("chunks_per_sec", Obs.Json.Num (per_sec (float_of_int o.chunks)));
       ("minor_words_per_event", Obs.Json.Num (per_event o.minor_words));
+      ("bytes_per_flow", Obs.Json.Num o.bytes_per_flow);
+      ("peak_rss_bytes", Obs.Json.Num o.peak_rss_bytes);
     ]

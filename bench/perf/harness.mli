@@ -8,6 +8,12 @@ type outcome = {
   wall_s : float;
   chunks : int;
   minor_words : float;
+  bytes_per_flow : float;
+  (** heap bytes per flow-table entry (schema v4); 0 unless the
+      scenario measures it — {!measure} always returns 0, the runner
+      patches the figure in from the scenario's own probes *)
+  peak_rss_bytes : float;
+  (** process peak RSS (/proc VmHWM); 0 unless measured, as above *)
 }
 
 val measure :

@@ -15,10 +15,15 @@
    - isp_zoo     : 8 INRPP flows across the EBONE ISP-zoo graph
      (protocol macro-benchmark; tracks end-to-end chunk throughput).
 
-   Writes BENCH_core.json (schema `inrpp-bench-core/v3`: v2 plus the
-   trial count, the domain count the trials ran across and the host's
-   recommended domain count) so future PRs can compare against the
-   recorded trajectory.  `--trials N` sets the best-of-N trial count,
+   - flows_1m    : flow-state memory benchmark — ramps the EBONE graph
+     to one million concurrent flows (20k under --smoke) drawn from
+     Workload.Gen.requests_seq, measures the live-heap cost per
+     flow-table entry (bytes_per_flow) and the process peak RSS, then
+     releases every flow and fails hard if any table entry leaks.
+
+   Writes BENCH_core.json (schema `inrpp-bench-core/v4`: v3 plus
+   bytes_per_flow and peak_rss_bytes per benchmark row) so future PRs
+   can compare against the recorded trajectory.  `--trials N` sets the best-of-N trial count,
    `--domains D` spreads the trials over D domains (per-trial
    allocation is read inside the owning domain, so the gate is sound
    at any D).  `--smoke` runs small iteration counts for CI; `--check`
@@ -30,9 +35,13 @@
    allocation gate to an existing JSON file; v2 files (written before
    the parallel harness) are still accepted. *)
 
-let schema_version = "inrpp-bench-core/v3"
+let schema_version = "inrpp-bench-core/v4"
 
-(* pre-parallel-harness files: same shape minus domains/trials/host_cores *)
+(* pre-memory-benchmark files: same shape minus bytes_per_flow /
+   peak_rss_bytes per row *)
+let schema_v3 = "inrpp-bench-core/v3"
+
+(* pre-parallel-harness files: v3 minus domains/trials/host_cores *)
 let schema_v2 = "inrpp-bench-core/v2"
 
 (* every run seeds the stdlib RNG explicitly (and reports the seed in
@@ -70,15 +79,18 @@ let alloc_baseline =
   [
     ("engine_churn", 38.0);
     ("dumbbell", 58.3);
-    (* isp_zoo re-frozen (148.7 -> 150.6) with the peek-then-commit
-       custody drain: the two-step handoff keeps evacuating chunks
-       charged against the store at the cost of one extra lookup's
-       allocation per release *)
-    ("isp_zoo", 150.6);
+    (* isp_zoo/overload re-frozen (+0.1) with the struct-of-arrays flow
+       table: the config record grew three fields, shifting one-off
+       setup allocation; the per-packet path allocates the same *)
+    ("isp_zoo", 150.7);
     (* isp_zoo with Overload.Config.default: admission checks build one
        pressure record per custody offer, but shedding also avoids
        work, so the net per-event figure sits near isp_zoo's *)
-    ("overload", 147.6);
+    ("overload", 147.7);
+    (* flows_1m's events are the ramp batches, so this quotient is the
+       allocation of installing ~1000 flows' state — dominated by the
+       flow tables themselves, which is the point of the benchmark *)
+    ("flows_1m", 163_202.6);
   ]
 
 (* smoke iteration counts are tiny, so one-off setup allocation
@@ -91,11 +103,27 @@ let alloc_baseline_smoke =
   [
     ("engine_churn", 38.1);
     ("dumbbell", 58.9);
-    ("isp_zoo", 682.4);
-    ("overload", 691.0);
+    ("isp_zoo", 683.1);
+    ("overload", 691.7);
+    ("flows_1m", 5_775.9);
   ]
 
 let alloc_slack = 2.0
+
+(* Frozen bytes-per-flow-table-entry figures from the flows_1m
+   benchmark (live-words delta across the ramp / entries installed; an
+   entry is one flow's state at one router, so a flow's network-wide
+   cost is this times its path length).  Tighter slack than the
+   allocation gate: the figure is a Gc.live_words delta between two
+   compactions, so it is near-deterministic — a >1.25x excursion means
+   the per-flow layout actually grew.  Re-freeze deliberately when a
+   feature legitimately adds per-flow state. *)
+let bytes_slack = 1.25
+
+(* full run: 1,000,000 concurrent flows over EBONE, 128.2 B per entry
+   (~6 entries per flow at EBONE path lengths), 771 MB peak RSS *)
+let bytes_baseline = [ ("flows_1m", 128.2) ]
+let bytes_baseline_smoke = [ ("flows_1m", 121.7) ]
 
 open Harness
 
@@ -211,6 +239,177 @@ let isp_zoo ?obs ?overload ~chunks () =
   let r = Inrpp.Protocol.run ~cfg:bulk ?obs ?overload ~horizon:600. g specs in
   (r.Inrpp.Protocol.engine_events, received r)
 
+(* Flow-state memory benchmark.  Ramps the EBONE graph to [flows]
+   concurrent flows — endpoints drawn from the deterministic workload
+   stream, state installed along each flow's shortest path in batches
+   driven by engine events — and measures what the flow tables
+   actually cost:
+
+   - bytes_per_flow: Gc live-words delta across the ramp (compaction
+     on both sides, everything else preallocated outside the window:
+     endpoint arrays, per-pair install plans, Dijkstra trees) divided
+     by the flow-table entries installed.  One entry is one flow's
+     state at one router; a flow's network-wide cost is this times its
+     path length.
+   - peak_rss_bytes: the process high-water mark (/proc VmHWM), the
+     whole-process sanity bound on the same number.
+
+   After the measurement every flow is released: the benchmark fails
+   hard if the live-entry count does not return to 0 (free-list leak)
+   or if the ramp did not reach the requested concurrency. *)
+
+let vm_hwm_bytes () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0.
+  | ic ->
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file -> acc
+      | line ->
+        let acc =
+          match Scanf.sscanf line "VmHWM: %f kB" Fun.id with
+          | kb -> kb *. 1024.
+          | exception Scanf.Scan_failure _ | exception End_of_file
+          | exception Failure _ ->
+            acc
+        in
+        go acc
+    in
+    let v = go 0. in
+    close_in ic;
+    v
+
+let flows_1m ~flows ~stats () =
+  let g = Topology.Isp_zoo.graph Topology.Isp_zoo.Ebone in
+  let n = Topology.Graph.node_count g in
+  let eng = Sim.Engine.create () in
+  let net =
+    Chunksim.Net.create ~queue_bits:bulk.Inrpp.Config.queue_bits eng g
+  in
+  let detours = Inrpp.Detour_table.create ~max_intermediate:2 g in
+  let routers =
+    Array.init n (fun node ->
+        Inrpp.Router.create ~cfg:bulk ~net ~node ~detours ())
+  in
+  (* endpoint stream: the same generator the overload experiments use,
+     capped at [flows]; drawn into arrays before the measured window *)
+  let w =
+    {
+      Workload.Gen.default with
+      Workload.Gen.seed = 42L;
+      horizon = 3600.;
+      max_requests = flows;
+      rate = float_of_int flows;
+    }
+  in
+  let srcs = Array.make flows 0 and dsts = Array.make flows 0 in
+  let drawn = ref 0 in
+  Seq.iter
+    (fun (r : Workload.Request.t) ->
+      srcs.(!drawn) <- r.Workload.Request.src;
+      dsts.(!drawn) <- r.Workload.Request.dst;
+      incr drawn)
+    (Workload.Gen.requests_seq w g);
+  let drawn = !drawn in
+  if drawn < flows then
+    failwith
+      (Printf.sprintf "flows_1m: workload drew %d of %d flows" drawn flows);
+  (* per-(src, dst) install plan — path nodes with their data/request
+     next hops — memoized over the O(n^2) distinct pairs so no Dijkstra
+     or option allocation lands inside the measured window *)
+  let trees = Hashtbl.create 64 in
+  let tree src =
+    match Hashtbl.find_opt trees src with
+    | Some t -> t
+    | None ->
+      let t = Topology.Dijkstra.run g src in
+      Hashtbl.add trees src t;
+      t
+  in
+  let plans = Hashtbl.create 4096 in
+  let plan src dst =
+    let key = (src * n) + dst in
+    match Hashtbl.find_opt plans key with
+    | Some p -> p
+    | None ->
+      let path =
+        match Topology.Dijkstra.path_to (tree src) dst with
+        | Some p -> p
+        | None -> failwith "flows_1m: unroutable workload pair"
+      in
+      let nodes = Array.of_list path.Topology.Path.nodes in
+      let links = Array.of_list path.Topology.Path.links in
+      let hops = Array.length nodes in
+      let dls =
+        Array.init hops (fun k -> if k < hops - 1 then Some links.(k) else None)
+      in
+      let rls =
+        Array.init hops (fun k ->
+            if k > 0 then Topology.Graph.find_link g nodes.(k) nodes.(k - 1)
+            else None)
+      in
+      let p = (nodes, dls, rls) in
+      Hashtbl.add plans key p;
+      p
+  in
+  for k = 0 to drawn - 1 do
+    ignore (plan srcs.(k) dsts.(k))
+  done;
+  let live_entries () =
+    Array.fold_left
+      (fun acc r -> acc + Inrpp.Router.flow_entries_live r)
+      0 routers
+  in
+  (* measured ramp: install in ~1000 engine-event batches *)
+  Gc.compact ();
+  let live0 = (Gc.stat ()).Gc.live_words in
+  let entries = ref 0 in
+  let batch = max 1 (drawn / 1000) in
+  let rec ramp k () =
+    let stop = min drawn (k + batch) in
+    for f = k to stop - 1 do
+      let nodes, dls, rls = plan srcs.(f) dsts.(f) in
+      for j = 0 to Array.length nodes - 1 do
+        Inrpp.Router.install_flow routers.(nodes.(j)) ~flow:f
+          ~data_link:dls.(j) ~req_link:rls.(j) ();
+        incr entries
+      done
+    done;
+    if stop < drawn then ignore (Sim.Engine.schedule eng ~delay:1e-3 (ramp stop))
+  in
+  ignore (Sim.Engine.schedule eng ~delay:1e-3 (ramp 0));
+  Sim.Engine.run eng;
+  Gc.compact ();
+  let live1 = (Gc.stat ()).Gc.live_words in
+  if live_entries () <> !entries then
+    failwith
+      (Printf.sprintf "flows_1m: %d entries live after ramp, expected %d"
+         (live_entries ()) !entries);
+  let bytes_per_flow =
+    float_of_int (live1 - live0) *. 8. /. float_of_int (max 1 !entries)
+  in
+  stats := Some (bytes_per_flow, vm_hwm_bytes ());
+  (* release everything and prove the free list recycles it all *)
+  for f = 0 to drawn - 1 do
+    let nodes, _, _ = plan srcs.(f) dsts.(f) in
+    Array.iter
+      (fun node -> Inrpp.Router.release_flow routers.(node) ~flow:f)
+      nodes
+  done;
+  (if live_entries () <> 0 then
+     failwith
+       (Printf.sprintf "flows_1m: %d flow-table entries leaked"
+          (live_entries ())));
+  let recycled =
+    Array.fold_left
+      (fun acc r -> acc + Inrpp.Router.flow_entries_recycled r)
+      0 routers
+  in
+  if recycled <> !entries then
+    failwith
+      (Printf.sprintf "flows_1m: recycled %d of %d entries" recycled !entries);
+  (Sim.Engine.events_handled eng, drawn)
+
 (* --profile: one extra isp_zoo run with the engine self-profiler on,
    exported next to BENCH_core.json.  Deliberately outside the
    measured outcomes — the profiler reads the wall clock around every
@@ -258,6 +457,9 @@ let report ~smoke ~trials ~domains outcomes =
       ( "alloc_baseline",
         Obs.Json.Obj
           (List.map (fun (k, v) -> (k, Obs.Json.Num v)) alloc_baseline) );
+      ( "bytes_baseline",
+        Obs.Json.Obj
+          (List.map (fun (k, v) -> (k, Obs.Json.Num v)) bytes_baseline) );
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -266,16 +468,31 @@ let report ~smoke ~trials ~domains outcomes =
    Wall clock: advisory only — events/sec below the recorded floor
    prints a warning but never fails (CI timing is too noisy). *)
 
-let benchmark_fields =
+let benchmark_fields_v3 =
   [ "name"; "events"; "wall_s"; "events_per_sec"; "chunks_delivered";
     "chunks_per_sec"; "minor_words_per_event" ]
 
-(* (name, minor_words_per_event, events_per_sec) triples *)
+let benchmark_fields =
+  benchmark_fields_v3 @ [ "bytes_per_flow"; "peak_rss_bytes" ]
+
+(* (name, minor_words_per_event, events_per_sec, bytes_per_flow) *)
 let gate ~smoke results =
   let table = if smoke then alloc_baseline_smoke else alloc_baseline in
+  let btable = if smoke then bytes_baseline_smoke else bytes_baseline in
   let failures = ref 0 in
   List.iter
-    (fun (name, mwpe, eps) ->
+    (fun (name, mwpe, eps, bpf) ->
+      (match List.assoc_opt name btable with
+      | Some base when bpf > bytes_slack *. base ->
+        incr failures;
+        Printf.eprintf
+          "FAIL %-14s %8.1f bytes/flow exceeds %.2fx baseline %.1f\n" name bpf
+          bytes_slack base
+      | Some base ->
+        Printf.printf
+          "ok   %-14s %8.1f bytes/flow (baseline %.1f, limit %.1f)\n" name bpf
+          base (bytes_slack *. base)
+      | None -> ());
       (match List.assoc_opt name table with
       | Some base when mwpe > alloc_slack *. base ->
         incr failures;
@@ -325,14 +542,16 @@ let check_file path =
   | Ok j ->
     let version =
       match Obs.Json.member "schema" j with
-      | Some (Obs.Json.Str s) when s = schema_version || s = schema_v2 -> s
+      | Some (Obs.Json.Str s)
+        when s = schema_version || s = schema_v3 || s = schema_v2 ->
+        s
       | Some (Obs.Json.Str s) ->
         fail
-          ("schema is " ^ s ^ ", want " ^ schema_version ^ " (or " ^ schema_v2
-         ^ ")")
+          ("schema is " ^ s ^ ", want " ^ schema_version ^ " (or " ^ schema_v3
+         ^ " / " ^ schema_v2 ^ ")")
       | _ -> fail "missing string field: schema"
     in
-    if version = schema_version then
+    if version <> schema_v2 then
       List.iter
         (fun f ->
           match Obs.Json.member f j with
@@ -356,6 +575,10 @@ let check_file path =
           | _ -> fail ("baseline missing numeric field: " ^ k))
         baseline
     | _ -> fail "missing object field: baseline");
+    let row_fields =
+      if version = schema_version then benchmark_fields
+      else benchmark_fields_v3
+    in
     let results =
       match Obs.Json.member "benchmarks" j with
       | Some (Obs.Json.List (_ :: _ as bs)) ->
@@ -367,7 +590,7 @@ let check_file path =
                 | Some (Obs.Json.Num _) when field <> "name" -> ()
                 | Some (Obs.Json.Str _) when field = "name" -> ()
                 | _ -> fail ("benchmark entry missing field: " ^ field))
-              benchmark_fields;
+              row_fields;
             let str f =
               match Obs.Json.member f b with
               | Some (Obs.Json.Str s) -> s
@@ -378,7 +601,15 @@ let check_file path =
               | Some (Obs.Json.Num x) -> x
               | _ -> fail ("benchmark entry missing field: " ^ f)
             in
-            (str "name", num "minor_words_per_event", num "events_per_sec"))
+            let bpf =
+              match Obs.Json.member "bytes_per_flow" b with
+              | Some (Obs.Json.Num x) -> x
+              | _ -> 0.
+            in
+            ( str "name",
+              num "minor_words_per_event",
+              num "events_per_sec",
+              bpf ))
           bs
       | _ -> fail "missing non-empty list field: benchmarks"
     in
@@ -449,10 +680,15 @@ let () =
   let churn_total = if !smoke then 20_000 else 1_000_000 in
   let dumbbell_packets = if !smoke then 400 else 40_000 in
   let zoo_chunks = if !smoke then 40 else 1_000 in
+  let flow_count = if !smoke then 20_000 else 1_000_000 in
   let repeat =
     match !trials with Some n -> n | None -> if !smoke then 1 else 3
   in
   let domains = !domains in
+  (* flows_1m publishes its memory probes through this ref; always one
+     trial in the main domain — a memory high-water benchmark has no
+     best-of-N, and sibling domains would share the RSS counter *)
+  let flow_stats = ref None in
   let outcomes =
     [
       measure ~repeat ~domains "engine_churn" (engine_churn ~total:churn_total);
@@ -463,6 +699,14 @@ let () =
          cost of admission checks, pressure records and the breaker *)
       measure ~repeat ~domains "overload"
         (isp_zoo ~overload:Overload.Config.default ~chunks:zoo_chunks);
+      (let o =
+         measure ~repeat:1 ~domains:1 "flows_1m"
+           (flows_1m ~flows:flow_count ~stats:flow_stats)
+       in
+       match !flow_stats with
+       | Some (bytes_per_flow, peak_rss_bytes) ->
+         { o with bytes_per_flow; peak_rss_bytes }
+       | None -> o);
     ]
   in
   let j = report ~smoke:!smoke ~trials:repeat ~domains outcomes in
@@ -476,7 +720,11 @@ let () =
         o.name o.events o.wall_s
         (if o.wall_s > 0. then float_of_int o.events /. o.wall_s else 0.)
         o.chunks
-        (if o.events > 0 then o.minor_words /. float_of_int o.events else 0.))
+        (if o.events > 0 then o.minor_words /. float_of_int o.events else 0.);
+      if o.bytes_per_flow > 0. then
+        Printf.printf "%-14s %9.1f bytes/flow-entry  %.1f MB peak RSS\n" ""
+          o.bytes_per_flow
+          (o.peak_rss_bytes /. 1048576.))
     outcomes;
   Printf.printf "wrote %s\n" !out;
   (match !profile_out with
@@ -489,5 +737,6 @@ let () =
            ( o.name,
              (if o.events > 0 then o.minor_words /. float_of_int o.events
               else 0.),
-             if o.wall_s > 0. then float_of_int o.events /. o.wall_s else 0. ))
+             (if o.wall_s > 0. then float_of_int o.events /. o.wall_s else 0.),
+             o.bytes_per_flow ))
          outcomes)

@@ -17,6 +17,8 @@
      into a fixed-width sparkline) plus a peak-custody bar chart;
    - the per-chunk critical-path breakdown reconstructed from
      lifecycle trace events (inrpp_probe --spans output);
+   - a flow-state summary (live/peak flow-table entries, recycled
+     entries, table bytes per entry) from the router_flow_* gauges;
    - the engine profile table when the stream carries a profile
      object (inrpp_probe --profile), plus the sampler's own overhead;
    - a result table for any sidecar run records present.
@@ -74,6 +76,11 @@ type acc = {
      and the collapse-watchdog summary metrics *)
   mutable shed : (string * float) list;
   mutable detours_refused : (string * float) list;
+  (* flow-table occupancy gauges (per node, final snapshot) *)
+  mutable flow_live : (string * float) list;
+  mutable flow_peak : (string * float) list;
+  mutable flow_recycled : (string * float) list;
+  mutable flow_bytes : (string * float) list;
   mutable wd_episodes : float option;
   mutable wd_in_collapse : float option;
   mutable wd_recovery_s : float option;
@@ -143,6 +150,14 @@ let on_metric acc j =
   | Some "router_shed_total", Some v -> acc.shed <- (node (), v) :: acc.shed
   | Some "router_detours_refused_total", Some v ->
     acc.detours_refused <- (node (), v) :: acc.detours_refused
+  | Some "router_flow_entries_live", Some v ->
+    acc.flow_live <- (node (), v) :: acc.flow_live
+  | Some "router_flow_entries_peak", Some v ->
+    acc.flow_peak <- (node (), v) :: acc.flow_peak
+  | Some "router_flow_entries_recycled_total", Some v ->
+    acc.flow_recycled <- (node (), v) :: acc.flow_recycled
+  | Some "router_flow_table_bytes", Some v ->
+    acc.flow_bytes <- (node (), v) :: acc.flow_bytes
   | Some "watchdog_collapse_episodes", Some v -> acc.wd_episodes <- Some v
   | Some "watchdog_in_collapse", Some v -> acc.wd_in_collapse <- Some v
   | Some "watchdog_recovery_seconds_total", Some v ->
@@ -324,6 +339,33 @@ let overload_report ppf acc =
     Format.fprintf ppf "@."
   end
 
+(* Flow-state section: the router_flow_* gauges sampled at the end of
+   the run.  bytes/entry is reported against the peak occupancy — the
+   struct-of-arrays tables size themselves to the high-water mark, so
+   that ratio is the steady per-flow memory cost. *)
+let flow_report ppf acc =
+  let total = List.fold_left (fun a (_, v) -> a +. v) 0. in
+  if acc.flow_peak <> [] || acc.flow_live <> [] then begin
+    Format.fprintf ppf "Flow state@.@.";
+    let live = total acc.flow_live and peak = total acc.flow_peak in
+    let recycled = total acc.flow_recycled
+    and bytes = total acc.flow_bytes in
+    Format.fprintf ppf
+      "  %.0f live flow entr%s (peak %.0f), %.0f recycled, table %.0f B%s@."
+      live
+      (if live = 1. then "y" else "ies")
+      peak recycled bytes
+      (if peak > 0. then
+         Printf.sprintf " (%.1f B/entry at peak)" (bytes /. peak)
+       else "");
+    let hot = List.filter (fun (_, v) -> v > 0.) (List.rev acc.flow_peak) in
+    if hot <> [] then
+      Metrics.Report.bar_chart ~header:"  Peak flow entries per node"
+        (List.map (fun (n, v) -> ("node " ^ n, v)) hot)
+        ppf ();
+    Format.fprintf ppf "@."
+  end
+
 let span_report ppf acc =
   if Obs.Span.chunk_count acc.span > 0 then begin
     Format.fprintf ppf "Chunk critical path@.@.";
@@ -458,7 +500,9 @@ let () =
     { ifaces = Hashtbl.create 16; nodes = Hashtbl.create 16;
       span = Obs.Span.create (); runs = []; profile = None;
       sampler_ticks = None; sampler_probe_s = None; flight_dumps = 0;
-      shed = []; detours_refused = []; wd_episodes = None;
+      shed = []; detours_refused = [];
+      flow_live = []; flow_peak = []; flow_recycled = []; flow_bytes = [];
+      wd_episodes = None;
       wd_in_collapse = None; wd_recovery_s = None; wd_peak = None;
       events = 0; metrics = 0; skipped = 0 }
   in
@@ -472,6 +516,7 @@ let () =
   phase_table ppf acc;
   custody_report ppf acc;
   overload_report ppf acc;
+  flow_report ppf acc;
   span_report ppf acc;
   profile_report ppf acc;
   sidecar_table ppf acc;

@@ -4,6 +4,7 @@ type header =
       nc : int;
       ack : int;
       ac : int;
+      route : Topology.Node.id list;
     }
   | Data of {
       flow : int;
@@ -26,10 +27,12 @@ type t = {
 let request_bits = 50. *. 8.
 let backpressure_bits = 50. *. 8.
 
-let request ~flow ~nc ~ack ~ac =
+let request_routed ~route ~flow ~nc ~ack ~ac =
   if nc < 0 then invalid_arg "Packet.request: nc < 0";
   if ac < nc then invalid_arg "Packet.request: ac < nc";
-  { header = Request { flow; nc; ack; ac }; size = request_bits }
+  { header = Request { flow; nc; ack; ac; route }; size = request_bits }
+
+let request ~flow ~nc ~ack ~ac = request_routed ~route:[] ~flow ~nc ~ack ~ac
 
 let data ?(anticipated = false) ?(via_detour = false) ?(detour_route = [])
     ~flow ~idx ~born chunk_bits =
@@ -54,7 +57,7 @@ let is_data t =
 
 let pp ppf t =
   match t.header with
-  | Request { flow; nc; ack; ac } ->
+  | Request { flow; nc; ack; ac; _ } ->
     Format.fprintf ppf "req[f%d nc=%d ack=%d ac=%d]" flow nc ack ac
   | Data { flow; idx; anticipated; via_detour; _ } ->
     Format.fprintf ppf "data[f%d #%d%s%s]" flow idx

@@ -20,6 +20,10 @@ type header =
       nc : int;        (** next chunk the application requests *)
       ack : int;       (** cumulative: all chunks < ack received *)
       ac : int;        (** last anticipated chunk (>= nc) *)
+      route : Topology.Node.id list;
+      (** PIT-less label stack: remaining nodes to the producer,
+          stamped at the consumer and popped hop by hop.  Empty
+          (and ignored) under stateful forwarding. *)
     }
   | Data of {
       flow : int;
@@ -40,8 +44,13 @@ type t = {
 }
 
 val request : flow:int -> nc:int -> ack:int -> ac:int -> t
-(** 50-byte header packet.  @raise Invalid_argument if [ac < nc] or
-    [nc < 0]. *)
+(** 50-byte header packet with an empty label stack (stateful
+    forwarding).  @raise Invalid_argument if [ac < nc] or [nc < 0]. *)
+
+val request_routed :
+  route:Topology.Node.id list -> flow:int -> nc:int -> ack:int -> ac:int -> t
+(** {!request} with the PIT-less label stack stamped: the remaining
+    nodes to the producer, popped hop by hop by the routers. *)
 
 val data :
   ?anticipated:bool -> ?via_detour:bool ->

@@ -19,6 +19,9 @@ type t = {
   speed_factor : float;
   drr_scheduler : bool;
   icn_caching : bool;
+  flow_store : [ `Soa | `Legacy ];
+  pitless : bool;
+  flow_teardown : bool;
 }
 
 let default =
@@ -43,6 +46,9 @@ let default =
     speed_factor = 1.;
     drr_scheduler = false;
     icn_caching = false;
+    flow_store = `Soa;
+    pitless = false;
+    flow_teardown = false;
   }
 
 let validate c =
@@ -74,6 +80,8 @@ let validate c =
   else if c.queue_bits <= 0. then err "queue_bits <= 0"
   else if c.speed_factor <= 0. || c.speed_factor > 1. then
     err "speed_factor outside (0,1]"
+  else if c.pitless && c.icn_caching then
+    err "pitless forwarding has no per-flow content keys for icn_caching"
   else Ok c
 
 let chunk_tx_time c ~rate =

@@ -63,6 +63,32 @@ type t = {
       answer later requests for the same content locally.  Off by
       default: the paper's experiments concern the custody role of
       storage; the [icn-cache] bench shows the two roles composing. *)
+  flow_store : [ `Soa | `Legacy ];
+  (** per-flow forwarding-state layout in the routers (see
+      {!Flow_table}): [`Soa] (default) is the compacted
+      struct-of-arrays table with free-list recycling, [`Legacy] the
+      PR-5 record-per-flow layout kept as the differential-testing
+      reference.  Behaviourally identical — the 50-seed sweep pins
+      byte-identical results. *)
+  pitless : bool;
+  (** PIT-less forwarding ablation ("Living in a PIT-less World",
+      PAPERS.md): routers keep {e no} per-flow state.  Forwarding
+      state rides in the packet as a source-routed label stack —
+      data carries the remaining path in [detour_route], requests in
+      [route], both stamped at the endpoints — and routers pop labels
+      instead of consulting the flow table.  The cost of statelessness
+      is the loss of everything the paper builds on that state: no
+      custody, no detours, no back-pressure.  Incompatible with
+      [icn_caching] (no content keys at routers). *)
+  flow_teardown : bool;
+  (** recycle router flow-table entries when a flow completes: the
+      protocol layer releases every node the flow was installed on
+      (including nodes added by route reconvergence during an outage).
+      Off by default — with teardown on, late duplicate chunks of a
+      completed flow are dropped at the first stateful router instead
+      of riding to the consumer, which perturbs drop counters; the
+      millions-of-flows runs and the leak regression tests switch it
+      on. *)
 }
 
 val default : t
@@ -70,7 +96,8 @@ val default : t
     off by default — the fault experiments enable ×2 capped at ×32),
     T_i = 40 ms, α = 0.3, engage 0.95 / release 0.75, 1-hop detours
     (+1 recursion), 20 ms flowlets, queue threshold 0.5, 4 MB cache
-    (0.7/0.3 watermarks), 64-chunk queues, full speed. *)
+    (0.7/0.3 watermarks), 64-chunk queues, full speed, SoA flow
+    store, stateful forwarding, no teardown. *)
 
 val validate : t -> (t, string) result
 (** All range checks; returns the config unchanged when valid. *)

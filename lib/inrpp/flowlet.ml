@@ -29,4 +29,6 @@ let choose t ~flow ~now ~preferred =
 let current t ~flow =
   Option.map (fun e -> e.route) (Hashtbl.find_opt t.table flow)
 
+let forget t ~flow = Hashtbl.remove t.table flow
+
 let active_flows t = Hashtbl.length t.table

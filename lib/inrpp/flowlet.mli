@@ -24,4 +24,9 @@ val choose :
     [preferred] and return it.  Always updates the last-packet time. *)
 
 val current : t -> flow:int -> route option
+
+val forget : t -> flow:int -> unit
+(** Drop the flow's pin (flow teardown); the next {!choose} re-pins
+    from scratch.  No-op when the flow has no entry. *)
+
 val active_flows : t -> int

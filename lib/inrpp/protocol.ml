@@ -51,6 +51,10 @@ type result = {
   detours_refused : int;
   collapse_episodes : int;
   collapse_recovery_time : float option;
+  flow_entries_live : int;
+  flow_entries_peak : int;
+  flow_entries_recycled : int;
+  flow_table_bytes : int;
   trace : Chunksim.Trace.t option;
 }
 
@@ -96,6 +100,18 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
   in
   if specs = [] then invalid_arg "Protocol.run: no flows";
   if horizon <= 0. then invalid_arg "Protocol.run: horizon <= 0";
+  let pitless = cfg.Config.pitless in
+  let total_flows = List.length specs in
+  let fcts = Array.make total_flows None in
+  (* PIT-less label stacks, per flow: the remaining nodes to the
+     consumer (stamped onto data at the sender) and to the producer
+     (stamped onto requests at the receiver).  Route reconvergence
+     re-stamps them; in-flight packets ride their stale stack out. *)
+  let data_routes = Array.make total_flows [] in
+  let req_routes = Array.make total_flows [] in
+  (* every node a flow's state was installed on, including nodes added
+     by reconvergence — the teardown set (cfg.flow_teardown) *)
+  let install_sites = Array.make total_flows [] in
   let eng = Sim.Engine.create () in
   let net =
     let discipline =
@@ -298,24 +314,40 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
     in
     List.iteri
       (fun flow_id (spec : flow_spec) ->
-        let tree =
-          Topology.Dijkstra.run ~forbidden_links:forbidden g spec.src
-        in
-        match Topology.Dijkstra.path_to tree spec.dst with
-        | None -> ()
-        | Some path ->
-          let nodes = Array.of_list path.Path.nodes in
-          let links = Array.of_list path.Path.links in
-          let n = Array.length nodes in
-          for k = 0 to n - 1 do
-            let data_link = if k < n - 1 then Some links.(k) else None in
-            let req_link =
-              if k > 0 then Graph.find_link g nodes.(k) nodes.(k - 1)
-              else None
-            in
-            Router.reroute_flow routers.(nodes.(k)) ?content:spec.content
-              ~flow:flow_id ~data_link ~req_link ()
-          done)
+        (* a released flow stays released: resurrecting its entries
+           would leak them for the rest of the run *)
+        if cfg.Config.flow_teardown && fcts.(flow_id) <> None then ()
+        else
+          let tree =
+            Topology.Dijkstra.run ~forbidden_links:forbidden g spec.src
+          in
+          match Topology.Dijkstra.path_to tree spec.dst with
+          | None -> ()
+          | Some path ->
+            if pitless then begin
+              data_routes.(flow_id) <- List.tl path.Path.nodes;
+              req_routes.(flow_id) <- List.tl (List.rev path.Path.nodes)
+            end
+            else begin
+              let nodes = Array.of_list path.Path.nodes in
+              let links = Array.of_list path.Path.links in
+              let n = Array.length nodes in
+              for k = 0 to n - 1 do
+                let data_link = if k < n - 1 then Some links.(k) else None in
+                let req_link =
+                  if k > 0 then Graph.find_link g nodes.(k) nodes.(k - 1)
+                  else None
+                in
+                Router.reroute_flow routers.(nodes.(k)) ?content:spec.content
+                  ~flow:flow_id ~data_link ~req_link ()
+              done;
+              if cfg.Config.flow_teardown then
+                install_sites.(flow_id) <-
+                  List.fold_left
+                    (fun acc nd ->
+                      if List.mem nd acc then acc else nd :: acc)
+                    install_sites.(flow_id) path.Path.nodes
+            end)
       specs
   in
   let driver =
@@ -401,10 +433,8 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
       sub
   in
   let completed = ref 0 in
-  let total_flows = List.length specs in
   let finished_at = ref None in
   let all_done () = !completed = total_flows in
-  let fcts = Array.make total_flows None in
   (* distribution metrics, observed at the receivers: per-flow
      completion times and per-chunk queueing delay (arrival time minus
      send timestamp minus the primary path's unloaded latency, so a
@@ -448,14 +478,24 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
                /. (l.Link.capacity *. cfg.Config.speed_factor)))
           0. path.Path.links;
       let n = Array.length nodes in
-      for k = 0 to n - 1 do
-        let data_link = if k < n - 1 then Some links.(k) else None in
-        let req_link =
-          if k > 0 then Graph.find_link g nodes.(k) nodes.(k - 1) else None
-        in
-        Router.install_flow routers.(nodes.(k)) ?content:spec.content
-          ~flow:flow_id ~data_link ~req_link ()
-      done;
+      if pitless then begin
+        (* no router state: the endpoints carry the whole path as a
+           label stack — data towards the consumer, requests towards
+           the producer *)
+        data_routes.(flow_id) <- List.tl path.Path.nodes;
+        req_routes.(flow_id) <- List.tl (List.rev path.Path.nodes)
+      end
+      else begin
+        for k = 0 to n - 1 do
+          let data_link = if k < n - 1 then Some links.(k) else None in
+          let req_link =
+            if k > 0 then Graph.find_link g nodes.(k) nodes.(k - 1) else None
+          in
+          Router.install_flow routers.(nodes.(k)) ?content:spec.content
+            ~flow:flow_id ~data_link ~req_link ()
+        done;
+        install_sites.(flow_id) <- path.Path.nodes
+      end;
       (* senders sharing an outgoing link pace at its processor-sharing
          share (§3.2: flows multiplexed processor-sharing) *)
       let pace_rate =
@@ -490,6 +530,20 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
                 Check.Invariant.Conservation.note_push cons ~flow ~idx
               | _ -> ())
             | None -> ());
+            let p =
+              if pitless then begin
+                match p.Packet.header with
+                | Packet.Data d ->
+                  {
+                    p with
+                    Packet.header =
+                      Packet.Data
+                        { d with detour_route = data_routes.(flow_id) };
+                  }
+                | Packet.Request _ | Packet.Backpressure _ -> p
+              end
+              else p
+            in
             Router.originate_data src_router p
           end
         in
@@ -502,9 +556,32 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
       Hashtbl.replace (endpoint_table producers spec.src) flow_id sender;
       let receiver =
         Receiver.create ~cfg ~eng ~flow:flow_id ~total_chunks:spec.chunks
-          ~send_request:(fun p -> Net.inject net ~at:spec.dst p)
+          ~send_request:(fun p ->
+            let p =
+              if pitless then begin
+                match p.Packet.header with
+                | Packet.Request r ->
+                  {
+                    p with
+                    Packet.header =
+                      Packet.Request { r with route = req_routes.(flow_id) };
+                  }
+                | Packet.Data _ | Packet.Backpressure _ -> p
+              end
+              else p
+            in
+            Net.inject net ~at:spec.dst p)
           ~on_complete:(fun ~fct ->
             fcts.(flow_id) <- Some fct;
+            (* teardown: recycle this flow's entry at every node it was
+               installed on (fcts is set first, so reconvergence will
+               not resurrect the entries) *)
+            if cfg.Config.flow_teardown then begin
+              List.iter
+                (fun nd -> Router.release_flow routers.(nd) ~flow:flow_id)
+                install_sites.(flow_id);
+              install_sites.(flow_id) <- []
+            end;
             (match fct_hist with
             | Some h -> Obs.Metric.observe h fct
             | None -> ());
@@ -609,6 +686,11 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
         fi "router_phase_transitions_total" (fun () ->
             Router.phase_transitions r);
         fi "router_bp_active_flows" (fun () -> Router.bp_active_flows r);
+        fi "router_flow_entries_live" (fun () -> Router.flow_entries_live r);
+        fi "router_flow_entries_peak" (fun () -> Router.flow_entries_peak r);
+        fi "router_flow_entries_recycled_total" (fun () ->
+            Router.flow_entries_recycled r);
+        fi "router_flow_table_bytes" (fun () -> Router.flow_table_bytes r);
         (* overload counters exist only when the control layer is on,
            so default runs export byte-identical metric sets *)
         if Option.is_some overload then begin
@@ -913,6 +995,16 @@ let run ?(cfg = Config.default) ?(horizon = 60.) ?(collect_trace = false)
           Some (List.fold_left ( +. ) 0. ts /. float_of_int (List.length ts))
       end
       | None -> None);
+    flow_entries_live =
+      Array.fold_left (fun acc r -> acc + Router.flow_entries_live r) 0 routers;
+    flow_entries_peak =
+      Array.fold_left (fun acc r -> acc + Router.flow_entries_peak r) 0 routers;
+    flow_entries_recycled =
+      Array.fold_left
+        (fun acc r -> acc + Router.flow_entries_recycled r)
+        0 routers;
+    flow_table_bytes =
+      Array.fold_left (fun acc r -> acc + Router.flow_table_bytes r) 0 routers;
     trace;
   }
 

@@ -66,6 +66,17 @@ type result = {
   collapse_recovery_time : float option;
   (** mean time-to-recovery across recovered collapse episodes;
       [None] when no episode recovered (or no watchdog ran) *)
+  flow_entries_live : int;
+  (** flow-table entries still installed across all routers at the end
+      of the run; 0 under PIT-less forwarding, and 0 after a fully
+      completed run with [cfg.flow_teardown] on *)
+  flow_entries_peak : int;
+  (** summed per-router high-water marks of live entries *)
+  flow_entries_recycled : int;
+  (** released entries whose slot went back on a free list *)
+  flow_table_bytes : int;
+  (** approximate heap retained by the flow tables across all routers
+      (see {!Router.flow_table_bytes}); ≈ 0 under PIT-less forwarding *)
   trace : Chunksim.Trace.t option;
 }
 
@@ -117,6 +128,17 @@ val run :
     static list may be empty when a workload is given.  The request
     stream is consumed lazily ({!Workload.Gen.requests_seq}), so very
     long workloads never materialise an intermediate request list.
+
+    With [cfg.pitless] no router flow state is installed at all: the
+    sender stamps each data packet with the remaining path as a
+    source-routed label stack (and the receiver its requests with the
+    reverse), routers pop labels instead of consulting the flow table,
+    and everything the paper builds on that state — custody, detours,
+    back-pressure — is structurally off.  Route reconvergence
+    re-stamps the label stacks instead of rerouting router entries.
+    With [cfg.flow_teardown] a completed flow's entries are released
+    (and their slots recycled) at every node the flow was installed
+    on, including nodes added by reconvergence.
 
     [overload] switches on the graceful-degradation layer
     ({!Overload.Config}): pluggable custody admission at every router,

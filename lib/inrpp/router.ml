@@ -5,6 +5,7 @@ module Iface = Chunksim.Iface
 module Cache = Chunksim.Cache
 module Chunk_key = Chunksim.Chunk_key
 module Trace = Chunksim.Trace
+module Ft = Flow_table
 
 type counters = {
   mutable forwarded_data : int;
@@ -62,18 +63,6 @@ type hot = {
   mutable h_dcache : dcache option;
 }
 
-type flow_entry = {
-  content : int;                  (* cache key shared across transfers *)
-  mutable data_link : Link.t option;
-  mutable req_link : Link.t option;
-  mutable bp_local : bool;        (* this router engaged BP upstream *)
-  mutable bp_forwarded : bool;    (* we relayed a downstream engage *)
-  mutable detour_override : bool; (* downstream BP absorbed by detouring here *)
-  mutable bp_outage : bool;       (* engaged because no path survives an outage *)
-  mutable failed_over : bool;     (* primary down, currently riding detours *)
-  mutable hot : hot option;
-}
-
 type t = {
   cfg : Config.t;
   net : Net.t;
@@ -81,17 +70,16 @@ type t = {
   detours : Detour_table.t;
   link_state : Topology.Link_state.t option;
   trace : Trace.t option;
-  flows : (int, flow_entry) Hashtbl.t;
-  (* dense mirror of [flows] for the per-packet lookup; [flows] stays
-     the iteration structure (drain/fault/crash walk it), so artefact-
-     visible iteration order is untouched *)
-  mutable flow_arr : flow_entry option array;
+  (* per-flow forwarding state: next hops as link ids, flag bitfield,
+     flowlet pin and hot cache, slot-indexed with free-list recycling
+     (struct-of-arrays by default, the record layout as the
+     differential reference — see Flow_table) *)
+  ft : hot Ft.t;
   store : Cache.t;
   custody_packets : (int, Packet.t) Hashtbl.t;  (* Chunk_key-packed *)
   estimators : (int, Rate_estimator.t) Hashtbl.t;
   phases : (int, Phase.t) Hashtbl.t;
   dcaches : (int, dcache) Hashtbl.t;
-  flowlets : Flowlet.t;
   c : counters;
   mutable ls_gen : int;           (* link-state generation, see dcache *)
   mutable bp_locals : int;        (* entries with bp_local = true *)
@@ -111,8 +99,8 @@ let create ~cfg ~net ~node ~detours ?link_state ?trace ?overload () =
     detours;
     link_state;
     trace;
-    flows = Hashtbl.create 16;
-    flow_arr = [||];
+    ft =
+      Ft.create ~store:cfg.Config.flow_store ~gap:cfg.Config.flowlet_gap ();
     store =
       Cache.create ~high_water:cfg.Config.cache_high_water
         ~low_water:cfg.Config.cache_low_water
@@ -122,7 +110,6 @@ let create ~cfg ~net ~node ~detours ?link_state ?trace ?overload () =
     estimators = Hashtbl.create 8;
     phases = Hashtbl.create 8;
     dcaches = Hashtbl.create 8;
-    flowlets = Flowlet.create ~gap:cfg.Config.flowlet_gap;
     c =
       {
         forwarded_data = 0;
@@ -150,6 +137,11 @@ let create ~cfg ~net ~node ~detours ?link_state ?trace ?overload () =
 let set_neighbor_pressure t f = t.neighbor_pressure <- Some f
 
 let now t = Sim.Engine.now (Net.engine t.net)
+
+(* canonical link object for a stored id: Graph.link is O(1) and
+   returns the same physical Link.t the adjacency lists hold, so the
+   hot cache's [h_link == l] identity check keeps working *)
+let link_of t id = Topology.Graph.link (Net.graph t.net) id
 
 let record t e =
   match t.trace with
@@ -217,43 +209,16 @@ let phase t (l : Link.t) =
 (* ------------------------------------------------------------------ *)
 (* Flow table *)
 
-let flow_find t flow =
-  if flow >= 0 && flow < Array.length t.flow_arr then t.flow_arr.(flow)
-  else None
-
-let ensure_flow_capacity t flow =
-  let n = Array.length t.flow_arr in
-  if flow >= n then begin
-    let m = ref (max 16 (2 * n)) in
-    while flow >= !m do
-      m := 2 * !m
-    done;
-    let arr = Array.make !m None in
-    Array.blit t.flow_arr 0 arr 0 n;
-    t.flow_arr <- arr
-  end
+let link_id = function Some (l : Link.t) -> l.Link.id | None -> -1
 
 let install_flow t ?content ~flow ~data_link ~req_link () =
   if flow < 0 then invalid_arg "Router.install_flow: flow < 0";
-  (match Hashtbl.find_opt t.flows flow with
-  | Some old when old.bp_local -> t.bp_locals <- t.bp_locals - 1
-  | Some _ | None -> ());
-  let entry =
-    {
-      content = Option.value ~default:flow content;
-      data_link;
-      req_link;
-      bp_local = false;
-      bp_forwarded = false;
-      detour_override = false;
-      bp_outage = false;
-      failed_over = false;
-      hot = None;
-    }
-  in
-  Hashtbl.replace t.flows flow entry;
-  ensure_flow_capacity t flow;
-  t.flow_arr.(flow) <- Some entry
+  let slot = Ft.find t.ft flow in
+  if slot >= 0 && Ft.bp_local t.ft slot then t.bp_locals <- t.bp_locals - 1;
+  ignore
+    (Ft.install t.ft ~flow
+       ~content:(Option.value ~default:flow content)
+       ~data_link:(link_id data_link) ~req_link:(link_id req_link))
 
 let set_local_producer t f = t.local_producer <- Some f
 let set_local_consumer t f = t.local_consumer <- Some f
@@ -366,8 +331,8 @@ let usable_with_via t dk via =
 (* ------------------------------------------------------------------ *)
 (* Per-flow hot state *)
 
-let hot_of t entry (l : Link.t) =
-  match entry.hot with
+let hot_of t slot (l : Link.t) =
+  match Ft.hot t.ft slot with
   | Some h when h.h_link == l -> h
   | Some _ | None ->
     let i = Net.iface t.net l.Link.id in
@@ -381,7 +346,7 @@ let hot_of t entry (l : Link.t) =
         h_dcache = None;
       }
     in
-    entry.hot <- Some h;
+    Ft.set_hot t.ft slot (Some h);
     h
 
 let hot_phase t h =
@@ -410,22 +375,22 @@ let hot_dcache t h =
     h.h_dcache <- Some dk;
     dk
 
-let entry_dcache t entry (l : Link.t) =
-  match entry.hot with
+let slot_dcache t slot (l : Link.t) =
+  match Ft.hot t.ft slot with
   | Some h when h.h_link == l -> hot_dcache t h
   | Some _ | None -> dcache_of t l
 
 (* ------------------------------------------------------------------ *)
 (* Back-pressure signalling *)
 
-let signal_upstream t entry ~flow ~engage =
+let signal_upstream t slot ~flow ~engage =
   let pkt = Packet.backpressure ~flow ~engage in
   if engage then t.c.bp_engages <- t.c.bp_engages + 1
   else t.c.bp_releases <- t.c.bp_releases + 1;
   record t (Trace.Bp_signal { node = t.node_id; flow; engage });
-  match entry.req_link with
-  | Some l -> ignore (Net.send t.net ~via:l pkt)
-  | None -> begin
+  let rl = Ft.req_link t.ft slot in
+  if rl >= 0 then ignore (Net.send t.net ~via:(link_of t rl) pkt)
+  else begin
     (* we are at the producer node: tell the local sender directly *)
     match t.local_producer with
     | Some producer -> producer pkt
@@ -437,46 +402,49 @@ let signal_upstream t entry ~flow ~engage =
    for the pair, which preserves the checker's ≤2 balance per
    (node, flow) — the second slot being the relayed downstream
    engage. *)
-let engage_local t entry ~flow ~slot =
-  let was = entry.bp_local || entry.bp_outage in
-  (match slot with
+let engage_local t slot ~flow ~which =
+  let was = Ft.bp_local t.ft slot || Ft.bp_outage t.ft slot in
+  (match which with
   | `Custody ->
-    if not entry.bp_local then begin
-      entry.bp_local <- true;
+    if not (Ft.bp_local t.ft slot) then begin
+      Ft.set_bp_local t.ft slot true;
       t.bp_locals <- t.bp_locals + 1
     end
-  | `Outage -> entry.bp_outage <- true);
-  if not was then signal_upstream t entry ~flow ~engage:true
+  | `Outage -> Ft.set_bp_outage t.ft slot true);
+  if not was then signal_upstream t slot ~flow ~engage:true
 
-let release_local t entry ~flow ~slot =
+let release_local t slot ~flow ~which =
   let had =
-    match slot with `Custody -> entry.bp_local | `Outage -> entry.bp_outage
+    match which with
+    | `Custody -> Ft.bp_local t.ft slot
+    | `Outage -> Ft.bp_outage t.ft slot
   in
-  (match slot with
+  (match which with
   | `Custody ->
-    if entry.bp_local then begin
-      entry.bp_local <- false;
+    if Ft.bp_local t.ft slot then begin
+      Ft.set_bp_local t.ft slot false;
       t.bp_locals <- t.bp_locals - 1
     end
-  | `Outage -> entry.bp_outage <- false);
-  if had && not (entry.bp_local || entry.bp_outage) then
-    signal_upstream t entry ~flow ~engage:false
+  | `Outage -> Ft.set_bp_outage t.ft slot false);
+  if had && not (Ft.bp_local t.ft slot || Ft.bp_outage t.ft slot) then
+    signal_upstream t slot ~flow ~engage:false
 
 (* Route reconvergence: point an existing entry at new primary links
    without disturbing its flowlet or custody state.  A reroute onto a
    live data link ends any outage condition the old path caused. *)
 let reroute_flow t ?content ~flow ~data_link ~req_link () =
-  match Hashtbl.find_opt t.flows flow with
-  | Some entry ->
-    entry.data_link <- data_link;
-    entry.req_link <- req_link;
-    entry.hot <- None;
-    (match data_link with
+  let slot = Ft.find t.ft flow in
+  if slot < 0 then install_flow t ?content ~flow ~data_link ~req_link ()
+  else begin
+    Ft.set_links t.ft slot ~data_link:(link_id data_link)
+      ~req_link:(link_id req_link);
+    Ft.set_hot t.ft slot None;
+    match data_link with
     | Some l when link_is_up t l ->
-      entry.failed_over <- false;
-      if entry.bp_outage then release_local t entry ~flow ~slot:`Outage
-    | Some _ | None -> ())
-  | None -> install_flow t ?content ~flow ~data_link ~req_link ()
+      Ft.set_failed_over t.ft slot false;
+      if Ft.bp_outage t.ft slot then release_local t slot ~flow ~which:`Outage
+    | Some _ | None -> ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Custody *)
@@ -503,7 +471,7 @@ let early_bp t =
     >= ov.Overload.Config.early_bp_threshold *. Cache.capacity t.store
   | Some _ | None -> false
 
-let custody t entry flow (p : Packet.t) =
+let custody t slot flow (p : Packet.t) =
   match p.Packet.header with
   | Packet.Data { idx; _ } -> begin
     let key = Chunk_key.pack ~flow ~idx in
@@ -519,7 +487,7 @@ let custody t entry flow (p : Packet.t) =
     end
     else if shed_admission t then begin
       t.c.shed <- t.c.shed + 1;
-      engage_local t entry ~flow ~slot:`Custody;
+      engage_local t slot ~flow ~which:`Custody;
       t.c.dropped <- t.c.dropped + 1;
       record_drop t ~link:(-1) p
     end
@@ -532,18 +500,18 @@ let custody t entry flow (p : Packet.t) =
         (* back-pressure engages at the high watermark, not on the first
            stored chunk — small excursions are what the store is for *)
         if Cache.above_high t.store || early_bp t then
-          engage_local t entry ~flow ~slot:`Custody
+          engage_local t slot ~flow ~which:`Custody
       | `Rejected ->
         (* the admission policy refused the chunk: shed it and make the
            upstream slow down, exactly as for threshold shedding *)
         t.c.shed <- t.c.shed + 1;
-        engage_local t entry ~flow ~slot:`Custody;
+        engage_local t slot ~flow ~which:`Custody;
         t.c.dropped <- t.c.dropped + 1;
         record_drop t ~link:(-1) p
       | `Full ->
         (* the store itself overflowed: the congestion-collapse guard the
            paper's back-pressure exists to prevent *)
-        engage_local t entry ~flow ~slot:`Custody;
+        engage_local t slot ~flow ~which:`Custody;
         t.c.dropped <- t.c.dropped + 1;
         record_drop t ~link:(-1) p
   end
@@ -593,14 +561,14 @@ let send_detour t flow (c : dcand) (p : Packet.t) =
    custody when no detour has queue room — including when the chosen
    detour's admission fails under the candidate check (a race with new
    arrivals, or an interface that just went down). *)
-let try_detour t entry flow (l : Link.t) (p : Packet.t) =
-  let dk = entry_dcache t entry l in
+let try_detour t slot flow (l : Link.t) (p : Packet.t) =
+  let dk = slot_dcache t slot l in
   let fi = first_usable t dk in
-  if fi < 0 then custody t entry flow p
+  if fi < 0 then custody t slot flow p
   else begin
     let first = dk.dk_cands.(fi) in
     let pinned =
-      Flowlet.choose t.flowlets ~flow ~now:(now t)
+      Ft.flowlet_choose t.ft slot ~now:(now t)
         ~preferred:(Flowlet.Via first.dc_via)
     in
     let chosen =
@@ -616,19 +584,19 @@ let try_detour t entry flow (l : Link.t) (p : Packet.t) =
     in
     match send_detour t flow chosen p with
     | `Queued -> () (* the detour copy went out; [p] is dead *)
-    | `Dropped -> custody t entry flow p
+    | `Dropped -> custody t slot flow p
   end
 
-let maybe_cache_popular t entry (p : Packet.t) =
+let maybe_cache_popular t slot (p : Packet.t) =
   if t.cfg.Config.icn_caching then begin
     match p.Packet.header with
     | Packet.Data { idx; _ } ->
-      Cache.insert_popular t.store ~flow:entry.content ~idx
+      Cache.insert_popular t.store ~flow:(Ft.content t.ft slot) ~idx
         ~bits:p.Packet.size
     | Packet.Request _ | Packet.Backpressure _ -> ()
   end
 
-let forward_on_primary t entry flow (l : Link.t) (p : Packet.t) =
+let forward_on_primary t slot flow (l : Link.t) (p : Packet.t) =
   match Net.send t.net ~via:l p with
   | `Queued ->
     t.c.forwarded_data <- t.c.forwarded_data + 1;
@@ -637,39 +605,42 @@ let forward_on_primary t entry flow (l : Link.t) (p : Packet.t) =
     (* overflowing queue falls through to detours, then custody —
        congestion is handled locally even before the estimator
        notices it *)
-    try_detour t entry flow l p
+    try_detour t slot flow l p
 
-let forward_primary_path t entry flow (p : Packet.t) =
-  maybe_cache_popular t entry p;
-  match entry.data_link with
-  | None -> begin
+let forward_primary_path t slot flow (p : Packet.t) =
+  maybe_cache_popular t slot p;
+  let dl = Ft.data_link t.ft slot in
+  if dl < 0 then begin
     match t.local_consumer with
     | Some consumer -> consumer p
     | None -> t.c.dropped <- t.c.dropped + 1
   end
-  | Some l -> begin
-    let h = hot_of t entry l in
+  else begin
+    let l = link_of t dl in
+    let h = hot_of t slot l in
     if not (link_is_up t l) then
       (* primary interface is down: go straight to the detour set (the
          paper's detour phase, triggered by outage rather than rate);
          custody is the fallback when no detour survives *)
-      try_detour t entry flow l p
+      try_detour t slot flow l p
     else
       let ph = Phase.current (hot_phase t h) in
       let effective =
-        if entry.detour_override && ph = Phase.Push_data then Phase.Detour
+        if Ft.detour_override t.ft slot && ph = Phase.Push_data then
+          Phase.Detour
         else ph
       in
       match effective with
-      | Phase.Push_data -> forward_on_primary t entry flow l p
+      | Phase.Push_data -> forward_on_primary t slot flow l p
       | Phase.Detour ->
         if Iface.queue_occupancy h.h_iface < h.h_limit then begin
-          Flowlet.(
-            ignore (choose t.flowlets ~flow ~now:(now t) ~preferred:Primary));
-          forward_on_primary t entry flow l p
+          ignore
+            (Ft.flowlet_choose t.ft slot ~now:(now t)
+               ~preferred:Flowlet.Primary);
+          forward_on_primary t slot flow l p
         end
-        else try_detour t entry flow l p
-      | Phase.Backpressure -> custody t entry flow p
+        else try_detour t slot flow l p
+      | Phase.Backpressure -> custody t slot flow p
   end
 
 let handle_data t (p : Packet.t) =
@@ -677,7 +648,9 @@ let handle_data t (p : Packet.t) =
   | Packet.Data ({ flow; detour_route; _ } as d) -> begin
     match detour_route with
     | next :: rest -> begin
-      (* mid-detour: source-routed towards the rejoin node *)
+      (* mid-detour: source-routed towards the rejoin node.  Under
+         PIT-less forwarding this branch {e is} the data plane — the
+         sender stamps the whole path as the label stack. *)
       match Topology.Graph.find_link (Net.graph t.net) t.node_id next with
       | None -> t.c.dropped <- t.c.dropped + 1
       | Some l ->
@@ -691,95 +664,156 @@ let handle_data t (p : Packet.t) =
           record_enqueued t ~link:l.Link.id p'
         | `Dropped -> t.c.dropped <- t.c.dropped + 1)
     end
-    | [] -> begin
-      match flow_find t flow with
-      | None -> t.c.dropped <- t.c.dropped + 1
-      | Some entry -> forward_primary_path t entry flow p
-    end
+    | [] ->
+      if t.cfg.Config.pitless then begin
+        (* label stack exhausted at the consumer node: deliver without
+           any flow-table consultation *)
+        match t.local_consumer with
+        | Some consumer -> consumer p
+        | None -> t.c.dropped <- t.c.dropped + 1
+      end
+      else begin
+        let slot = Ft.find t.ft flow in
+        if slot < 0 then t.c.dropped <- t.c.dropped + 1
+        else forward_primary_path t slot flow p
+      end
   end
   | Packet.Request _ | Packet.Backpressure _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Requests and back-pressure packets *)
 
+(* PIT-less request plane: pop the next label and relay; an exhausted
+   stack means this is the producer node.  No estimator bookkeeping —
+   the anticipated-rate/phase machinery exists to manage the per-flow
+   state this mode deliberately does without. *)
+let handle_request_pitless t (p : Packet.t) =
+  match p.Packet.header with
+  | Packet.Request ({ route; _ } as r) -> begin
+    match route with
+    | next :: rest -> begin
+      match Topology.Graph.find_link (Net.graph t.net) t.node_id next with
+      | None -> t.c.dropped <- t.c.dropped + 1
+      | Some l ->
+        let p' =
+          { p with Packet.header = Packet.Request { r with route = rest } }
+        in
+        ignore (Net.send t.net ~via:l p')
+    end
+    | [] -> begin
+      match t.local_producer with
+      | Some producer -> producer p
+      | None -> t.c.dropped <- t.c.dropped + 1
+    end
+  end
+  | Packet.Data _ | Packet.Backpressure _ -> ()
+
 let handle_request t (p : Packet.t) =
   match p.Packet.header with
   | Packet.Request { flow; nc; _ } -> begin
-    match flow_find t flow with
-    | None -> t.c.dropped <- t.c.dropped + 1
-    | Some entry ->
+    let slot = Ft.find t.ft flow in
+    if slot < 0 then t.c.dropped <- t.c.dropped + 1
+    else if
       (* ICN short-circuit: a popularity-cached copy answers the request
          locally and the request is not forwarded upstream *)
-      if
-        t.cfg.Config.icn_caching
-        && Cache.lookup_popular t.store ~flow:entry.content ~idx:nc
-      then begin
-        t.c.cache_hits <- t.c.cache_hits + 1;
-        record t (Trace.Cache_hit { node = t.node_id; flow; idx = nc });
-        let data =
-          Packet.data ~flow ~idx:nc ~born:(now t) t.cfg.Config.chunk_bits
-        in
-        forward_primary_path t entry flow data
-      end
+      t.cfg.Config.icn_caching
+      && Cache.lookup_popular t.store ~flow:(Ft.content t.ft slot) ~idx:nc
+    then begin
+      t.c.cache_hits <- t.c.cache_hits + 1;
+      record t (Trace.Cache_hit { node = t.node_id; flow; idx = nc });
+      let data =
+        Packet.data ~flow ~idx:nc ~born:(now t) t.cfg.Config.chunk_bits
+      in
+      forward_primary_path t slot flow data
+    end
+    else begin
+      (* every forwarded request predicts one chunk leaving through
+         the data interface (eq. 1 bookkeeping) *)
+      let dl = Ft.data_link t.ft slot in
+      if dl >= 0 then
+        Rate_estimator.note_request
+          (hot_est t (hot_of t slot (link_of t dl)))
+          ~expected_bits:t.cfg.Config.chunk_bits;
+      let rl = Ft.req_link t.ft slot in
+      if rl >= 0 then ignore (Net.send t.net ~via:(link_of t rl) p)
       else begin
-        (* every forwarded request predicts one chunk leaving through
-           the data interface (eq. 1 bookkeeping) *)
-        (match entry.data_link with
-        | Some dl ->
-          Rate_estimator.note_request
-            (hot_est t (hot_of t entry dl))
-            ~expected_bits:t.cfg.Config.chunk_bits
-        | None -> ());
-        match entry.req_link with
-        | Some l -> ignore (Net.send t.net ~via:l p)
-        | None -> begin
-          match t.local_producer with
-          | Some producer -> producer p
-          | None -> t.c.dropped <- t.c.dropped + 1
-        end
+        match t.local_producer with
+        | Some producer -> producer p
+        | None -> t.c.dropped <- t.c.dropped + 1
       end
+    end
   end
   | Packet.Data _ | Packet.Backpressure _ -> ()
 
 let handle_backpressure t (p : Packet.t) =
   match p.Packet.header with
   | Packet.Backpressure { flow; engage } -> begin
-    match flow_find t flow with
-    | None -> ()
-    | Some entry ->
-      if engage then begin
-        (* paper §3.3: the upstream node first tries to bypass the
-           congested area with a deeper detour, else relays the
-           notification towards the sender *)
-        let can_absorb =
-          match entry.data_link with
-          | Some l -> first_usable t (entry_dcache t entry l) >= 0
-          | None -> false
-        in
-        if can_absorb then entry.detour_override <- true
-        else begin
-          entry.bp_forwarded <- true;
-          signal_upstream t entry ~flow ~engage:true
-        end
-      end
+    let slot = Ft.find t.ft flow in
+    if slot < 0 then ()
+    else if engage then begin
+      (* paper §3.3: the upstream node first tries to bypass the
+         congested area with a deeper detour, else relays the
+         notification towards the sender *)
+      let can_absorb =
+        let dl = Ft.data_link t.ft slot in
+        dl >= 0 && first_usable t (slot_dcache t slot (link_of t dl)) >= 0
+      in
+      if can_absorb then Ft.set_detour_override t.ft slot true
       else begin
-        entry.detour_override <- false;
-        if entry.bp_forwarded then begin
-          entry.bp_forwarded <- false;
-          signal_upstream t entry ~flow ~engage:false
-        end
+        Ft.set_bp_forwarded t.ft slot true;
+        signal_upstream t slot ~flow ~engage:true
       end
+    end
+    else begin
+      Ft.set_detour_override t.ft slot false;
+      if Ft.bp_forwarded t.ft slot then begin
+        Ft.set_bp_forwarded t.ft slot false;
+        signal_upstream t slot ~flow ~engage:false
+      end
+    end
   end
   | Packet.Data _ | Packet.Request _ -> ()
 
 let handler t : Net.handler =
- fun ~from:_ p ->
-  match p.Packet.header with
-  | Packet.Data _ -> handle_data t p
-  | Packet.Request _ -> handle_request t p
-  | Packet.Backpressure _ -> handle_backpressure t p
+  if t.cfg.Config.pitless then
+    fun ~from:_ p ->
+      match p.Packet.header with
+      | Packet.Data _ -> handle_data t p
+      | Packet.Request _ -> handle_request_pitless t p
+      | Packet.Backpressure _ -> ()
+  else
+    fun ~from:_ p ->
+      match p.Packet.header with
+      | Packet.Data _ -> handle_data t p
+      | Packet.Request _ -> handle_request t p
+      | Packet.Backpressure _ -> handle_backpressure t p
 
 let originate_data t p = handle_data t p
+
+(* ------------------------------------------------------------------ *)
+(* Flow teardown *)
+
+(* Silent release: no upstream signalling — the flow is finished, its
+   sender is about to go quiet on its own.  Custody still held for the
+   flow can only be duplicate copies (the consumer has every chunk),
+   so purge them as drops to keep the custody ledger and conservation
+   accounting balanced.  Works while crashed (the slot and store are
+   not control state). *)
+let release_flow t ~flow =
+  let slot = Ft.find t.ft flow in
+  if slot >= 0 then begin
+    if Ft.bp_local t.ft slot then t.bp_locals <- t.bp_locals - 1;
+    let rec strip () =
+      match Cache.take_custody t.store ~flow with
+      | Some (idx, _bits) ->
+        Hashtbl.remove t.custody_packets (Chunk_key.pack ~flow ~idx);
+        t.c.dropped <- t.c.dropped + 1;
+        strip ()
+      | None -> ()
+    in
+    strip ();
+    Ft.release t.ft ~flow
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Periodic work *)
@@ -813,13 +847,14 @@ let drain t =
        multiplexes flows in round-robin fashion) *)
     if not (Cache.custody_is_empty t.store) then begin
       let release_one flow =
-        match flow_find t flow with
-        | None -> false
-        | Some entry -> begin
-          match entry.data_link with
-          | None -> false
-          | Some l ->
-            let h = hot_of t entry l in
+        let slot = Ft.find t.ft flow in
+        if slot < 0 then false
+        else begin
+          let dl = Ft.data_link t.ft slot in
+          if dl < 0 then false
+          else begin
+            let l = link_of t dl in
+            let h = hot_of t slot l in
             let out =
               if
                 link_is_up t l
@@ -892,6 +927,7 @@ let drain t =
                   end
               end
             end
+          end
         end
       in
       let flows = Cache.flows_in_custody t.store in
@@ -903,11 +939,9 @@ let drain t =
     end;
     (* release upstream pressure once the store has drained enough *)
     if t.bp_locals > 0 && Cache.below_low t.store then
-      Hashtbl.iter
-        (fun flow entry ->
-          if entry.bp_local && Cache.custody_backlog t.store ~flow = 0 then
-            release_local t entry ~flow ~slot:`Custody)
-        t.flows
+      Ft.iter t.ft (fun flow slot ->
+          if Ft.bp_local t.ft slot && Cache.custody_backlog t.store ~flow = 0
+          then release_local t slot ~flow ~which:`Custody)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -922,43 +956,44 @@ let drain t =
 let on_link_down t _link_id =
   t.ls_gen <- t.ls_gen + 1;
   if not t.crashed then begin
-    Hashtbl.iter
-      (fun flow entry ->
-        match entry.data_link with
-        | Some l when not (link_is_up t l) ->
-          if first_usable t (entry_dcache t entry l) >= 0 then begin
-            if not entry.failed_over then begin
-              entry.failed_over <- true;
-              t.c.failovers <- t.c.failovers + 1
+    Ft.iter t.ft (fun flow slot ->
+        let dl = Ft.data_link t.ft slot in
+        if dl >= 0 then begin
+          let l = link_of t dl in
+          if not (link_is_up t l) then
+            if first_usable t (slot_dcache t slot l) >= 0 then begin
+              if not (Ft.failed_over t.ft slot) then begin
+                Ft.set_failed_over t.ft slot true;
+                t.c.failovers <- t.c.failovers + 1
+              end
             end
-          end
-          else engage_local t entry ~flow ~slot:`Outage
-        | Some _ | None -> ())
-      t.flows;
+            else engage_local t slot ~flow ~which:`Outage
+        end);
     drain t
   end
 
 let on_link_up t _link_id =
   t.ls_gen <- t.ls_gen + 1;
   if not t.crashed then begin
-    Hashtbl.iter
-      (fun flow entry ->
-        match entry.data_link with
-        | Some l ->
+    Ft.iter t.ft (fun flow slot ->
+        let dl = Ft.data_link t.ft slot in
+        if dl >= 0 then begin
+          let l = link_of t dl in
           if link_is_up t l then begin
-            entry.failed_over <- false;
-            if entry.bp_outage then release_local t entry ~flow ~slot:`Outage
+            Ft.set_failed_over t.ft slot false;
+            if Ft.bp_outage t.ft slot then
+              release_local t slot ~flow ~which:`Outage
           end
-          else if first_usable t (entry_dcache t entry l) >= 0 then begin
+          else if first_usable t (slot_dcache t slot l) >= 0 then begin
             (* primary still down but a detour came back *)
-            if entry.bp_outage then release_local t entry ~flow ~slot:`Outage;
-            if not entry.failed_over then begin
-              entry.failed_over <- true;
+            if Ft.bp_outage t.ft slot then
+              release_local t slot ~flow ~which:`Outage;
+            if not (Ft.failed_over t.ft slot) then begin
+              Ft.set_failed_over t.ft slot true;
               t.c.failovers <- t.c.failovers + 1
             end
           end
-        | None -> ())
-      t.flows;
+        end);
     drain t
   end
 
@@ -969,15 +1004,13 @@ let crash t ~policy =
     (* control state is volatile under every policy; hot caches hold
        references into the estimator/phase tables being reset, so they
        die with it *)
-    Hashtbl.iter
-      (fun _ entry ->
-        entry.bp_local <- false;
-        entry.bp_forwarded <- false;
-        entry.detour_override <- false;
-        entry.bp_outage <- false;
-        entry.failed_over <- false;
-        entry.hot <- None)
-      t.flows;
+    Ft.iter t.ft (fun _ slot ->
+        Ft.set_bp_local t.ft slot false;
+        Ft.set_bp_forwarded t.ft slot false;
+        Ft.set_detour_override t.ft slot false;
+        Ft.set_bp_outage t.ft slot false;
+        Ft.set_failed_over t.ft slot false;
+        Ft.set_hot t.ft slot None);
     t.bp_locals <- 0;
     Hashtbl.reset t.estimators;
     Hashtbl.reset t.phases;
@@ -1024,9 +1057,15 @@ let estimator_links t =
     (Hashtbl.fold (fun link_id _ acc -> link_id :: acc) t.estimators [])
 
 let bp_active_flows t =
-  Hashtbl.fold
-    (fun _ entry acc -> if entry.bp_local || entry.bp_forwarded then acc + 1 else acc)
-    t.flows 0
+  let n = ref 0 in
+  Ft.iter t.ft (fun _ slot ->
+      if Ft.bp_local t.ft slot || Ft.bp_forwarded t.ft slot then incr n);
+  !n
+
+let flow_entries_live t = Ft.live t.ft
+let flow_entries_peak t = Ft.peak t.ft
+let flow_entries_recycled t = Ft.recycled t.ft
+let flow_table_bytes t = Ft.approx_bytes t.ft
 
 let cache t = t.store
 let counters t = t.c

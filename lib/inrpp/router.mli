@@ -70,6 +70,15 @@ val reroute_flow :
     flow is already installed.  Rerouting onto a live data link clears
     the outage condition (fail-over flag, outage back-pressure). *)
 
+val release_flow : t -> flow:int -> unit
+(** Tear down the flow's table entry and recycle its slot (free-list,
+    see {!Flow_table}).  Silent — no upstream back-pressure signalling:
+    the flow is finished and its sender is about to go quiet on its
+    own.  Custody still held for the flow can only be duplicate copies
+    (the consumer acknowledged every chunk), so they are purged and
+    counted as drops, keeping the custody ledger balanced.  No-op when
+    the flow is not installed; safe while crashed. *)
+
 val set_local_producer : t -> (Chunksim.Packet.t -> unit) -> unit
 val set_local_consumer : t -> (Chunksim.Packet.t -> unit) -> unit
 
@@ -133,6 +142,22 @@ val estimator_links : t -> int list
 val bp_active_flows : t -> int
 (** Flows for which this router currently has back-pressure engaged
     (locally originated or relayed upstream). *)
+
+(** {1 Flow-table occupancy} *)
+
+val flow_entries_live : t -> int
+(** Flow-table entries installed right now. *)
+
+val flow_entries_peak : t -> int
+(** High-water mark of {!flow_entries_live} over the router's life. *)
+
+val flow_entries_recycled : t -> int
+(** Releases whose slot went back on the free list ({!release_flow}
+    calls that found the flow installed). *)
+
+val flow_table_bytes : t -> int
+(** Approximate heap footprint of the flow table (slot arrays + index
+    + flowlet pins; see DESIGN §14 for the accounting). *)
 
 val cache : t -> Chunksim.Cache.t
 val counters : t -> counters

@@ -13,6 +13,7 @@ type spec = {
   bursts : Arrivals.burst list;
   producers : Topology.Node.role list;
   consumers : Topology.Node.role list;
+  affinity : float;
 }
 
 let default =
@@ -31,6 +32,7 @@ let default =
     bursts = [];
     producers = [];
     consumers = [];
+    affinity = 0.;
   }
 
 (* The generator state behind one traversal of the stream: built
@@ -62,7 +64,7 @@ let requests_seq spec g =
     in
     let session =
       Session.create ~producers:spec.producers ~consumers:spec.consumers
-        ~seed:session_seed g
+        ~affinity:spec.affinity ~seed:session_seed g
     in
     let object_rng = Sim.Rng.create object_seed in
     (catalog, arrivals, session, object_rng)

@@ -3,6 +3,8 @@ type t = {
   producers : Topology.Node.id array;
   consumers : Topology.Node.id array;
   rng : Sim.Rng.t;
+  affinity : float;
+  mutable last : (Topology.Node.id * Topology.Node.id) option;
   (* per-producer shortest-path tree, computed on first draw of that
      producer — session setup cost stays proportional to the producers
      actually used, not the graph *)
@@ -34,15 +36,19 @@ let tree t producer =
 let routable t src dst =
   src <> dst && Topology.Dijkstra.reachable (tree t src) dst
 
-let create ?(producers = []) ?(consumers = []) ~seed g =
+let create ?(producers = []) ?(consumers = []) ?(affinity = 0.) ~seed g =
   if Topology.Graph.node_count g < 2 then
     invalid_arg "Session.create: graph has fewer than two nodes";
+  if not (affinity >= 0. && affinity <= 1.) then
+    invalid_arg "Session.create: affinity outside [0,1]";
   let t =
     {
       g;
       producers = nodes_with_roles g producers;
       consumers = nodes_with_roles g consumers;
       rng = Sim.Rng.create seed;
+      affinity;
+      last = None;
       trees = Array.make (Topology.Graph.node_count g) None;
     }
   in
@@ -64,4 +70,16 @@ let draw t =
     let c = t.consumers.(Sim.Rng.int t.rng (Array.length t.consumers)) in
     if routable t p c then (p, c) else go ()
   in
-  go ()
+  (* session affinity: repeat the previous pair with probability
+     [affinity] — consecutive requests from the same client hit the
+     same server, concentrating load on a few paths (the EBONE/VSNL
+     hot-pair scenarios).  At affinity 0 the branch makes no RNG draw
+     at all, so existing request streams stay byte-identical. *)
+  let pair =
+    match t.last with
+    | Some pc when t.affinity > 0. && Sim.Rng.float t.rng 1. < t.affinity ->
+      pc
+    | Some _ | None -> go ()
+  in
+  t.last <- Some pair;
+  pair

@@ -586,6 +586,60 @@ let test_flight_recorder_on_custody_wipe () =
           (!events > 0))
 
 (* ------------------------------------------------------------------ *)
+(* Flow-table teardown: entries for flows that finish during or after
+   an outage must be released and their slots recycled when
+   [cfg.flow_teardown] is on — the regression here was entries
+   surviving the run forever (never recycled) when the flow's end
+   raced an outage.  Default-off keeps the historical behaviour:
+   entries persist to the end of the run. *)
+
+let test_teardown_recycles_after_outage () =
+  let g = Topology.Builders.line 3 ~capacity:10e6 ~delay:2e-3 in
+  let specs = [ flow ~src:0 ~dst:2 150 ] in
+  (* mid-path outage while the flow is in flight; it completes after
+     the heal, so teardown runs on a table that lived through the
+     outage (including any reconvergence installs) *)
+  let faults = S.of_list (both_directions g 1 2 `Drop_queued 0.2 ~up:1.0) in
+  let run cfg = Inrpp.Protocol.run ~cfg ~horizon:60. ~faults g specs in
+  let kept = run Inrpp.Config.default in
+  Alcotest.(check int) "completes (default)" 1 kept.Inrpp.Protocol.completed;
+  Alcotest.(check bool) "default keeps entries to end of run" true
+    (kept.Inrpp.Protocol.flow_entries_live > 0);
+  let torn =
+    run { Inrpp.Config.default with Inrpp.Config.flow_teardown = true }
+  in
+  Alcotest.(check int) "completes (teardown)" 1 torn.Inrpp.Protocol.completed;
+  Alcotest.(check int) "live entries back to 0" 0
+    torn.Inrpp.Protocol.flow_entries_live;
+  Alcotest.(check bool) "slots recycled" true
+    (torn.Inrpp.Protocol.flow_entries_recycled > 0);
+  Alcotest.(check int) "peak unchanged by teardown"
+    kept.Inrpp.Protocol.flow_entries_peak torn.Inrpp.Protocol.flow_entries_peak
+
+let test_teardown_recycles_after_crash () =
+  (* node crash on the path: recovery reinstalls state; the completed
+     flow must still tear down to zero live entries everywhere *)
+  let g = diamond () in
+  let specs = [ flow ~src:0 ~dst:3 150 ] in
+  let faults =
+    S.of_list
+      [
+        ev 0.2 (S.Node_crash { node = 1; policy = S.Preserve_custody });
+        ev 1.0 (S.Node_restart { node = 1 });
+      ]
+  in
+  let torn =
+    Inrpp.Protocol.run
+      ~cfg:{ Inrpp.Config.default with Inrpp.Config.flow_teardown = true }
+      ~horizon:60. ~faults g specs
+  in
+  Alcotest.(check int) "completes" 1 torn.Inrpp.Protocol.completed;
+  Alcotest.(check int) "live entries back to 0" 0
+    torn.Inrpp.Protocol.flow_entries_live;
+  Alcotest.(check bool) "slots recycled" true
+    (torn.Inrpp.Protocol.flow_entries_recycled > 0)
+
+(* ------------------------------------------------------------------ *)
 (* CI fault matrix: 3 schedules x 2 topologies, small horizons *)
 
 let matrix_schedules g =
@@ -657,6 +711,10 @@ let () =
             test_evacuation_under_flapping_primary;
           Alcotest.test_case "replay is deterministic" `Quick
             test_replay_deterministic;
+          Alcotest.test_case "teardown recycles after outage" `Quick
+            test_teardown_recycles_after_outage;
+          Alcotest.test_case "teardown recycles after crash" `Quick
+            test_teardown_recycles_after_crash;
         ] );
       ( "flight-recorder",
         [

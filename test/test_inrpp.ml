@@ -24,11 +24,140 @@ let test_config_rejections () =
   bad (fun c -> { c with Inrpp.Config.engage_ratio = 0.5; release_ratio = 0.6 });
   bad (fun c -> { c with Inrpp.Config.cache_low_water = 0.9 });
   bad (fun c -> { c with Inrpp.Config.speed_factor = 1.5 });
-  bad (fun c -> { c with Inrpp.Config.ti = 0. })
+  bad (fun c -> { c with Inrpp.Config.ti = 0. });
+  bad (fun c -> { c with Inrpp.Config.flowlet_gap = -1. });
+  bad (fun c -> { c with Inrpp.Config.pitless = true; icn_caching = true })
 
 let test_config_chunk_tx_time () =
   check_close "80kb at 10Mbps" 1e-12 8e-3
     (Inrpp.Config.chunk_tx_time Inrpp.Config.default ~rate:10e6)
+
+(* ------------------------------------------------------------------ *)
+(* Flow table: both layouts through the same op sequences *)
+
+module Ft = Inrpp.Flow_table
+
+(* the tests are generic over the layout; the registry instantiates
+   them for [`Soa] and [`Legacy] so a divergence names the layout *)
+let ft_install_release store () =
+  let t : unit Ft.t = Ft.create ~store ~gap:0.5 () in
+  Alcotest.(check int) "empty find" (-1) (Ft.find t 7);
+  Alcotest.(check int) "empty live" 0 (Ft.live t);
+  let s = Ft.install t ~flow:7 ~content:42 ~data_link:3 ~req_link:(-1) in
+  Alcotest.(check int) "find" s (Ft.find t 7);
+  Alcotest.(check int) "flow_of inverts" 7 (Ft.flow_of t s);
+  Alcotest.(check int) "content" 42 (Ft.content t s);
+  Alcotest.(check int) "data link" 3 (Ft.data_link t s);
+  Alcotest.(check int) "req link (none)" (-1) (Ft.req_link t s);
+  Alcotest.(check int) "live" 1 (Ft.live t);
+  Alcotest.(check int) "peak" 1 (Ft.peak t);
+  Ft.set_links t s ~data_link:5 ~req_link:2;
+  Alcotest.(check int) "links update" 5 (Ft.data_link t s);
+  Ft.release t ~flow:7;
+  Alcotest.(check int) "released find" (-1) (Ft.find t 7);
+  Alcotest.(check int) "live back to 0" 0 (Ft.live t);
+  Alcotest.(check int) "peak sticks" 1 (Ft.peak t);
+  Alcotest.(check int) "recycled" 1 (Ft.recycled t);
+  Ft.release t ~flow:7 (* no-op *);
+  Alcotest.(check int) "double release no-ops" 1 (Ft.recycled t);
+  Alcotest.(check bool) "bytes accounted" true (Ft.approx_bytes t > 0)
+
+let ft_slot_recycling store () =
+  let t : unit Ft.t = Ft.create ~store ~gap:0.5 () in
+  let slots =
+    List.init 8 (fun f ->
+        Ft.install t ~flow:f ~content:f ~data_link:(-1) ~req_link:(-1))
+  in
+  Alcotest.(check int) "peak 8" 8 (Ft.peak t);
+  List.iter (fun f -> Ft.release t ~flow:f) [ 2; 5 ];
+  let s9 = Ft.install t ~flow:99 ~content:99 ~data_link:(-1) ~req_link:(-1) in
+  (match store with
+  | `Soa ->
+    (* the SoA free list hands a released slot to the new flow *)
+    Alcotest.(check bool) "freed slot reused" true
+      (List.mem s9 [ List.nth slots 2; List.nth slots 5 ])
+  | `Legacy ->
+    (* legacy slots are flow ids; releases leave holes *)
+    Alcotest.(check int) "legacy slot is the flow id" 99 s9);
+  Alcotest.(check int) "peak unchanged by reuse" 8 (Ft.peak t);
+  Alcotest.(check int) "live" 7 (Ft.live t)
+
+let ft_reinstall_semantics store () =
+  let t : int Ft.t = Ft.create ~store ~gap:0.5 () in
+  let s = Ft.install t ~flow:3 ~content:1 ~data_link:4 ~req_link:4 in
+  Ft.set_bp_local t s true;
+  Ft.set_failed_over t s true;
+  Ft.set_hot t s (Some 99);
+  (* pin the flowlet, then reinstall: slot and pin survive, links,
+     flags and hot cache reset (legacy Hashtbl.replace semantics) *)
+  let pinned = Ft.flowlet_choose t s ~now:1.0 ~preferred:(Inrpp.Flowlet.Via 2) in
+  Alcotest.(check bool) "pin taken" true (pinned = Inrpp.Flowlet.Via 2);
+  let s' = Ft.install t ~flow:3 ~content:8 ~data_link:(-1) ~req_link:(-1) in
+  Alcotest.(check int) "reinstall keeps slot" s s';
+  Alcotest.(check int) "content reset" 8 (Ft.content t s');
+  Alcotest.(check bool) "bp flag reset" false (Ft.bp_local t s');
+  Alcotest.(check bool) "failover flag reset" false (Ft.failed_over t s');
+  Alcotest.(check bool) "hot cache reset" true (Ft.hot t s' = None);
+  Alcotest.(check bool) "flowlet pin survives (within gap)" true
+    (Ft.flowlet_choose t s' ~now:1.1 ~preferred:Inrpp.Flowlet.Primary
+    = Inrpp.Flowlet.Via 2);
+  Alcotest.(check int) "reinstall is not a release" 0 (Ft.recycled t)
+
+let ft_flags_roundtrip store () =
+  let t : unit Ft.t = Ft.create ~store ~gap:0.5 () in
+  let s = Ft.install t ~flow:0 ~content:0 ~data_link:(-1) ~req_link:(-1) in
+  let flags =
+    [
+      ("bp_local", Ft.bp_local, Ft.set_bp_local);
+      ("bp_forwarded", Ft.bp_forwarded, Ft.set_bp_forwarded);
+      ("detour_override", Ft.detour_override, Ft.set_detour_override);
+      ("bp_outage", Ft.bp_outage, Ft.set_bp_outage);
+      ("failed_over", Ft.failed_over, Ft.set_failed_over);
+    ]
+  in
+  List.iter
+    (fun (name, get, set) ->
+      Alcotest.(check bool) (name ^ " starts clear") false (get t s);
+      set t s true;
+      Alcotest.(check bool) (name ^ " sets") true (get t s);
+      (* the other flags must be independent bits *)
+      List.iter
+        (fun (n2, g2, _) ->
+          if n2 <> name then
+            Alcotest.(check bool) (name ^ " leaves " ^ n2) false (g2 t s))
+        flags;
+      set t s false;
+      Alcotest.(check bool) (name ^ " clears") false (get t s))
+    flags
+
+(* iter order is observable (drain and fault loops); both layouts must
+   produce the same order for the same install/release history *)
+let test_ft_iter_order_parity () =
+  let history t =
+    for f = 0 to 19 do
+      ignore (Ft.install t ~flow:f ~content:f ~data_link:(-1) ~req_link:(-1))
+    done;
+    List.iter (fun f -> Ft.release t ~flow:f) [ 3; 11; 4 ];
+    for f = 20 to 24 do
+      ignore (Ft.install t ~flow:f ~content:f ~data_link:(-1) ~req_link:(-1))
+    done;
+    let order = ref [] in
+    Ft.iter t (fun flow _ -> order := flow :: !order);
+    List.rev !order
+  in
+  let soa : unit Ft.t = Ft.create ~store:`Soa ~gap:0.5 () in
+  let legacy : unit Ft.t = Ft.create ~store:`Legacy ~gap:0.5 () in
+  Alcotest.(check (list int))
+    "iteration order identical across layouts" (history legacy) (history soa)
+
+let test_ft_invalid_args () =
+  Alcotest.check_raises "negative gap"
+    (Invalid_argument "Flow_table.create: gap < 0") (fun () ->
+      ignore (Ft.create ~store:`Soa ~gap:(-1.) () : unit Ft.t));
+  let t : unit Ft.t = Ft.create ~store:`Soa ~gap:0.5 () in
+  Alcotest.check_raises "negative flow"
+    (Invalid_argument "Flow_table.install: flow < 0") (fun () ->
+      ignore (Ft.install t ~flow:(-1) ~content:0 ~data_link:0 ~req_link:0))
 
 (* ------------------------------------------------------------------ *)
 (* Session *)
@@ -746,6 +875,25 @@ let () =
           Alcotest.test_case "rejections" `Quick test_config_rejections;
           Alcotest.test_case "chunk tx time" `Quick test_config_chunk_tx_time;
         ] );
+      ( "flow table",
+        (List.concat_map
+           (fun (lname, store) ->
+             [
+               Alcotest.test_case (lname ^ ": install/release") `Quick
+                 (ft_install_release store);
+               Alcotest.test_case (lname ^ ": slot recycling") `Quick
+                 (ft_slot_recycling store);
+               Alcotest.test_case (lname ^ ": reinstall semantics") `Quick
+                 (ft_reinstall_semantics store);
+               Alcotest.test_case (lname ^ ": flag bits") `Quick
+                 (ft_flags_roundtrip store);
+             ])
+           [ ("soa", `Soa); ("legacy", `Legacy) ]
+        @ [
+            Alcotest.test_case "iter order parity" `Quick
+              test_ft_iter_order_parity;
+            Alcotest.test_case "invalid args" `Quick test_ft_invalid_args;
+          ]) );
       ( "session",
         [
           Alcotest.test_case "in order" `Quick test_session_in_order;
